@@ -1,0 +1,107 @@
+// E3 — Theorem 5.1: AKPW low-stretch spanning trees.
+//
+// Validates that the average stretch of the AKPW tree grows slowly
+// (sub-polynomially) with n and compares against the MST baseline (the
+// paper's construction should win on stretch as n grows), and that the
+// iteration count tracks O(log Delta + tau).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "graph/stretch.h"
+#include "graph/tree.h"
+#include "lsst/akpw.h"
+
+using namespace parsdd;
+using parsdd_bench::Timer;
+
+namespace {
+
+double tree_avg_stretch(std::uint32_t n, const EdgeList& edges,
+                        const std::vector<std::uint32_t>& tree_idx) {
+  EdgeList tree;
+  for (auto i : tree_idx) tree.push_back(edges[i]);
+  RootedTree t = RootedTree::from_edges(n, tree, 0);
+  return stretch_wrt_tree(edges, t).average();
+}
+
+void stretch_vs_n() {
+  parsdd_bench::header(
+      "E3a  AKPW stretch scaling vs n (unit-weight grids)",
+      "columns: n, m, AKPW avg stretch, MST avg stretch, AKPW iterations, "
+      "seconds.  shape: AKPW stretch grows slowly with n.");
+  std::printf("%8s %8s %12s %12s %6s %8s\n", "n", "m", "akpw", "mst", "iters",
+              "sec");
+  for (std::uint32_t side : {32u, 64u, 128u, 192u}) {
+    GeneratedGraph g = grid2d(side, side);
+    Timer t;
+    AkpwResult r = akpw_tree(g.n, g.edges, {});
+    double sec = t.seconds();
+    double akpw_stretch = tree_avg_stretch(g.n, g.edges, r.tree_edges);
+    double mst_stretch =
+        tree_avg_stretch(g.n, g.edges, mst_kruskal(g.n, g.edges));
+    std::printf("%8u %8zu %12.2f %12.2f %6u %8.3f\n", g.n, g.edges.size(),
+                akpw_stretch, mst_stretch, r.iterations, sec);
+  }
+}
+
+void stretch_vs_spread() {
+  parsdd_bench::header(
+      "E3b  AKPW iterations vs weight spread Delta (Theorem 5.1: O(log "
+      "Delta) iterations)",
+      "columns: Delta, weight classes, iterations, avg stretch, seconds");
+  std::printf("%10s %8s %6s %12s %8s\n", "Delta", "classes", "iters",
+              "stretch", "sec");
+  for (double spread : {1.0, 1e2, 1e4, 1e8}) {
+    GeneratedGraph g = grid2d(64, 64);
+    if (spread > 1.0) randomize_weights_log_uniform(g.edges, spread, 11);
+    Timer t;
+    AkpwResult r = akpw_tree(g.n, g.edges, {});
+    double sec = t.seconds();
+    double s = tree_avg_stretch(g.n, g.edges, r.tree_edges);
+    std::printf("%10.0e %8u %6u %12.2f %8.3f\n", spread, r.num_classes,
+                r.iterations, s, sec);
+  }
+}
+
+void families() {
+  parsdd_bench::header(
+      "E3c  AKPW across graph families",
+      "columns: family, n, m, AKPW avg stretch, MST avg stretch");
+  struct Case {
+    const char* name;
+    GeneratedGraph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"er-n4k", erdos_renyi(4000, 16000, 3)});
+  cases.push_back({"pa-n4k-d4", preferential_attachment(4000, 4, 3)});
+  {
+    GeneratedGraph g = torus2d(64, 64);
+    cases.push_back({"torus-64", std::move(g)});
+  }
+  {
+    GeneratedGraph g = grid2d(64, 64);
+    randomize_weights_two_level(g.edges, 1e4, 5);
+    cases.push_back({"grid-contrast", std::move(g)});
+  }
+  std::printf("%-16s %8s %8s %10s %10s\n", "family", "n", "m", "akpw", "mst");
+  for (auto& c : cases) {
+    AkpwResult r = akpw_tree(c.g.n, c.g.edges, {});
+    double sa = tree_avg_stretch(c.g.n, c.g.edges, r.tree_edges);
+    double sm = tree_avg_stretch(c.g.n, c.g.edges,
+                                 mst_kruskal(c.g.n, c.g.edges));
+    std::printf("%-16s %8u %8zu %10.2f %10.2f\n", c.name, c.g.n,
+                c.g.edges.size(), sa, sm);
+  }
+}
+
+}  // namespace
+
+int main() {
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  stretch_vs_n();
+  stretch_vs_spread();
+  families();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E9 — Section 1 applications built on the solver.
+//
+// (a) Spectral sparsifier quality: quadratic-form ratio vs compression.
+// (b) Electrical-flow approximate max flow vs the exact (Edmonds-Karp)
+//     oracle: value ratio as MWU iterations grow.
+// (c) Harmonic interpolation (vision motivation): residual of the Dirichlet
+//     solve.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "apps/harmonic.h"
+#include "apps/maxflow.h"
+#include "apps/sparsify.h"
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+
+using namespace parsdd;
+using parsdd_bench::Timer;
+
+namespace {
+
+void sparsifier_table() {
+  parsdd_bench::header(
+      "E9a  Spectral sparsifier [SS08] quality vs epsilon",
+      "columns: eps, kept edges / m, worst quadratic-form ratio over probe "
+      "vectors (target within 1 +- O(eps))");
+  GeneratedGraph g = erdos_renyi(300, 12000, 3);
+  SddSolverOptions sopts;
+  sopts.tolerance = 1e-9;
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, sopts);
+  std::printf("m=%zu n=%u\n", g.edges.size(), g.n);
+  std::printf("%6s %12s %14s\n", "eps", "kept/m", "worst_ratio");
+  for (double eps : {0.3, 0.5, 0.8}) {
+    SpectralSparsifyOptions opts;
+    opts.epsilon = eps;
+    opts.constant = 0.5;
+    opts.probes = 64;
+    SpectralSparsifyResult r = spectral_sparsify(g.n, g.edges, solver, opts);
+    double worst = 1.0;
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      Vec x = random_unit_like(g.n, 50 + s);
+      double ratio = laplacian_quadratic_form(r.sparsifier, x) /
+                     laplacian_quadratic_form(g.edges, x);
+      worst = std::max(worst, std::max(ratio, 1.0 / ratio));
+    }
+    std::printf("%6.2f %12.3f %14.3f\n", eps,
+                static_cast<double>(r.sparsifier.size()) / g.edges.size(),
+                worst);
+  }
+}
+
+void maxflow_table() {
+  parsdd_bench::header(
+      "E9b  Electrical-flow approximate max flow [CKM+10] vs exact",
+      "columns: MWU iterations, flow/optimal, Laplacian solves, seconds.  "
+      "shape: ratio climbs toward 1 as iterations grow.");
+  GeneratedGraph g = erdos_renyi(120, 480, 11);
+  std::uint32_t s = 0, t = 60;
+  double exact = exact_max_flow(g.n, g.edges, s, t);
+  std::printf("exact max flow = %.3f (n=%u m=%zu)\n", exact, g.n,
+              g.edges.size());
+  std::printf("%6s %12s %8s %8s\n", "iters", "flow/opt", "solves", "sec");
+  for (std::uint32_t iters : {5u, 20u, 80u}) {
+    MaxflowOptions opts;
+    opts.epsilon = 0.2;
+    opts.max_iterations = iters;
+    opts.solver.tolerance = 1e-8;
+    Timer timer;
+    MaxflowResult r = approx_max_flow(g.n, g.edges, s, t, opts);
+    std::printf("%6u %12.4f %8u %8.2f\n", iters, r.flow_value / exact,
+                r.laplacian_solves, timer.seconds());
+  }
+}
+
+void harmonic_table() {
+  parsdd_bench::header(
+      "E9c  Harmonic interpolation (Dirichlet problem on grids)",
+      "columns: grid side, interior unknowns, solve residual, seconds");
+  std::printf("%6s %10s %12s %8s\n", "side", "interior", "residual", "sec");
+  for (std::uint32_t side : {32u, 64u, 128u}) {
+    GeneratedGraph g = grid2d(side, side);
+    std::vector<std::uint32_t> boundary;
+    std::vector<double> values;
+    for (std::uint32_t i = 0; i < side; ++i) {
+      boundary.push_back(i);
+      values.push_back(1.0);
+      boundary.push_back((side - 1) * side + i);
+      values.push_back(-1.0);
+    }
+    Timer t;
+    Vec x = harmonic_extension(g.n, g.edges, boundary, values);
+    double sec = t.seconds();
+    // Residual of the harmonic property at interior vertices.
+    CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+    Vec lx = lap.apply(x);
+    double res = 0;
+    std::vector<std::uint8_t> is_b(g.n, 0);
+    for (auto bimg : boundary) is_b[bimg] = 1;
+    for (std::uint32_t v = 0; v < g.n; ++v) {
+      if (!is_b[v]) res = std::max(res, std::fabs(lx[v]));
+    }
+    std::printf("%6u %10u %12.2e %8.2f\n", side, g.n - 2 * side, res, sec);
+  }
+}
+
+}  // namespace
+
+int main() {
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  sparsifier_table();
+  maxflow_table();
+  harmonic_table();
+  return 0;
+}

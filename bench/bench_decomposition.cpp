@@ -1,0 +1,115 @@
+// E1 + E2 — Theorem 4.1: parallel low-diameter decomposition.
+//
+// E1 validates the structural guarantees: every component center lies in its
+// own component (P1) and the strong BFS-radius is at most rho (P2).
+// E2 validates the cut guarantee: for each of k edge classes the fraction of
+// edges cut is at most c1*k*log^3(n)/rho (P3) — the table reports the
+// measured fraction against the bound, and the scaling of the measured cut
+// fraction as rho grows (theory: ~ 1/rho).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "partition/partition.h"
+#include "partition/split_graph.h"
+
+using namespace parsdd;
+using parsdd_bench::Timer;
+
+namespace {
+
+// Measured max strong radius over components (BFS from centers restricted
+// to components).
+std::uint32_t measured_strong_radius(const Graph& g, const Decomposition& d) {
+  std::uint32_t n = g.num_vertices();
+  std::vector<std::uint32_t> dist(n, kUnreached);
+  std::vector<std::uint32_t> frontier = d.center;
+  for (auto s : frontier) dist[s] = 0;
+  std::uint32_t level = 0, max_level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    std::vector<std::uint32_t> next;
+    for (auto u : frontier) {
+      for (auto v : g.neighbors(u)) {
+        if (dist[v] != kUnreached || d.component[v] != d.component[u]) {
+          continue;
+        }
+        dist[v] = level;
+        max_level = level;
+        next.push_back(v);
+      }
+    }
+    frontier.swap(next);
+  }
+  return max_level;
+}
+
+void e1_table() {
+  parsdd_bench::header(
+      "E1  Theorem 4.1 (P1, P2): strong radius <= rho",
+      "columns: graph, n, m, rho, components, measured strong radius "
+      "(must be <= rho), BFS rounds (depth surrogate), seconds");
+  struct Case {
+    const char* name;
+    GeneratedGraph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"grid2d-100x100", grid2d(100, 100)});
+  cases.push_back({"er-n20k-m60k", erdos_renyi(20000, 60000, 7)});
+  cases.push_back({"rmat-s14", rmat(14, 50000, 7)});
+  cases.push_back({"path-50k", path(50000)});
+  std::printf("%-16s %8s %8s %6s %8s %8s %8s %8s\n", "graph", "n", "m", "rho",
+              "comps", "radius", "rounds", "sec");
+  for (auto& c : cases) {
+    Graph csr = Graph::from_edges(c.g.n, c.g.edges);
+    for (std::uint32_t rho : {16u, 64u, 256u}) {
+      Timer t;
+      Decomposition d = split_graph(csr, rho, {});
+      double sec = t.seconds();
+      std::uint32_t rad = measured_strong_radius(csr, d);
+      std::printf("%-16s %8u %8zu %6u %8u %8u %8u %8.3f%s\n", c.name, c.g.n,
+                  c.g.edges.size(), rho, d.num_components, rad,
+                  d.total_rounds, sec, rad <= rho ? "" : "  **VIOLATION**");
+    }
+  }
+}
+
+void e2_table() {
+  parsdd_bench::header(
+      "E2  Theorem 4.1 (P3): cut fraction <= c1*k*log^3(n)/rho per class",
+      "columns: k classes, rho, measured worst class cut fraction, theorem "
+      "bound (capped at 1), attempts used (geometric, Cor 4.8)");
+  GeneratedGraph g = grid2d(120, 120);
+  std::printf("%4s %6s %12s %12s %9s\n", "k", "rho", "measured", "bound",
+              "attempts");
+  for (std::uint32_t k : {1u, 3u, 6u}) {
+    std::vector<ClassedEdge> ce;
+    for (std::size_t i = 0; i < g.edges.size(); ++i) {
+      ce.push_back(ClassedEdge{g.edges[i].u, g.edges[i].v,
+                               static_cast<std::uint32_t>(i % k),
+                               static_cast<std::uint32_t>(i)});
+    }
+    for (std::uint32_t rho : {16u, 32u, 64u, 128u, 256u}) {
+      PartitionResult r = partition(g.n, ce, k, rho, {});
+      double worst = 0;
+      for (double f : r.cut_fraction) worst = std::max(worst, f);
+      std::printf("%4u %6u %12.4f %12.4f %9u\n", k, rho, worst, r.threshold,
+                  r.attempts);
+    }
+  }
+  std::printf(
+      "\nshape check: measured fraction decays ~1/rho and sits far below "
+      "the (loose) theorem bound.\n");
+}
+
+}  // namespace
+
+int main() {
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  e1_table();
+  e2_table();
+  return 0;
+}

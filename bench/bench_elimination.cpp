@@ -1,0 +1,98 @@
+// E5 — Lemma 6.5: GreedyElimination reduces to <= 2(m-n+1) vertices in
+// O(log n) parallel rounds.
+//
+// The table sweeps tree-plus-extras graphs (the shape B_i takes inside the
+// chain) and reports rounds vs log2(n) and the vertex-count bound.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "parallel/rng.h"
+#include "solver/greedy_elimination.h"
+
+using namespace parsdd;
+using parsdd_bench::Timer;
+
+namespace {
+
+// Tree plus a controlled number of extra random edges.
+GeneratedGraph tree_plus_extras(std::uint32_t n, std::size_t extras,
+                                std::uint64_t seed) {
+  GeneratedGraph g = erdos_renyi(n, 3 * static_cast<std::size_t>(n), seed);
+  auto idx = mst_kruskal(g.n, g.edges);
+  GeneratedGraph out;
+  out.n = g.n;
+  for (auto i : idx) out.edges.push_back(g.edges[i]);
+  Rng rng(seed + 1);
+  for (std::size_t k = 0; k < extras; ++k) {
+    std::uint32_t u = static_cast<std::uint32_t>(rng.below(2 * k, n));
+    std::uint32_t v = static_cast<std::uint32_t>(rng.below(2 * k + 1, n));
+    if (u != v) out.edges.push_back(Edge{u, v, 1.0});
+  }
+  return out;
+}
+
+void rounds_table() {
+  parsdd_bench::header(
+      "E5a  Rounds vs n (Lemma 6.5: O(log n) whp)",
+      "columns: n, extra edges, reduced n, bound 2*extra, rounds, "
+      "8*log2(n)+8 (test ceiling), seconds");
+  std::printf("%9s %8s %9s %9s %7s %8s %8s\n", "n", "extra", "red_n",
+              "2*extra", "rounds", "ceiling", "sec");
+  for (std::uint32_t n : {1000u, 10000u, 100000u, 400000u}) {
+    std::size_t extras = n / 16;
+    GeneratedGraph g = tree_plus_extras(n, extras, 3);
+    std::size_t actual_extra = g.edges.size() - (n - 1);
+    Timer t;
+    GreedyEliminationResult ge = greedy_eliminate(g.n, g.edges);
+    double sec = t.seconds();
+    std::printf("%9u %8zu %9u %9zu %7u %8.0f %8.3f\n", n, actual_extra,
+                ge.reduced_n, 2 * actual_extra, ge.rounds,
+                8 * std::log2(static_cast<double>(n)) + 8, sec);
+  }
+}
+
+void density_table() {
+  parsdd_bench::header(
+      "E5b  Reduction vs extra-edge density",
+      "columns: extra fraction, reduced n / n, rounds.  shape: reduced size "
+      "tracks the number of extra edges, not n.");
+  std::uint32_t n = 50000;
+  std::printf("%10s %12s %7s\n", "extra/n", "red_n/n", "rounds");
+  for (double frac : {0.005, 0.02, 0.08, 0.3}) {
+    GeneratedGraph g =
+        tree_plus_extras(n, static_cast<std::size_t>(frac * n), 5);
+    GreedyEliminationResult ge = greedy_eliminate(g.n, g.edges);
+    std::printf("%10.3f %12.4f %7u\n", frac,
+                static_cast<double>(ge.reduced_n) / n, ge.rounds);
+  }
+}
+
+void grids_table() {
+  parsdd_bench::header(
+      "E5c  Dense-cycle inputs (grids): elimination stops at min degree 3",
+      "columns: side, n, m, reduced n, reduced m, rounds, seconds");
+  std::printf("%6s %9s %9s %9s %9s %7s %8s\n", "side", "n", "m", "red_n",
+              "red_m", "rounds", "sec");
+  for (std::uint32_t side : {50u, 100u, 200u}) {
+    GeneratedGraph g = grid2d(side, side);
+    Timer t;
+    GreedyEliminationResult ge = greedy_eliminate(g.n, g.edges);
+    double sec = t.seconds();
+    std::printf("%6u %9u %9zu %9u %9zu %7u %8.3f\n", side, g.n,
+                g.edges.size(), ge.reduced_n, ge.reduced_edges.size(),
+                ge.rounds, sec);
+  }
+}
+
+}  // namespace
+
+int main() {
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  rounds_table();
+  density_table();
+  grids_table();
+  return 0;
+}

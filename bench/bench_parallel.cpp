@@ -1,0 +1,38 @@
+// E10: parallel substrate microbenchmarks (scan/sort/BFS depth surrogates).
+#include <benchmark/benchmark.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "parallel/primitives.h"
+
+namespace {
+
+void BM_ScanExclusive(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> v(n, 1);
+  for (auto _ : state) {
+    auto copy = v;
+    benchmark::DoNotOptimize(parsdd::scan_exclusive(copy));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScanExclusive)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_GridBfs(benchmark::State& state) {
+  std::uint32_t side = static_cast<std::uint32_t>(state.range(0));
+  parsdd::GeneratedGraph g = parsdd::grid2d(side, side);
+  parsdd::Graph graph = parsdd::Graph::from_edges(g.n, g.edges);
+  std::uint32_t rounds = 0;
+  for (auto _ : state) {
+    auto r = parsdd::bfs(graph, 0);
+    rounds = r.rounds;
+    benchmark::DoNotOptimize(r.dist.data());
+  }
+  state.counters["bfs_rounds"] = rounds;
+  state.SetItemsProcessed(state.iterations() * g.edges.size());
+}
+BENCHMARK(BM_GridBfs)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// E7 — Theorem 1.1: near-linear work and log(1/eps) dependence.
+//
+// (a) Solve time and top-level iterations vs m across graph families: the
+//     work curve should be near-linear in m (time/m roughly flat).
+// (b) Iterations vs log(1/eps): linear (the paper's log(1/eps) factor).
+// (c) Chain telemetry: depth, total chain edges (O(m)), bottom visits.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "solver/sdd_solver.h"
+
+using namespace parsdd;
+using parsdd_bench::Timer;
+
+namespace {
+
+void scaling_table() {
+  parsdd_bench::header(
+      "E7a  Work scaling vs m (chain PCG, tol 1e-8)",
+      "columns: graph, n, m, build sec, solve sec, iters, solve_sec/m "
+      "(x1e6; flatness = near-linear work), chain edges / m");
+  std::printf("%-18s %8s %8s %9s %9s %6s %10s %9s\n", "graph", "n", "m",
+              "build_s", "solve_s", "iters", "us_per_m", "chain/m");
+  struct Case {
+    const char* name;
+    GeneratedGraph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"grid-32", grid2d(32, 32)});
+  cases.push_back({"grid-64", grid2d(64, 64)});
+  cases.push_back({"grid-128", grid2d(128, 128)});
+  cases.push_back({"grid3d-16", grid3d(16, 16, 16)});
+  cases.push_back({"er-n10k-m40k", erdos_renyi(10000, 40000, 5)});
+  cases.push_back({"pa-n10k-d4", preferential_attachment(10000, 4, 5)});
+  for (auto& c : cases) {
+    Timer tb;
+    SddSolverOptions opts;
+    opts.tolerance = 1e-8;
+    opts.max_iterations = 20000;
+    SddSolver solver = SddSolver::for_laplacian(c.g.n, c.g.edges, opts);
+    double build = tb.seconds();
+    Vec b = random_unit_like(c.g.n, 3);
+    Timer ts;
+    SddSolveReport rep;
+    Vec x = solver.solve(b, &rep);
+    double solve = ts.seconds();
+    double m = static_cast<double>(c.g.edges.size());
+    std::printf("%-18s %8u %8zu %9.2f %9.2f %6u %10.2f %9.2f\n", c.name,
+                c.g.n, c.g.edges.size(), build, solve, rep.stats.iterations,
+                1e6 * solve / m, rep.chain_edges / m);
+  }
+}
+
+void epsilon_table() {
+  parsdd_bench::header(
+      "E7b  Iterations vs accuracy (Theorem 1.1: log(1/eps) factor)",
+      "columns: eps, iterations, relative residual at exit.  shape: "
+      "iterations grow linearly in the digit count.");
+  GeneratedGraph g = grid2d(80, 80);
+  std::printf("%10s %6s %12s\n", "eps", "iters", "residual");
+  for (double tol : {1e-2, 1e-4, 1e-6, 1e-8, 1e-10}) {
+    SddSolverOptions opts;
+    opts.tolerance = tol;
+    opts.max_iterations = 20000;
+    SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
+    Vec b = random_unit_like(g.n, 4);
+    SddSolveReport rep;
+    solver.solve(b, &rep);
+    std::printf("%10.0e %6u %12.2e\n", tol, rep.stats.iterations,
+                rep.stats.relative_residual);
+  }
+}
+
+void rpch_table() {
+  parsdd_bench::header(
+      "E7c  Pure rPCh passes vs accuracy (the paper's recursion driver)",
+      "columns: eps, refinement passes, residual.  shape: passes ~ "
+      "log(1/eps).");
+  GeneratedGraph g = grid2d(48, 48);
+  std::printf("%10s %7s %12s\n", "eps", "passes", "residual");
+  for (double tol : {1e-2, 1e-4, 1e-6, 1e-8}) {
+    SddSolverOptions opts;
+    opts.tolerance = tol;
+    opts.method = SolveMethod::kChainRpch;
+    opts.max_iterations = 5000;
+    SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
+    Vec b = random_unit_like(g.n, 5);
+    SddSolveReport rep;
+    solver.solve(b, &rep);
+    std::printf("%10.0e %7u %12.2e\n", tol, rep.stats.iterations,
+                rep.stats.relative_residual);
+  }
+}
+
+}  // namespace
+
+int main() {
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  scaling_table();
+  epsilon_table();
+  rpch_table();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E4 — Theorem 5.9: low-stretch spanning subgraphs.
+//
+// Validates the two-sided tradeoff: |E(Ĝ)| <= n-1 + m*(c log^3 n / beta)^λ
+// (edge budget shrinks geometrically in λ) while the average stretch stays
+// polylogarithmic.  Also reports the well-spacing ablation (Lemma 5.7) on a
+// large-spread instance.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "graph/stretch.h"
+#include "lsst/ls_subgraph.h"
+
+using namespace parsdd;
+using parsdd_bench::Timer;
+
+namespace {
+
+void lambda_sweep() {
+  parsdd_bench::header(
+      "E4a  LSSubgraph edges vs stretch across lambda",
+      "columns: lambda, |E(G_hat)|, extra edges over tree, avg stretch, max "
+      "stretch, seconds.  shape: extras shrink ~y^-lambda, stretch grows.");
+  GeneratedGraph g = grid2d(64, 64);
+  std::printf("m=%zu n=%u\n", g.edges.size(), g.n);
+  std::printf("%6s %10s %8s %10s %10s %8s\n", "lambda", "edges", "extra",
+              "avg_str", "max_str", "sec");
+  for (std::uint32_t lam : {1u, 2u, 3u, 4u}) {
+    LsSubgraphOptions opts;
+    opts.lambda = lam;
+    Timer t;
+    LsSubgraphResult r = ls_subgraph(g.n, g.edges, opts);
+    double sec = t.seconds();
+    EdgeList sub;
+    for (auto i : r.subgraph_edges) sub.push_back(g.edges[i]);
+    StretchStats s = stretch_wrt_subgraph(g.n, sub, g.edges);
+    std::printf("%6u %10zu %8zu %10.2f %10.1f %8.3f\n", lam, sub.size(),
+                sub.size() - (g.n - 1), s.average(), s.max, sec);
+  }
+}
+
+void spread_ablation() {
+  parsdd_bench::header(
+      "E4b  Well-spacing ablation on large weight spread (Lemma 5.7)",
+      "columns: spread Delta, well-spacing on/off, classes, removed |F|, "
+      "iterations, avg stretch.  shape: removal stays <= theta*m while the "
+      "iteration chain is broken into independent segments.");
+  std::printf("%10s %4s %8s %8s %6s %10s\n", "Delta", "ws", "classes",
+              "removed", "iters", "avg_str");
+  for (double spread : {1e4, 1e8}) {
+    GeneratedGraph g = grid2d(48, 48);
+    randomize_weights_log_uniform(g.edges, spread, 17);
+    for (bool ws : {true, false}) {
+      LsSubgraphOptions opts;
+      opts.apply_well_spacing = ws;
+      opts.theta = 0.1;
+      LsSubgraphResult r = ls_subgraph(g.n, g.edges, opts);
+      EdgeList sub;
+      for (auto i : r.subgraph_edges) sub.push_back(g.edges[i]);
+      StretchStats s = stretch_wrt_subgraph(g.n, sub, g.edges);
+      std::printf("%10.0e %4s %8s %8zu %6u %10.2f\n", spread,
+                  ws ? "on" : "off", "-", r.removed_count, r.iterations,
+                  s.average());
+    }
+  }
+}
+
+void scaling() {
+  parsdd_bench::header(
+      "E4c  Subgraph stretch scaling vs n (polylog target)",
+      "columns: n, m, |E(G_hat)|, avg stretch, seconds");
+  std::printf("%8s %8s %10s %10s %8s\n", "n", "m", "edges", "avg_str", "sec");
+  for (std::uint32_t side : {32u, 64u, 96u, 128u}) {
+    GeneratedGraph g = grid2d(side, side);
+    Timer t;
+    LsSubgraphResult r = ls_subgraph(g.n, g.edges, {});
+    double sec = t.seconds();
+    EdgeList sub;
+    for (auto i : r.subgraph_edges) sub.push_back(g.edges[i]);
+    StretchStats s = stretch_wrt_subgraph(g.n, sub, g.edges);
+    std::printf("%8u %8zu %10zu %10.2f %8.3f\n", g.n, g.edges.size(),
+                sub.size(), s.average(), sec);
+  }
+}
+
+}  // namespace
+
+int main() {
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  lambda_sweep();
+  spread_ablation();
+  scaling();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the experiment benches (E1-E9): wall-clock timing and
+// aligned table output.  Each bench binary runs with no arguments, prints
+// the table(s) for its experiment id (see DESIGN.md section 3), and exits.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+
+namespace parsdd_bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+}  // namespace parsdd_bench

@@ -1,0 +1,39 @@
+// Low-diameter decomposition demo (Theorem 4.1) — the combinatorial core of
+// the paper, shown directly: partition a graph into low-strong-diameter
+// pieces and inspect the component/cut structure.
+//
+//   $ ./decomposition_demo
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.h"
+#include "partition/partition.h"
+
+int main() {
+  using namespace parsdd;
+  GeneratedGraph g = grid2d(80, 80);
+  std::printf("graph: 80x80 grid, n=%u m=%zu\n\n", g.n, g.edges.size());
+
+  // Two edge classes: horizontal and vertical edges.
+  std::vector<ClassedEdge> ce;
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    bool horizontal = g.edges[i].v == g.edges[i].u + 1;
+    ce.push_back(ClassedEdge{g.edges[i].u, g.edges[i].v,
+                             horizontal ? 0u : 1u,
+                             static_cast<std::uint32_t>(i)});
+  }
+
+  std::printf("%-6s %-8s %-12s %-12s %-10s %-9s\n", "rho", "comps",
+              "cut(horiz)", "cut(vert)", "bound", "attempts");
+  for (std::uint32_t rho : {8u, 16u, 32u, 64u, 128u}) {
+    PartitionResult r = partition(g.n, ce, 2, rho, {});
+    std::printf("%-6u %-8u %-12.4f %-12.4f %-10.4f %-9u\n", rho,
+                r.decomposition.num_components, r.cut_fraction[0],
+                r.cut_fraction[1], r.threshold, r.attempts);
+  }
+  std::printf(
+      "\nEvery component has strong (inside-the-piece) BFS radius <= rho;\n"
+      "the cut fraction decays like 1/rho as Theorem 4.1(3) promises.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Poisson image inpainting / harmonic interpolation — the "problems in
+// vision and graphics" motivation from the paper's introduction.
+//
+// A synthetic grayscale image is damaged (a block of pixels erased); the
+// hole is filled by harmonic extension of the surviving pixels over the
+// 4-connected pixel grid, i.e. one SDD solve on the interior block.
+//
+//   $ ./poisson_image
+//
+// Prints reconstruction error statistics over the hole.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "apps/harmonic.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace parsdd;
+  const std::uint32_t side = 96;
+
+  // Ground-truth image: smooth gradient + a soft blob.
+  auto truth = [&](std::uint32_t x, std::uint32_t y) {
+    double cx = x - side / 2.0, cy = y - side / 2.0;
+    return 0.3 * x / side + 0.2 * y / side +
+           0.5 * std::exp(-(cx * cx + cy * cy) / (side * 2.0));
+  };
+
+  // Damage: a 28x28 hole in the middle.
+  auto in_hole = [&](std::uint32_t x, std::uint32_t y) {
+    return x >= 34 && x < 62 && y >= 34 && y < 62;
+  };
+
+  GeneratedGraph g = grid2d(side, side);
+  std::vector<std::uint32_t> boundary;
+  std::vector<double> values;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      if (!in_hole(x, y)) {
+        boundary.push_back(y * side + x);
+        values.push_back(truth(x, y));
+      }
+    }
+  }
+  std::printf("image %ux%u, hole pixels: %zu\n", side, side,
+              static_cast<std::size_t>(side) * side - boundary.size());
+
+  SddSolverOptions opts;
+  opts.tolerance = 1e-9;
+  Vec filled = harmonic_extension(g.n, g.edges, boundary, values, opts);
+
+  double max_err = 0.0, sum_err = 0.0;
+  std::size_t count = 0;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      if (!in_hole(x, y)) continue;
+      double err = std::fabs(filled[y * side + x] - truth(x, y));
+      max_err = std::max(max_err, err);
+      sum_err += err;
+      ++count;
+    }
+  }
+  std::printf("reconstruction: mean abs err %.4f, max abs err %.4f "
+              "(image range ~[0,1])\n",
+              sum_err / count, max_err);
+  // Harmonic inpainting cannot reproduce the blob's peak exactly, but
+  // should stay within a modest fraction of the dynamic range.
+  return max_err < 0.5 ? 0 : 1;
+}

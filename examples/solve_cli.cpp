@@ -1,0 +1,68 @@
+// Command-line SDD/Laplacian solver: the tool a downstream user would run.
+//
+//   $ ./solve_cli <graph-file> [tolerance] [method]
+//
+//   graph-file : plain edge list (`u v w` lines, optional `n m` header) or
+//                MatrixMarket .mtx (symmetric coordinate)
+//   tolerance  : relative residual target (default 1e-8)
+//   method     : chain | rpch | cg | jacobi (default chain)
+//
+// Solves L x = b for a deterministic random consistent b, printing chain
+// telemetry and the verified residual.  With no arguments, runs a built-in
+// demo grid instead.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "linalg/laplacian.h"
+#include "solver/sdd_solver.h"
+
+int main(int argc, char** argv) {
+  using namespace parsdd;
+  GeneratedGraph g;
+  if (argc > 1) {
+    try {
+      g = load_graph(argv[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  } else {
+    std::printf("no input file; using demo 64x64 grid\n");
+    g = grid2d(64, 64);
+  }
+  double tol = argc > 2 ? std::atof(argv[2]) : 1e-8;
+  SolveMethod method = SolveMethod::kChainPcg;
+  if (argc > 3) {
+    std::string m = argv[3];
+    if (m == "rpch") method = SolveMethod::kChainRpch;
+    else if (m == "cg") method = SolveMethod::kCg;
+    else if (m == "jacobi") method = SolveMethod::kJacobiPcg;
+    else if (m != "chain") {
+      std::fprintf(stderr, "unknown method '%s'\n", m.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("graph: n=%u m=%zu\n", g.n, g.edges.size());
+  SddSolverOptions opts;
+  opts.tolerance = tol;
+  opts.method = method;
+  opts.max_iterations = 50000;
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
+  Vec b = random_unit_like(g.n, 1);
+  SddSolveReport rep;
+  Vec x = solver.solve(b, &rep);
+
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  double rel = norm2(subtract(lap.apply(x), b)) / norm2(b);
+  std::printf(
+      "components=%u chain_levels=%u chain_edges=%zu iterations=%u\n",
+      rep.components, rep.chain_levels, rep.chain_edges,
+      rep.stats.iterations);
+  std::printf("relative residual %.3e (target %.0e) -> %s\n", rel, tol,
+              rel <= 10 * tol ? "OK" : "NOT CONVERGED");
+  return rel <= 10 * tol ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Spectral sparsification by effective resistances [SS08] — the first
+// application the paper lists for its solver.
+//
+//   $ ./spectral_sparsify
+//
+// Sparsifies a dense random graph using O(log n) Laplacian solves for the
+// resistance estimates, and verifies the Laplacian quadratic form is
+// preserved on random probe vectors.
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/sparsify.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+
+int main() {
+  using namespace parsdd;
+  GeneratedGraph g = erdos_renyi(400, 24000, 23);
+  std::printf("input: n=%u m=%zu (avg degree %.0f)\n", g.n, g.edges.size(),
+              2.0 * g.edges.size() / g.n);
+
+  SddSolverOptions sopts;
+  sopts.tolerance = 1e-9;
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, sopts);
+
+  SpectralSparsifyOptions opts;
+  opts.epsilon = 0.5;
+  opts.constant = 0.5;
+  opts.probes = 48;
+  SpectralSparsifyResult r = spectral_sparsify(g.n, g.edges, solver, opts);
+  std::printf("sparsifier: %zu edges (%.1f%% of input)\n",
+              r.sparsifier.size(),
+              100.0 * r.sparsifier.size() / g.edges.size());
+
+  double worst = 1.0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    Vec x = random_unit_like(g.n, 77 + s);
+    double ratio = laplacian_quadratic_form(r.sparsifier, x) /
+                   laplacian_quadratic_form(g.edges, x);
+    worst = std::max(worst, std::max(ratio, 1.0 / ratio));
+  }
+  std::printf("worst quadratic-form distortion on probes: %.3fx\n", worst);
+  return (worst < 2.0 && r.sparsifier.size() < g.edges.size()) ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+#include "apps/effective_resistance.h"
+
+#include <cmath>
+
+#include "parallel/primitives.h"
+#include "parallel/rng.h"
+
+namespace parsdd {
+
+double effective_resistance(const SddSolver& solver, std::uint32_t u,
+                            std::uint32_t v, std::size_t n) {
+  Vec b(n, 0.0);
+  b[u] = 1.0;
+  b[v] = -1.0;
+  Vec x = solver.solve(b);
+  return x[u] - x[v];
+}
+
+std::vector<double> approx_edge_resistances(
+    const SddSolver& solver, std::uint32_t n, const EdgeList& edges,
+    const ResistanceSketchOptions& opts) {
+  std::vector<double> r(edges.size(), 0.0);
+  Rng rng(opts.seed);
+  for (std::uint32_t j = 0; j < opts.probes; ++j) {
+    // rhs = Bᵀ W^{1/2} q with q ∈ {±1}^m.
+    Vec rhs(n, 0.0);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      double q = (rng.u64(j * edges.size() + e) & 1) ? 1.0 : -1.0;
+      double s = q * std::sqrt(edges[e].w);
+      rhs[edges[e].u] += s;
+      rhs[edges[e].v] -= s;
+    }
+    Vec z = solver.solve(rhs);
+    parallel_for(0, edges.size(), [&](std::size_t e) {
+      double d = z[edges[e].u] - z[edges[e].v];
+      r[e] += d * d;
+    });
+  }
+  double inv = 1.0 / std::max<std::uint32_t>(opts.probes, 1);
+  parallel_for(0, r.size(), [&](std::size_t e) { r[e] *= inv; });
+  return r;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,33 @@
+// Effective resistances via SDD solves.
+//
+// The Spielman–Srivastava sparsifier (application cited in Section 1)
+// needs approximate effective resistances for every edge; with O(log n)
+// Laplacian solves on random ±1 right-hand sides (a Johnson–Lindenstrauss
+// sketch of W^{1/2} B L⁺) all m of them concentrate simultaneously.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "solver/sdd_solver.h"
+
+namespace parsdd {
+
+/// Exact effective resistance between u and v: (e_u-e_v)ᵀ L⁺ (e_u-e_v),
+/// via one solve with the supplied solver.
+double effective_resistance(const SddSolver& solver, std::uint32_t u,
+                            std::uint32_t v, std::size_t n);
+
+struct ResistanceSketchOptions {
+  /// Number of random probe solves (JL dimension); ~ c·log n / ε².
+  std::uint32_t probes = 24;
+  std::uint64_t seed = 7;
+};
+
+/// Approximate effective resistance of every edge of the graph the solver
+/// was built for.  Performs `probes` solves total.
+std::vector<double> approx_edge_resistances(
+    const SddSolver& solver, std::uint32_t n, const EdgeList& edges,
+    const ResistanceSketchOptions& opts = {});
+
+}  // namespace parsdd

@@ -1,0 +1,60 @@
+#include "apps/harmonic.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace parsdd {
+
+Vec harmonic_extension(std::uint32_t n, const EdgeList& edges,
+                       const std::vector<std::uint32_t>& boundary,
+                       const std::vector<double>& boundary_values,
+                       const SddSolverOptions& solver_opts) {
+  if (boundary.size() != boundary_values.size()) {
+    throw std::invalid_argument("harmonic_extension: size mismatch");
+  }
+  constexpr std::uint32_t kFree = std::numeric_limits<std::uint32_t>::max();
+  Vec x(n, 0.0);
+  std::vector<std::uint32_t> interior_id(n, kFree);
+  std::vector<std::uint8_t> is_boundary(n, 0);
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    is_boundary[boundary[i]] = 1;
+    x[boundary[i]] = boundary_values[i];
+  }
+  std::vector<std::uint32_t> interior;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!is_boundary[v]) {
+      interior_id[v] = static_cast<std::uint32_t>(interior.size());
+      interior.push_back(v);
+    }
+  }
+  if (interior.empty()) return x;
+
+  // Assemble L_II and the right-hand side -L_IB x_B.
+  std::vector<Triplet> ts;
+  Vec rhs(interior.size(), 0.0);
+  for (const Edge& e : edges) {
+    bool bu = is_boundary[e.u], bv = is_boundary[e.v];
+    if (bu && bv) continue;
+    if (!bu && !bv) {
+      std::uint32_t iu = interior_id[e.u], iv = interior_id[e.v];
+      ts.push_back(Triplet{iu, iv, -e.w});
+      ts.push_back(Triplet{iv, iu, -e.w});
+      ts.push_back(Triplet{iu, iu, e.w});
+      ts.push_back(Triplet{iv, iv, e.w});
+    } else {
+      std::uint32_t vin = bu ? e.v : e.u;
+      std::uint32_t vb = bu ? e.u : e.v;
+      std::uint32_t ii = interior_id[vin];
+      ts.push_back(Triplet{ii, ii, e.w});
+      rhs[ii] += e.w * x[vb];
+    }
+  }
+  CsrMatrix lii = CsrMatrix::from_triplets(
+      static_cast<std::uint32_t>(interior.size()), std::move(ts));
+  SddSolver solver = SddSolver::for_sdd(lii, solver_opts);
+  Vec xi = solver.solve(rhs);
+  for (std::size_t i = 0; i < interior.size(); ++i) x[interior[i]] = xi[i];
+  return x;
+}
+
+}  // namespace parsdd

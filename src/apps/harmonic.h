@@ -1,0 +1,28 @@
+// Harmonic extension / Dirichlet problems.
+//
+// The introduction motivates SDD solvers with "problems in vision and
+// graphics": interpolating values from boundary constraints by minimizing
+// the Laplacian quadratic energy Σ w_e (x_u - x_v)² subject to fixed values
+// on a boundary set.  The interior block L_II is SDD (strictly dominant at
+// vertices adjacent to the boundary), so the reduced system goes straight
+// through SddSolver::for_sdd — this is the classical Poisson/colorization/
+// semi-supervised-labeling pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "solver/sdd_solver.h"
+
+namespace parsdd {
+
+/// Returns the full vector x with x[boundary[i]] = boundary_values[i] and
+/// all other entries harmonic (energy-minimizing).  Interior components not
+/// connected to any boundary vertex get 0.
+Vec harmonic_extension(std::uint32_t n, const EdgeList& edges,
+                       const std::vector<std::uint32_t>& boundary,
+                       const std::vector<double>& boundary_values,
+                       const SddSolverOptions& solver_opts = {});
+
+}  // namespace parsdd

@@ -1,0 +1,133 @@
+#include "apps/maxflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "linalg/vector_ops.h"
+
+namespace parsdd {
+
+MaxflowResult approx_max_flow(std::uint32_t n, const EdgeList& capacities,
+                              std::uint32_t s, std::uint32_t t,
+                              const MaxflowOptions& opts) {
+  if (s == t) throw std::invalid_argument("approx_max_flow: s == t");
+  MaxflowResult result;
+  result.flow.assign(capacities.size(), 0.0);
+  const std::size_t m = capacities.size();
+  const double eps = opts.epsilon;
+
+  // Multiplicative weights over edges; each round routes a unit electrical
+  // s-t flow under congestion-penalizing resistances and averages.
+  std::vector<double> omega(m, 1.0);
+  Vec avg_flow(m, 0.0);
+  std::uint32_t rounds = 0;
+  for (std::uint32_t it = 0; it < opts.max_iterations; ++it) {
+    double omega_sum = 0.0;
+    for (double w : omega) omega_sum += w;
+    EdgeList conduct = capacities;
+    for (std::size_t e = 0; e < m; ++e) {
+      double r = (omega[e] + eps * omega_sum / static_cast<double>(m)) /
+                 (capacities[e].w * capacities[e].w);
+      conduct[e].w = 1.0 / r;
+    }
+    SddSolver solver = SddSolver::for_laplacian(n, conduct, opts.solver);
+    Vec b(n, 0.0);
+    b[s] = 1.0;
+    b[t] = -1.0;
+    Vec x = solver.solve(b);
+    ++result.laplacian_solves;
+
+    double width = 0.0;
+    Vec f(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      f[e] = conduct[e].w * (x[capacities[e].u] - x[capacities[e].v]);
+      width = std::max(width, std::fabs(f[e]) / capacities[e].w);
+    }
+    if (!(width > 0.0)) break;
+    for (std::size_t e = 0; e < m; ++e) {
+      double cong = std::fabs(f[e]) / capacities[e].w;
+      omega[e] *= (1.0 + eps * cong / width);
+      avg_flow[e] += f[e];
+    }
+    ++rounds;
+  }
+  result.iterations = rounds;
+  if (rounds == 0) return result;
+
+  // Scale the averaged unit flow to feasibility.
+  double max_cong = 0.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    avg_flow[e] /= static_cast<double>(rounds);
+    max_cong = std::max(max_cong, std::fabs(avg_flow[e]) / capacities[e].w);
+  }
+  if (max_cong > 0.0) {
+    double scale = 1.0 / max_cong;
+    for (std::size_t e = 0; e < m; ++e) result.flow[e] = avg_flow[e] * scale;
+    result.flow_value = scale;  // the unit demand scaled to feasibility
+  }
+  return result;
+}
+
+namespace {
+
+struct Arc {
+  std::uint32_t to;
+  std::uint32_t rev;
+  double cap;
+};
+
+}  // namespace
+
+double exact_max_flow(std::uint32_t n, const EdgeList& capacities,
+                      std::uint32_t s, std::uint32_t t) {
+  if (s == t) throw std::invalid_argument("exact_max_flow: s == t");
+  std::vector<std::vector<Arc>> g(n);
+  for (const Edge& e : capacities) {
+    // Undirected edge: both directions start at capacity c; pushing along
+    // one direction frees the other (standard undirected reduction).
+    std::uint32_t iu = static_cast<std::uint32_t>(g[e.u].size());
+    std::uint32_t iv = static_cast<std::uint32_t>(g[e.v].size());
+    g[e.u].push_back(Arc{e.v, iv, e.w});
+    g[e.v].push_back(Arc{e.u, iu, e.w});
+  }
+  double flow = 0.0;
+  for (;;) {
+    // BFS for a shortest augmenting path.
+    std::vector<std::int64_t> prev_arc(n, -1);
+    std::vector<std::uint32_t> prev_node(n, 0);
+    std::vector<std::uint8_t> seen(n, 0);
+    std::queue<std::uint32_t> q;
+    q.push(s);
+    seen[s] = 1;
+    while (!q.empty() && !seen[t]) {
+      std::uint32_t u = q.front();
+      q.pop();
+      for (std::size_t k = 0; k < g[u].size(); ++k) {
+        const Arc& a = g[u][k];
+        if (a.cap > 1e-12 && !seen[a.to]) {
+          seen[a.to] = 1;
+          prev_arc[a.to] = static_cast<std::int64_t>(k);
+          prev_node[a.to] = u;
+          q.push(a.to);
+        }
+      }
+    }
+    if (!seen[t]) break;
+    double push = std::numeric_limits<double>::infinity();
+    for (std::uint32_t v = t; v != s; v = prev_node[v]) {
+      push = std::min(push, g[prev_node[v]][prev_arc[v]].cap);
+    }
+    for (std::uint32_t v = t; v != s; v = prev_node[v]) {
+      Arc& a = g[prev_node[v]][prev_arc[v]];
+      a.cap -= push;
+      g[a.to][a.rev].cap += push;
+    }
+    flow += push;
+  }
+  return flow;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,36 @@
+#include "apps/sparsify.h"
+
+#include <cmath>
+
+#include "apps/effective_resistance.h"
+#include "parallel/rng.h"
+
+namespace parsdd {
+
+SpectralSparsifyResult spectral_sparsify(
+    std::uint32_t n, const EdgeList& edges, const SddSolver& solver,
+    const SpectralSparsifyOptions& opts) {
+  SpectralSparsifyResult out;
+  out.original_edges = edges.size();
+
+  ResistanceSketchOptions ropts;
+  ropts.probes = opts.probes;
+  ropts.seed = opts.seed;
+  std::vector<double> reff = approx_edge_resistances(solver, n, edges, ropts);
+
+  const double ln_n = std::log(std::max<double>(n, 2.0));
+  const double rate =
+      opts.constant * ln_n / (opts.epsilon * opts.epsilon);
+  Rng rng(opts.seed ^ 0x5eedULL);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    // w_e * R_eff(e) is the leverage score (sums to n-1 over the graph).
+    double leverage = std::min(1.0, edges[e].w * std::max(reff[e], 0.0));
+    double p = std::min(1.0, rate * leverage);
+    if (rng.uniform(e) < p) {
+      out.sparsifier.push_back(Edge{edges[e].u, edges[e].v, edges[e].w / p});
+    }
+  }
+  return out;
+}
+
+}  // namespace parsdd

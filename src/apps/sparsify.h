@@ -1,0 +1,37 @@
+// Spectral sparsification by effective resistances [SS08].
+//
+// Section 1: "Spielman and Srivastava showed that spectral sparsifiers can
+// be constructed using O(log n) Laplacian solves, and using our theorem we
+// get spectral and cut sparsifiers in O~(m^{1/3+θ}) depth and O~(m) work."
+// Edge e is kept with probability p_e ∝ w_e·R_eff(e)·log n / ε² and
+// reweighted to w_e/p_e, giving (1±ε) preservation of the Laplacian
+// quadratic form with O(n log n / ε²) edges.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "solver/sdd_solver.h"
+
+namespace parsdd {
+
+struct SpectralSparsifyOptions {
+  double epsilon = 0.3;
+  /// Multiplier on the sampling rate (theory constant).
+  double constant = 4.0;
+  std::uint32_t probes = 24;  // JL probes for resistance estimation
+  std::uint64_t seed = 11;
+};
+
+struct SpectralSparsifyResult {
+  EdgeList sparsifier;
+  std::size_t original_edges = 0;
+};
+
+/// Sparsifies the connected graph (V=[0,n), edges) using `solver` (built
+/// for the same graph) for the resistance estimates.
+SpectralSparsifyResult spectral_sparsify(
+    std::uint32_t n, const EdgeList& edges, const SddSolver& solver,
+    const SpectralSparsifyOptions& opts = {});
+
+}  // namespace parsdd

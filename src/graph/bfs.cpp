@@ -1,0 +1,111 @@
+#include "graph/bfs.h"
+
+#include <atomic>
+
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+namespace {
+
+// Expands `frontier` once: claims unvisited neighbors via CAS on dist and
+// returns them.  Claims are first-wins, so parent identity may depend on
+// scheduling, but distances are always exact.
+std::vector<std::uint32_t> expand(const Graph& g,
+                                  const std::vector<std::uint32_t>& frontier,
+                                  std::uint32_t next_dist, BfsResult& r) {
+  std::size_t f = frontier.size();
+  std::size_t nb = num_blocks_for(f, 64);
+  std::vector<std::vector<std::uint32_t>> local(nb);
+  auto process_block = [&](std::size_t b) {
+    std::size_t block = (f + nb - 1) / nb;
+    std::size_t s = b * block, e = std::min(f, s + block);
+    auto& out = local[b];
+    for (std::size_t i = s; i < e; ++i) {
+      std::uint32_t u = frontier[i];
+      auto nbrs = g.neighbors(u);
+      auto eids = g.edge_ids(u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        std::uint32_t v = nbrs[k];
+        std::uint32_t expected = kUnreached;
+        std::atomic_ref<std::uint32_t> dv(r.dist[v]);
+        if (dv.load(std::memory_order_relaxed) == kUnreached &&
+            dv.compare_exchange_strong(expected, next_dist,
+                                       std::memory_order_relaxed)) {
+          r.parent[v] = u;
+          if (!eids.empty()) r.parent_eid[v] = eids[k];
+          out.push_back(v);
+        }
+      }
+    }
+  };
+  if (f < 512 || ThreadPool::in_parallel()) {
+    nb = 1;
+    local.resize(1);
+    std::size_t saved = f;
+    (void)saved;
+    // Run as a single block.
+    {
+      auto& out = local[0];
+      for (std::size_t i = 0; i < f; ++i) {
+        std::uint32_t u = frontier[i];
+        auto nbrs = g.neighbors(u);
+        auto eids = g.edge_ids(u);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          std::uint32_t v = nbrs[k];
+          if (r.dist[v] == kUnreached) {
+            r.dist[v] = next_dist;
+            r.parent[v] = u;
+            if (!eids.empty()) r.parent_eid[v] = eids[k];
+            out.push_back(v);
+          }
+        }
+      }
+    }
+  } else {
+    ThreadPool::instance().run_blocks(nb, process_block);
+  }
+  std::size_t total = 0;
+  for (auto& l : local) total += l.size();
+  std::vector<std::uint32_t> next;
+  next.reserve(total);
+  for (auto& l : local) next.insert(next.end(), l.begin(), l.end());
+  return next;
+}
+
+}  // namespace
+
+BfsResult bfs(const Graph& g, std::uint32_t source) {
+  std::uint32_t src[1] = {source};
+  return bfs_multi(g, std::span<const std::uint32_t>(src, 1));
+}
+
+BfsResult bfs_multi(const Graph& g, std::span<const std::uint32_t> sources,
+                    std::uint32_t max_rounds) {
+  std::uint32_t n = g.num_vertices();
+  BfsResult r;
+  r.dist.assign(n, kUnreached);
+  r.parent.assign(n, kUnreached);
+  r.parent_eid.assign(n, kUnreached);
+  std::vector<std::uint32_t> frontier;
+  frontier.reserve(sources.size());
+  for (std::uint32_t s : sources) {
+    if (r.dist[s] == kUnreached) {
+      r.dist[s] = 0;
+      r.parent[s] = s;
+      frontier.push_back(s);
+    }
+  }
+  std::uint32_t d = 0;
+  while (!frontier.empty()) {
+    ++r.rounds;
+    if (max_rounds != 0 && r.rounds > max_rounds) {
+      --r.rounds;
+      break;
+    }
+    frontier = expand(g, frontier, ++d, r);
+  }
+  return r;
+}
+
+}  // namespace parsdd

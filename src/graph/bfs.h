@@ -1,0 +1,45 @@
+// Level-synchronous parallel breadth-first search.
+//
+// This is the "elementary form of parallel breadth-first search" the paper
+// relies on for ball growing (Section 2): nodes are visited level by level;
+// on shared memory each level is one parallel frontier expansion, so the
+// number of rounds is the depth surrogate (O(r log n) PRAM depth for radius
+// r).  `rounds` is reported so benches can validate the polylog-radius claims
+// of Theorem 4.1 / Algorithm 5.1.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace parsdd {
+
+inline constexpr std::uint32_t kUnreached =
+    std::numeric_limits<std::uint32_t>::max();
+
+struct BfsResult {
+  /// Hop distance from the nearest source; kUnreached if not reached.
+  std::vector<std::uint32_t> dist;
+  /// BFS-tree parent; sources point to themselves, unreached to kUnreached.
+  std::vector<std::uint32_t> parent;
+  /// Undirected-edge id of the parent arc (if the graph tracks edge ids);
+  /// kUnreached for sources/unreached vertices.
+  std::vector<std::uint32_t> parent_eid;
+  /// Number of frontier-expansion rounds executed (== eccentricity+1 of the
+  /// source set within its reachable region).
+  std::uint32_t rounds = 0;
+};
+
+/// BFS from a single source.
+BfsResult bfs(const Graph& g, std::uint32_t source);
+
+/// BFS from several sources at distance 0 simultaneously.  If `max_rounds`
+/// is nonzero the search stops after that many levels (vertices further away
+/// remain kUnreached).
+BfsResult bfs_multi(const Graph& g, std::span<const std::uint32_t> sources,
+                    std::uint32_t max_rounds = 0);
+
+}  // namespace parsdd

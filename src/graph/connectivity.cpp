@@ -1,0 +1,26 @@
+#include "graph/connectivity.h"
+
+#include "graph/union_find.h"
+
+namespace parsdd {
+
+Components connected_components(std::uint32_t n, const EdgeList& edges) {
+  UnionFind uf(n);
+  for (const Edge& e : edges) uf.unite(e.u, e.v);
+  Components c;
+  c.count = uf.num_sets();
+  c.label = uf.dense_labels();
+  return c;
+}
+
+Components connected_components(std::uint32_t n,
+                                const std::vector<ClassedEdge>& edges) {
+  UnionFind uf(n);
+  for (const ClassedEdge& e : edges) uf.unite(e.u, e.v);
+  Components c;
+  c.count = uf.num_sets();
+  c.label = uf.dense_labels();
+  return c;
+}
+
+}  // namespace parsdd

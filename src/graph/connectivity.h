@@ -1,0 +1,24 @@
+// Connected components.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace parsdd {
+
+struct Components {
+  /// Dense component label per vertex, in [0, count).
+  std::vector<std::uint32_t> label;
+  std::uint32_t count = 0;
+};
+
+/// Connected components of (V=[0,n), E=edges) via union-find.
+Components connected_components(std::uint32_t n, const EdgeList& edges);
+
+/// Connected components of a multigraph given as classed edges.
+Components connected_components(std::uint32_t n,
+                                const std::vector<ClassedEdge>& edges);
+
+}  // namespace parsdd

@@ -1,0 +1,32 @@
+#include "graph/contraction.h"
+
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+std::vector<ClassedEdge> contract_edges(
+    const std::vector<ClassedEdge>& edges,
+    const std::vector<std::uint32_t>& label) {
+  std::vector<ClassedEdge> relabeled(edges.size());
+  parallel_for(0, edges.size(), [&](std::size_t i) {
+    relabeled[i] = ClassedEdge{label[edges[i].u], label[edges[i].v],
+                               edges[i].cls, edges[i].id};
+  });
+  return pack(relabeled,
+              [&](std::size_t i) { return relabeled[i].u != relabeled[i].v; });
+}
+
+EdgeList contract_edges(const EdgeList& edges,
+                        const std::vector<std::uint32_t>& label,
+                        bool merge_parallel) {
+  EdgeList relabeled(edges.size());
+  parallel_for(0, edges.size(), [&](std::size_t i) {
+    relabeled[i] = Edge{label[edges[i].u], label[edges[i].v], edges[i].w};
+  });
+  EdgeList out = pack(
+      relabeled, [&](std::size_t i) { return relabeled[i].u != relabeled[i].v; });
+  if (merge_parallel) out = combine_parallel_edges(out);
+  return out;
+}
+
+}  // namespace parsdd

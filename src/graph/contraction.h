@@ -1,0 +1,27 @@
+// Minor contraction for the AKPW pipeline.
+//
+// Algorithm 5.1 step 3: "Define graph (V^(j+1), E^(j+1)) by contracting all
+// edges within the components and removing all self-loops (but maintaining
+// parallel edges)."  Contraction is a parallel relabel + pack over the
+// explicit edge list; class and original-id annotations ride along.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace parsdd {
+
+/// Relabels endpoints by `label` (vertex -> component) and drops self-loops.
+/// Parallel edges are preserved.  Work O(m).
+std::vector<ClassedEdge> contract_edges(const std::vector<ClassedEdge>& edges,
+                                        const std::vector<std::uint32_t>& label);
+
+/// Same for plain weighted edges; optionally merges parallel edges by
+/// weight-sum (Laplacian-equivalent).
+EdgeList contract_edges(const EdgeList& edges,
+                        const std::vector<std::uint32_t>& label,
+                        bool merge_parallel);
+
+}  // namespace parsdd

@@ -1,0 +1,83 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+#include "graph/union_find.h"
+#include "parallel/primitives.h"
+#include "parallel/rng.h"
+
+namespace parsdd {
+
+std::uint32_t max_vertex_plus_one(const EdgeList& edges) {
+  return parallel_reduce(
+      0, edges.size(), 0u,
+      [&](std::size_t i) { return std::max(edges[i].u, edges[i].v) + 1; },
+      [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
+}
+
+EdgeList remove_self_loops(const EdgeList& edges) {
+  return pack(edges, [&](std::size_t i) { return edges[i].u != edges[i].v; });
+}
+
+EdgeList combine_parallel_edges(const EdgeList& edges) {
+  EdgeList out = remove_self_loops(edges);
+  parallel_for(0, out.size(), [&](std::size_t i) {
+    if (out[i].u > out[i].v) std::swap(out[i].u, out[i].v);
+  });
+  parallel_sort(out, [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  // Sequential merge of equal (u, v) runs; runs are typically short.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < out.size();) {
+    Edge merged = out[i];
+    std::size_t j = i + 1;
+    while (j < out.size() && out[j].u == merged.u && out[j].v == merged.v) {
+      merged.w += out[j].w;
+      ++j;
+    }
+    out[w++] = merged;
+    i = j;
+  }
+  out.resize(w);
+  return out;
+}
+
+double total_weight(const EdgeList& edges) {
+  return parallel_reduce(
+      0, edges.size(), 0.0, [&](std::size_t i) { return edges[i].w; },
+      [](double a, double b) { return a + b; });
+}
+
+bool is_connected(std::uint32_t n, const EdgeList& edges) {
+  if (n <= 1) return true;
+  UnionFind uf(n);
+  for (const Edge& e : edges) uf.unite(e.u, e.v);
+  return uf.num_sets() == 1;
+}
+
+std::size_t ensure_connected(std::uint32_t n, EdgeList& edges,
+                             std::uint64_t seed) {
+  if (n <= 1) return 0;
+  UnionFind uf(n);
+  for (const Edge& e : edges) uf.unite(e.u, e.v);
+  if (uf.num_sets() == 1) return 0;
+  // Chain component representatives in a shuffled order so the patch edges
+  // do not all attach to vertex 0.
+  std::vector<std::uint32_t> reps;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (uf.find(v) == v) reps.push_back(v);
+  }
+  Rng rng(seed);
+  for (std::size_t i = reps.size() - 1; i > 0; --i) {
+    std::swap(reps[i], reps[rng.below(i, i + 1)]);
+  }
+  std::size_t added = 0;
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    edges.push_back(Edge{reps[i - 1], reps[i], 1.0});
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace parsdd

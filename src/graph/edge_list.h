@@ -1,0 +1,56 @@
+// Edge-list representation and utilities.
+//
+// The decomposition and AKPW layers (Sections 4-5) manipulate multigraphs as
+// explicit edge lists annotated with a weight class and the identity of the
+// original edge (contraction keeps parallel edges, per Algorithm 5.1 step 3,
+// so a CSR-only representation would not suffice).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parsdd {
+
+/// An undirected weighted edge.  Self-loops (u == v) are disallowed in
+/// normalized lists; parallel edges are allowed unless combined explicitly.
+struct Edge {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  double w = 1.0;
+};
+
+using EdgeList = std::vector<Edge>;
+
+/// An edge of a working multigraph in the AKPW pipeline: current endpoint
+/// labels in the contracted graph, the weight-class index `cls`, and the
+/// index `id` of the originating edge in the input graph's edge list.
+struct ClassedEdge {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  std::uint32_t cls = 0;
+  std::uint32_t id = 0;
+};
+
+/// 1 + the largest vertex id referenced, or 0 for an empty list.
+std::uint32_t max_vertex_plus_one(const EdgeList& edges);
+
+/// Removes self-loops (u == v), preserving order.
+EdgeList remove_self_loops(const EdgeList& edges);
+
+/// Canonicalizes (u < v), sorts, and merges parallel edges by summing
+/// weights.  For Laplacians, parallel edges are equivalent to one edge of
+/// the summed weight.
+EdgeList combine_parallel_edges(const EdgeList& edges);
+
+/// Sum of all edge weights.
+double total_weight(const EdgeList& edges);
+
+/// True if the graph (V = [0, n), E = edges) is connected.
+bool is_connected(std::uint32_t n, const EdgeList& edges);
+
+/// Adds minimum-weight unit edges joining connected components so the result
+/// is connected (deterministic given `seed`); returns the number added.
+std::size_t ensure_connected(std::uint32_t n, EdgeList& edges,
+                             std::uint64_t seed);
+
+}  // namespace parsdd

@@ -1,0 +1,188 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "parallel/primitives.h"
+#include "parallel/rng.h"
+
+namespace parsdd {
+
+GeneratedGraph grid2d(std::uint32_t nx, std::uint32_t ny) {
+  assert(nx >= 1 && ny >= 1);
+  GeneratedGraph g;
+  g.n = nx * ny;
+  auto id = [&](std::uint32_t x, std::uint32_t y) { return y * nx + x; };
+  g.edges.reserve(static_cast<std::size_t>(2) * nx * ny);
+  for (std::uint32_t y = 0; y < ny; ++y) {
+    for (std::uint32_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) g.edges.push_back(Edge{id(x, y), id(x + 1, y), 1.0});
+      if (y + 1 < ny) g.edges.push_back(Edge{id(x, y), id(x, y + 1), 1.0});
+    }
+  }
+  return g;
+}
+
+GeneratedGraph grid3d(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz) {
+  assert(nx >= 1 && ny >= 1 && nz >= 1);
+  GeneratedGraph g;
+  g.n = nx * ny * nz;
+  auto id = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (std::uint32_t z = 0; z < nz; ++z) {
+    for (std::uint32_t y = 0; y < ny; ++y) {
+      for (std::uint32_t x = 0; x < nx; ++x) {
+        if (x + 1 < nx)
+          g.edges.push_back(Edge{id(x, y, z), id(x + 1, y, z), 1.0});
+        if (y + 1 < ny)
+          g.edges.push_back(Edge{id(x, y, z), id(x, y + 1, z), 1.0});
+        if (z + 1 < nz)
+          g.edges.push_back(Edge{id(x, y, z), id(x, y, z + 1), 1.0});
+      }
+    }
+  }
+  return g;
+}
+
+GeneratedGraph torus2d(std::uint32_t nx, std::uint32_t ny) {
+  assert(nx >= 3 && ny >= 3);
+  GeneratedGraph g;
+  g.n = nx * ny;
+  auto id = [&](std::uint32_t x, std::uint32_t y) { return y * nx + x; };
+  for (std::uint32_t y = 0; y < ny; ++y) {
+    for (std::uint32_t x = 0; x < nx; ++x) {
+      g.edges.push_back(Edge{id(x, y), id((x + 1) % nx, y), 1.0});
+      g.edges.push_back(Edge{id(x, y), id(x, (y + 1) % ny), 1.0});
+    }
+  }
+  return g;
+}
+
+GeneratedGraph path(std::uint32_t n) {
+  GeneratedGraph g;
+  g.n = n;
+  for (std::uint32_t i = 0; i + 1 < n; ++i)
+    g.edges.push_back(Edge{i, i + 1, 1.0});
+  return g;
+}
+
+GeneratedGraph star(std::uint32_t n) {
+  GeneratedGraph g;
+  g.n = n;
+  for (std::uint32_t i = 1; i < n; ++i) g.edges.push_back(Edge{0, i, 1.0});
+  return g;
+}
+
+GeneratedGraph complete(std::uint32_t n) {
+  GeneratedGraph g;
+  g.n = n;
+  for (std::uint32_t u = 0; u < n; ++u)
+    for (std::uint32_t v = u + 1; v < n; ++v)
+      g.edges.push_back(Edge{u, v, 1.0});
+  return g;
+}
+
+GeneratedGraph erdos_renyi(std::uint32_t n, std::size_t m,
+                           std::uint64_t seed) {
+  assert(n >= 2);
+  GeneratedGraph g;
+  g.n = n;
+  Rng rng(seed);
+  EdgeList raw(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    std::uint32_t u = static_cast<std::uint32_t>(rng.below(2 * i, n));
+    std::uint32_t v = static_cast<std::uint32_t>(rng.below(2 * i + 1, n - 1));
+    if (v >= u) ++v;  // uniform over v != u
+    raw[i] = Edge{u, v, 1.0};
+  });
+  g.edges = combine_parallel_edges(raw);
+  for (Edge& e : g.edges) e.w = 1.0;  // merged duplicates stay unit weight
+  ensure_connected(g.n, g.edges, seed + 1);
+  return g;
+}
+
+GeneratedGraph rmat(std::uint32_t scale, std::size_t m, std::uint64_t seed,
+                    double a, double b, double c) {
+  GeneratedGraph g;
+  g.n = 1u << scale;
+  Rng rng(seed);
+  EdgeList raw(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    std::uint32_t u = 0, v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.uniform(i * scale + bit);
+      if (r < a) {
+        // quadrant (0,0): nothing to set
+      } else if (r < a + b) {
+        v |= 1u << bit;
+      } else if (r < a + b + c) {
+        u |= 1u << bit;
+      } else {
+        u |= 1u << bit;
+        v |= 1u << bit;
+      }
+    }
+    if (u == v) v = (v + 1) & (g.n - 1);
+    raw[i] = Edge{u, v, 1.0};
+  });
+  g.edges = combine_parallel_edges(raw);
+  for (Edge& e : g.edges) e.w = 1.0;
+  ensure_connected(g.n, g.edges, seed + 1);
+  return g;
+}
+
+GeneratedGraph preferential_attachment(std::uint32_t n, std::uint32_t deg,
+                                       std::uint64_t seed) {
+  assert(n > deg && deg >= 1);
+  GeneratedGraph g;
+  g.n = n;
+  Rng rng(seed);
+  // Classic "repeated vertex list" trick: targets drawn uniformly from the
+  // endpoint multiset give degree-proportional attachment (sequential; the
+  // process is inherently ordered).
+  std::vector<std::uint32_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2) * n * deg);
+  std::uint64_t draw = 0;
+  for (std::uint32_t v = 1; v < n; ++v) {
+    std::uint32_t attach = std::min(deg, v);
+    for (std::uint32_t k = 0; k < attach; ++k) {
+      std::uint32_t t;
+      if (endpoints.empty()) {
+        t = 0;
+      } else {
+        t = endpoints[rng.below(draw++, endpoints.size())];
+      }
+      if (t == v) t = v - 1;
+      g.edges.push_back(Edge{v, t, 1.0});
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  g.edges = combine_parallel_edges(g.edges);
+  for (Edge& e : g.edges) e.w = 1.0;
+  ensure_connected(g.n, g.edges, seed + 1);
+  return g;
+}
+
+void randomize_weights_log_uniform(EdgeList& edges, double spread,
+                                   std::uint64_t seed) {
+  assert(spread >= 1.0);
+  Rng rng(seed);
+  double lg = std::log(spread);
+  parallel_for(0, edges.size(), [&](std::size_t i) {
+    edges[i].w *= std::exp(rng.uniform(i) * lg);
+  });
+}
+
+void randomize_weights_two_level(EdgeList& edges, double contrast,
+                                 std::uint64_t seed) {
+  assert(contrast >= 1.0);
+  Rng rng(seed);
+  parallel_for(0, edges.size(), [&](std::size_t i) {
+    edges[i].w = (rng.u64(i) & 1) ? contrast : 1.0;
+  });
+}
+
+}  // namespace parsdd

@@ -1,0 +1,65 @@
+// Synthetic graph families used by tests, examples, and the bench harness.
+//
+// The paper evaluates nothing empirically, so workloads are chosen to span
+// the regimes its theorems care about: bounded-degree meshes (2D/3D grids —
+// the classical SDD sources from scientific computing and vision), expanders
+// and random graphs (ER), skewed-degree graphs (RMAT / preferential
+// attachment), and worst-case-ish paths/stars.  Weighted variants control the
+// spread Δ (ratio of heaviest to lightest edge), the quantity that drives
+// AKPW's O(log Δ) iteration count and that the well-spacing surgery of
+// Lemma 5.7 is designed to neutralize.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace parsdd {
+
+struct GeneratedGraph {
+  std::uint32_t n = 0;
+  EdgeList edges;
+};
+
+/// nx-by-ny grid mesh with unit weights.
+GeneratedGraph grid2d(std::uint32_t nx, std::uint32_t ny);
+
+/// nx-by-ny-by-nz grid mesh with unit weights.
+GeneratedGraph grid3d(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz);
+
+/// 2D torus (grid with wraparound edges).
+GeneratedGraph torus2d(std::uint32_t nx, std::uint32_t ny);
+
+/// Path graph on n vertices (pathological diameter).
+GeneratedGraph path(std::uint32_t n);
+
+/// Star graph: center 0 joined to n-1 leaves.
+GeneratedGraph star(std::uint32_t n);
+
+/// Complete graph on n vertices (dense extreme; keep n small).
+GeneratedGraph complete(std::uint32_t n);
+
+/// Erdős–Rényi G(n, m): m distinct uniform edges, patched to be connected.
+GeneratedGraph erdos_renyi(std::uint32_t n, std::size_t m, std::uint64_t seed);
+
+/// RMAT/Kronecker-style skewed-degree graph with 2^scale vertices and ~m
+/// edges (duplicates merged), patched to be connected.
+GeneratedGraph rmat(std::uint32_t scale, std::size_t m, std::uint64_t seed,
+                    double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches `deg`
+/// edges to earlier vertices with probability proportional to degree.
+GeneratedGraph preferential_attachment(std::uint32_t n, std::uint32_t deg,
+                                       std::uint64_t seed);
+
+/// Multiplies edge weights by values log-uniform in [1, spread]; `spread`
+/// controls Δ.  Weights stay >= the original minimum.
+void randomize_weights_log_uniform(EdgeList& edges, double spread,
+                                   std::uint64_t seed);
+
+/// Assigns high-contrast weights: each edge is weight 1 or `contrast` with
+/// probability 1/2 (classical hard case for unpreconditioned iterations).
+void randomize_weights_two_level(EdgeList& edges, double contrast,
+                                 std::uint64_t seed);
+
+}  // namespace parsdd

@@ -1,0 +1,121 @@
+#include "graph/graph.h"
+
+#include <atomic>
+#include <cassert>
+#include <tuple>
+
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+namespace {
+
+struct CsrParts {
+  std::vector<std::size_t> off;
+  std::vector<std::uint32_t> adj;
+  std::vector<double> wgt;
+  std::vector<std::uint32_t> eid;
+};
+
+// Shared CSR construction: counts arc degrees, scans, scatters both arc
+// directions.  `get(i)` returns (u, v, w, eid) for edge i.
+template <typename GetEdge>
+CsrParts build_csr(std::uint32_t n, std::size_t m, bool track_eids,
+                   GetEdge&& get) {
+  std::vector<std::atomic<std::size_t>> counts(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    counts[i].store(0, std::memory_order_relaxed);
+  });
+  parallel_for(0, m, [&](std::size_t i) {
+    auto [u, v, w, id] = get(i);
+    (void)w;
+    (void)id;
+    counts[u].fetch_add(1, std::memory_order_relaxed);
+    counts[v].fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<std::size_t> scanned(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    scanned[i] = counts[i].load(std::memory_order_relaxed);
+  });
+  std::size_t total = scan_exclusive(scanned);
+  assert(total == 2 * m);
+  std::vector<std::size_t> off(n + 1);
+  parallel_for(0, n, [&](std::size_t i) { off[i] = scanned[i]; });
+  off[n] = total;
+
+  std::vector<std::atomic<std::size_t>> cursor(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    cursor[i].store(off[i], std::memory_order_relaxed);
+  });
+  CsrParts parts;
+  parts.off = std::move(off);
+  parts.adj.resize(total);
+  parts.wgt.resize(total);
+  if (track_eids) parts.eid.resize(total);
+  parallel_for(0, m, [&](std::size_t i) {
+    auto [u, v, w, id] = get(i);
+    std::size_t pu = cursor[u].fetch_add(1, std::memory_order_relaxed);
+    parts.adj[pu] = v;
+    parts.wgt[pu] = w;
+    if (track_eids) parts.eid[pu] = id;
+    std::size_t pv = cursor[v].fetch_add(1, std::memory_order_relaxed);
+    parts.adj[pv] = u;
+    parts.wgt[pv] = w;
+    if (track_eids) parts.eid[pv] = id;
+  });
+  return parts;
+}
+
+}  // namespace
+
+Graph Graph::from_edges(std::uint32_t n, const EdgeList& edges) {
+  CsrParts p =
+      build_csr(n, edges.size(), /*track_eids=*/true, [&](std::size_t i) {
+        const Edge& e = edges[i];
+        assert(e.u != e.v && e.u < n && e.v < n);
+        return std::tuple{e.u, e.v, e.w, static_cast<std::uint32_t>(i)};
+      });
+  Graph g;
+  g.n_ = n;
+  g.off_ = std::move(p.off);
+  g.adj_ = std::move(p.adj);
+  g.wgt_ = std::move(p.wgt);
+  g.eid_ = std::move(p.eid);
+  return g;
+}
+
+Graph Graph::from_classed_edges(std::uint32_t n,
+                                const std::vector<ClassedEdge>& edges) {
+  CsrParts p =
+      build_csr(n, edges.size(), /*track_eids=*/true, [&](std::size_t i) {
+        const ClassedEdge& e = edges[i];
+        assert(e.u != e.v && e.u < n && e.v < n);
+        return std::tuple{e.u, e.v, 1.0, static_cast<std::uint32_t>(i)};
+      });
+  Graph g;
+  g.n_ = n;
+  g.off_ = std::move(p.off);
+  g.adj_ = std::move(p.adj);
+  g.wgt_ = std::move(p.wgt);
+  g.eid_ = std::move(p.eid);
+  return g;
+}
+
+double Graph::weighted_degree(std::uint32_t v) const {
+  double s = 0.0;
+  for (std::size_t i = off_[v]; i < off_[v + 1]; ++i) s += wgt_[i];
+  return s;
+}
+
+EdgeList Graph::to_edges() const {
+  EdgeList out;
+  out.reserve(num_edges());
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    for (std::size_t i = off_[u]; i < off_[u + 1]; ++i) {
+      if (u < adj_[i]) out.push_back(Edge{u, adj_[i], wgt_[i]});
+    }
+  }
+  return out;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,116 @@
+#include "graph/io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parsdd {
+
+void write_edge_list(std::ostream& out, std::uint32_t n,
+                     const EdgeList& edges) {
+  out << n << ' ' << edges.size() << '\n';
+  for (const Edge& e : edges) {
+    out << e.u << ' ' << e.v << ' ' << e.w << '\n';
+  }
+}
+
+GeneratedGraph read_edge_list(std::istream& in) {
+  GeneratedGraph g;
+  std::string line;
+  bool header_seen = false;
+  std::size_t declared_m = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!header_seen) {
+      // Try `n m` header: exactly two integers on the line.
+      long long a, b;
+      double c;
+      if ((ls >> a >> b) && !(ls >> c)) {
+        g.n = static_cast<std::uint32_t>(a);
+        declared_m = static_cast<std::size_t>(b);
+        header_seen = true;
+        continue;
+      }
+      ls.clear();
+      ls.seekg(0);
+      header_seen = true;  // no header; fall through to edge parsing
+    }
+    std::uint32_t u, v;
+    double w = 1.0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("read_edge_list: malformed line: " + line);
+    }
+    ls >> w;  // optional weight
+    if (u == v) throw std::runtime_error("read_edge_list: self-loop");
+    if (!(w > 0)) throw std::runtime_error("read_edge_list: bad weight");
+    g.edges.push_back(Edge{u, v, w});
+  }
+  if (g.n == 0) g.n = max_vertex_plus_one(g.edges);
+  if (declared_m != 0 && declared_m != g.edges.size()) {
+    throw std::runtime_error("read_edge_list: edge count mismatch");
+  }
+  for (const Edge& e : g.edges) {
+    if (e.u >= g.n || e.v >= g.n) {
+      throw std::runtime_error("read_edge_list: vertex out of range");
+    }
+  }
+  return g;
+}
+
+GeneratedGraph read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
+    throw std::runtime_error("read_matrix_market: missing banner");
+  }
+  if (line.find("coordinate") == std::string::npos) {
+    throw std::runtime_error("read_matrix_market: need coordinate format");
+  }
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream hs(line);
+  std::uint64_t rows, cols, nnz;
+  if (!(hs >> rows >> cols >> nnz) || rows != cols) {
+    throw std::runtime_error("read_matrix_market: bad size header");
+  }
+  GeneratedGraph g;
+  g.n = static_cast<std::uint32_t>(rows);
+  for (std::uint64_t k = 0; k < nnz && std::getline(in, line);) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint32_t i, j;
+    double v = 1.0;
+    if (!(ls >> i >> j)) {
+      throw std::runtime_error("read_matrix_market: malformed entry");
+    }
+    ls >> v;
+    ++k;
+    if (i == j) continue;  // diagonal: implied by the Laplacian convention
+    if (i < 1 || j < 1 || i > rows || j > rows) {
+      throw std::runtime_error("read_matrix_market: index out of range");
+    }
+    g.edges.push_back(Edge{i - 1, j - 1, std::fabs(v)});
+  }
+  g.edges = combine_parallel_edges(g.edges);
+  return g;
+}
+
+GeneratedGraph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_graph: cannot open " + path);
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".mtx") {
+    return read_matrix_market(in);
+  }
+  return read_edge_list(in);
+}
+
+void save_graph(const std::string& path, std::uint32_t n,
+                const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_graph: cannot open " + path);
+  write_edge_list(out, n, edges);
+}
+
+}  // namespace parsdd

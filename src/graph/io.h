@@ -1,0 +1,39 @@
+// Graph file I/O: plain weighted edge lists and Matrix Market patterns.
+//
+// Formats:
+//  * Plain text ("el"): one `u v w` triple per line, 0-based vertices;
+//    lines starting with '#' are comments.  A first non-comment line of
+//    exactly two integers is the `n m` header; without a header, n is
+//    inferred and every edge line must carry an explicit weight (otherwise
+//    the first edge would parse as a header).
+//  * MatrixMarket coordinate ("mtx"): `%%MatrixMarket matrix coordinate
+//    real symmetric` with 1-based indices; off-diagonal entries are read as
+//    edges with weight |value| (the Laplacian/SDD sign convention).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.h"
+#include "graph/generators.h"
+
+namespace parsdd {
+
+/// Writes `u v w` lines with an `n m` header.
+void write_edge_list(std::ostream& out, std::uint32_t n,
+                     const EdgeList& edges);
+
+/// Parses the plain edge-list format; throws std::runtime_error on
+/// malformed input.
+GeneratedGraph read_edge_list(std::istream& in);
+
+/// Parses a MatrixMarket symmetric coordinate file into a graph (diagonal
+/// entries ignored, off-diagonals' magnitudes become edge weights).
+GeneratedGraph read_matrix_market(std::istream& in);
+
+/// Convenience wrappers resolving by file extension (.mtx vs anything else).
+GeneratedGraph load_graph(const std::string& path);
+void save_graph(const std::string& path, std::uint32_t n,
+                const EdgeList& edges);
+
+}  // namespace parsdd

@@ -1,0 +1,119 @@
+#include "graph/mst.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <numeric>
+
+#include "graph/union_find.h"
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+std::vector<std::uint32_t> mst_kruskal(std::uint32_t n,
+                                       const EdgeList& edges) {
+  std::vector<std::uint32_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0u);
+  parallel_sort(order, [&](std::uint32_t a, std::uint32_t b) {
+    if (edges[a].w != edges[b].w) return edges[a].w < edges[b].w;
+    return a < b;
+  });
+  UnionFind uf(n);
+  std::vector<std::uint32_t> chosen;
+  chosen.reserve(n > 0 ? n - 1 : 0);
+  for (std::uint32_t idx : order) {
+    if (uf.unite(edges[idx].u, edges[idx].v)) chosen.push_back(idx);
+  }
+  return chosen;
+}
+
+namespace {
+
+// Encodes (weight, edge index) into an order-preserving uint64 key for
+// atomic min hooking.  Weights are reduced to their rank in the sorted
+// order, so doubles never enter the atomic.
+std::vector<std::uint64_t> rank_keys(const EdgeList& edges) {
+  std::vector<std::uint32_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0u);
+  parallel_sort(order, [&](std::uint32_t a, std::uint32_t b) {
+    if (edges[a].w != edges[b].w) return edges[a].w < edges[b].w;
+    return a < b;
+  });
+  std::vector<std::uint64_t> key(edges.size());
+  parallel_for(0, order.size(), [&](std::size_t r) {
+    key[order[r]] =
+        (static_cast<std::uint64_t>(r) << 32) | order[r];
+  });
+  return key;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> mst_boruvka(std::uint32_t n,
+                                       const EdgeList& edges) {
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> key = rank_keys(edges);
+  UnionFind uf(n);
+  std::vector<std::uint32_t> live(edges.size());
+  std::iota(live.begin(), live.end(), 0u);
+  std::vector<std::uint32_t> chosen;
+  std::vector<std::atomic<std::uint64_t>> best(n);
+
+  while (!live.empty()) {
+    // Drop merged edges and resolve representatives sequentially
+    // (UnionFind::find mutates its parent array via path halving, so it
+    // must not run concurrently).
+    std::vector<std::uint32_t> next_live, comp_u, comp_v;
+    next_live.reserve(live.size());
+    for (std::uint32_t idx : live) {
+      std::uint32_t cu = uf.find(edges[idx].u);
+      std::uint32_t cv = uf.find(edges[idx].v);
+      if (cu == cv) continue;
+      next_live.push_back(idx);
+      comp_u.push_back(cu);
+      comp_v.push_back(cv);
+      // Touch only live components; cheaper than clearing all n slots.
+      best[cu].store(kInf, std::memory_order_relaxed);
+      best[cv].store(kInf, std::memory_order_relaxed);
+    }
+    live.swap(next_live);
+    if (live.empty()) break;
+    parallel_for(0, live.size(), [&](std::size_t i) {
+      std::uint32_t idx = live[i];
+      std::uint32_t cu = comp_u[i];
+      std::uint32_t cv = comp_v[i];
+      std::uint64_t k = key[idx];
+      std::uint64_t cur = best[cu].load(std::memory_order_relaxed);
+      while (k < cur && !best[cu].compare_exchange_weak(
+                            cur, k, std::memory_order_relaxed)) {
+      }
+      cur = best[cv].load(std::memory_order_relaxed);
+      while (k < cur && !best[cv].compare_exchange_weak(
+                            cur, k, std::memory_order_relaxed)) {
+      }
+    });
+    // Hook: each component's minimum edge joins the forest (sequential
+    // union step; the parallel work is the min-reductions above).
+    for (std::uint32_t idx : live) {
+      std::uint32_t cu = uf.find(edges[idx].u);
+      std::uint32_t cv = uf.find(edges[idx].v);
+      if (cu == cv) continue;
+      std::uint64_t k = key[idx];
+      if (best[cu].load(std::memory_order_relaxed) == k ||
+          best[cv].load(std::memory_order_relaxed) == k) {
+        if (uf.unite(cu, cv)) chosen.push_back(idx);
+      }
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+double forest_weight(const EdgeList& edges,
+                     const std::vector<std::uint32_t>& chosen) {
+  double s = 0.0;
+  for (std::uint32_t idx : chosen) s += edges[idx].w;
+  return s;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,30 @@
+// Minimum spanning tree / forest.
+//
+// Lemma 5.8 bootstraps each special bucket of SparseAKPW from "the MST on the
+// entire graph": the vertex set V^(i) is obtained by contracting the MST
+// restricted to buckets < i-τ.  Two implementations are provided: Kruskal
+// (parallel sort + union-find; the work-efficient default) and Borůvka
+// (parallel hook rounds; O(log n) rounds, matching the PRAM flavor of the
+// paper).  Both return indices into the input edge list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace parsdd {
+
+/// Kruskal MST/forest; returns indices of chosen edges (n-1 per component
+/// tree).  Ties are broken by edge index, so the result is deterministic.
+std::vector<std::uint32_t> mst_kruskal(std::uint32_t n, const EdgeList& edges);
+
+/// Borůvka MST/forest via parallel min-edge hooking; deterministic
+/// (ties broken by edge index).
+std::vector<std::uint32_t> mst_boruvka(std::uint32_t n, const EdgeList& edges);
+
+/// Total weight of the edges selected by an MST routine.
+double forest_weight(const EdgeList& edges,
+                     const std::vector<std::uint32_t>& chosen);
+
+}  // namespace parsdd

@@ -1,0 +1,113 @@
+#include "graph/stretch.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/graph.h"
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+StretchStats stretch_wrt_tree(const EdgeList& edges, const RootedTree& tree) {
+  StretchStats s;
+  s.per_edge.resize(edges.size());
+  parallel_for(0, edges.size(), [&](std::size_t i) {
+    s.per_edge[i] = tree.distance(edges[i].u, edges[i].v) / edges[i].w;
+  });
+  s.total = parallel_reduce(
+      0, edges.size(), 0.0, [&](std::size_t i) { return s.per_edge[i]; },
+      [](double a, double b) { return a + b; });
+  s.max = parallel_reduce(
+      0, edges.size(), 0.0, [&](std::size_t i) { return s.per_edge[i]; },
+      [](double a, double b) { return std::max(a, b); });
+  return s;
+}
+
+StretchStats stretch_wrt_subgraph(std::uint32_t n, const EdgeList& sub_edges,
+                                  const EdgeList& edges) {
+  Graph sub = Graph::from_edges(n, sub_edges);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Group query edges by source endpoint so one Dijkstra serves all queries
+  // from that vertex; stop once every target of the source is settled.
+  std::vector<std::vector<std::uint32_t>> queries(n);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    queries[edges[i].u].push_back(static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::uint32_t> sources;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!queries[v].empty()) sources.push_back(v);
+  }
+
+  StretchStats s;
+  s.per_edge.assign(edges.size(), 0.0);
+  std::vector<double> dist_storage;  // reused across sources (sequential)
+  dist_storage.assign(n, kInf);
+  std::vector<std::uint32_t> touched;
+
+  using Item = std::pair<double, std::uint32_t>;
+  for (std::uint32_t src : sources) {
+    auto& qs = queries[src];
+    std::size_t remaining = qs.size();
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    dist_storage[src] = 0.0;
+    touched.push_back(src);
+    pq.push({0.0, src});
+    // Mark targets of this source.
+    std::vector<std::uint32_t> targets;
+    targets.reserve(qs.size());
+    for (std::uint32_t qi : qs) targets.push_back(edges[qi].v);
+    std::sort(targets.begin(), targets.end());
+    auto is_tgt = [&](std::uint32_t v) {
+      return std::binary_search(targets.begin(), targets.end(), v);
+    };
+    std::vector<bool> settled_tgt(targets.size(), false);
+    auto settle = [&](std::uint32_t v) {
+      auto range = std::equal_range(targets.begin(), targets.end(), v);
+      for (auto it = range.first; it != range.second; ++it) {
+        std::size_t k = static_cast<std::size_t>(it - targets.begin());
+        if (!settled_tgt[k]) {
+          settled_tgt[k] = true;
+          --remaining;
+        }
+      }
+    };
+    // Lazy-deletion Dijkstra; stale heap entries are skipped on pop.
+    while (!pq.empty() && remaining > 0) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist_storage[u]) continue;  // stale entry
+      if (is_tgt(u)) settle(u);
+      auto nbrs = sub.neighbors(u);
+      auto ws = sub.weights(u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        std::uint32_t v = nbrs[k];
+        double nd = d + ws[k];
+        if (nd < dist_storage[v]) {
+          if (dist_storage[v] == kInf) touched.push_back(v);
+          dist_storage[v] = nd;
+          pq.push({nd, v});
+        }
+      }
+    }
+    if (remaining > 0) {
+      throw std::runtime_error(
+          "stretch_wrt_subgraph: subgraph does not connect an edge's endpoints");
+    }
+    for (std::uint32_t qi : qs) {
+      s.per_edge[qi] = dist_storage[edges[qi].v] / edges[qi].w;
+    }
+    for (std::uint32_t v : touched) dist_storage[v] = kInf;
+    touched.clear();
+  }
+
+  for (double v : s.per_edge) {
+    s.total += v;
+    s.max = std::max(s.max, v);
+  }
+  return s;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,80 @@
+#include "graph/tree.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "graph/bfs.h"
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+RootedTree RootedTree::from_edges(std::uint32_t n, const EdgeList& tree_edges,
+                                  std::uint32_t root) {
+  if (n > 0 && tree_edges.size() != static_cast<std::size_t>(n) - 1) {
+    throw std::invalid_argument("RootedTree: expected exactly n-1 edges");
+  }
+  Graph g = Graph::from_edges(n, tree_edges);
+  BfsResult b = bfs(g, root);
+  RootedTree t;
+  t.n_ = n;
+  t.root_ = root;
+  t.parent_ = b.parent;
+  t.depth_ = b.dist;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (b.dist[v] == kUnreached) {
+      throw std::invalid_argument("RootedTree: edges do not span [0, n)");
+    }
+  }
+  // Weighted depths: accumulate down BFS levels (children after parents in
+  // BFS distance order, so a per-level sweep is enough).
+  t.wdepth_.assign(n, 0.0);
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b2) {
+    return t.depth_[a] < t.depth_[b2];
+  });
+  for (std::uint32_t v : order) {
+    if (v == root) continue;
+    const Edge& e = tree_edges[b.parent_eid[v]];
+    t.wdepth_[v] = t.wdepth_[t.parent_[v]] + e.w;
+  }
+  // Binary lifting table.
+  std::uint32_t levels = 1;
+  while ((1u << levels) < n) ++levels;
+  t.up_.assign(levels + 1, std::vector<std::uint32_t>(n));
+  parallel_for(0, n, [&](std::size_t v) { t.up_[0][v] = t.parent_[v]; });
+  for (std::uint32_t k = 1; k <= levels; ++k) {
+    parallel_for(0, n, [&](std::size_t v) {
+      t.up_[k][v] = t.up_[k - 1][t.up_[k - 1][v]];
+    });
+  }
+  return t;
+}
+
+std::uint32_t RootedTree::lca(std::uint32_t u, std::uint32_t v) const {
+  if (depth_[u] < depth_[v]) std::swap(u, v);
+  std::uint32_t diff = depth_[u] - depth_[v];
+  for (std::uint32_t k = 0; diff != 0; ++k, diff >>= 1) {
+    if (diff & 1) u = up_[k][u];
+  }
+  if (u == v) return u;
+  for (std::uint32_t k = static_cast<std::uint32_t>(up_.size()); k-- > 0;) {
+    if (up_[k][u] != up_[k][v]) {
+      u = up_[k][u];
+      v = up_[k][v];
+    }
+  }
+  return up_[0][u];
+}
+
+double RootedTree::distance(std::uint32_t u, std::uint32_t v) const {
+  std::uint32_t a = lca(u, v);
+  return wdepth_[u] + wdepth_[v] - 2.0 * wdepth_[a];
+}
+
+std::uint32_t RootedTree::hop_distance(std::uint32_t u, std::uint32_t v) const {
+  std::uint32_t a = lca(u, v);
+  return depth_[u] + depth_[v] - 2 * depth_[a];
+}
+
+}  // namespace parsdd

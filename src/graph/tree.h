@@ -1,0 +1,51 @@
+// Rooted spanning trees: depths, LCA (binary lifting), path distances.
+//
+// Used to evaluate the stretch guarantees of Theorems 5.1/5.9: the stretch of
+// edge {u,v} with respect to tree T is d_T(u,v)/w(u,v), and d_T is computed
+// as wdepth(u) + wdepth(v) - 2*wdepth(lca(u,v)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+
+namespace parsdd {
+
+class RootedTree {
+ public:
+  /// Builds a rooted tree over vertices [0, n) from exactly n-1 tree edges
+  /// (must form a spanning tree); roots it at `root` via BFS.
+  static RootedTree from_edges(std::uint32_t n, const EdgeList& tree_edges,
+                               std::uint32_t root = 0);
+
+  std::uint32_t num_vertices() const { return n_; }
+  std::uint32_t root() const { return root_; }
+
+  std::uint32_t parent(std::uint32_t v) const { return parent_[v]; }
+  /// Hop depth below the root.
+  std::uint32_t depth(std::uint32_t v) const { return depth_[v]; }
+  /// Weighted distance from the root.
+  double weighted_depth(std::uint32_t v) const { return wdepth_[v]; }
+
+  /// Lowest common ancestor in O(log n).
+  std::uint32_t lca(std::uint32_t u, std::uint32_t v) const;
+
+  /// Weighted tree-path distance between u and v.
+  double distance(std::uint32_t u, std::uint32_t v) const;
+
+  /// Hop-count tree-path distance between u and v.
+  std::uint32_t hop_distance(std::uint32_t u, std::uint32_t v) const;
+
+ private:
+  std::uint32_t n_ = 0;
+  std::uint32_t root_ = 0;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<double> wdepth_;
+  // up_[k][v]: 2^k-th ancestor of v (root maps to itself).
+  std::vector<std::vector<std::uint32_t>> up_;
+};
+
+}  // namespace parsdd

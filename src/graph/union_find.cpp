@@ -1,0 +1,45 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+
+namespace parsdd {
+
+UnionFind::UnionFind(std::uint32_t n)
+    : parent_(n), rank_(n, 0), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::uint32_t a, std::uint32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  --num_sets_;
+  return true;
+}
+
+std::vector<std::uint32_t> UnionFind::dense_labels() {
+  std::uint32_t n = size();
+  std::vector<std::uint32_t> label(n);
+  std::uint32_t next = 0;
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  std::vector<std::uint32_t> rep_label(n, kUnset);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::uint32_t r = find(v);
+    if (rep_label[r] == kUnset) rep_label[r] = next++;
+    label[v] = rep_label[r];
+  }
+  return label;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,37 @@
+// Disjoint-set forest with path halving and union by rank.
+//
+// Used by Kruskal's MST, connectivity checks, and the well-spacing surgery
+// (Lemma 5.8 builds component vertex sets from an MST prefix).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parsdd {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t n);
+
+  /// Representative of x's set.
+  std::uint32_t find(std::uint32_t x);
+
+  /// Merges the sets of a and b; returns true iff they were distinct.
+  bool unite(std::uint32_t a, std::uint32_t b);
+
+  /// Number of disjoint sets remaining.
+  std::uint32_t num_sets() const { return num_sets_; }
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(parent_.size()); }
+
+  /// Relabels all representatives to a dense range [0, num_sets) and returns
+  /// the label of every element.
+  std::vector<std::uint32_t> dense_labels();
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::uint32_t num_sets_;
+};
+
+}  // namespace parsdd

@@ -1,0 +1,31 @@
+// Conjugate gradient and flexible (variable-preconditioner) PCG.
+//
+// CG is the classical baseline the near-linear solvers are measured against,
+// and flexible PCG is the floating-point-robust wrapper we put around the
+// paper's preconditioner chain (see DESIGN.md, "Substitutions"): the chain's
+// recursive solve is a slightly nonlinear operator, which plain PCG does not
+// tolerate but Polak–Ribière FCG does.
+#pragma once
+
+#include "linalg/iterative.h"
+
+namespace parsdd {
+
+struct CgOptions {
+  double tolerance = 1e-8;       // relative residual target
+  std::uint32_t max_iterations = 10000;
+  /// Re-project iterates onto mean-zero after every step; required when A is
+  /// a connected Laplacian (singular with null space span{1}).
+  bool project_constant = false;
+  /// Use the flexible (Polak–Ribière) beta; required when the preconditioner
+  /// is itself an inexact/iterative solver.
+  bool flexible = false;
+};
+
+/// Solves A x = b starting from the given x (commonly zero).
+/// `precond`, if non-null, applies an approximation of A⁺.
+IterStats conjugate_gradient(const LinOp& a, const Vec& b, Vec& x,
+                             const CgOptions& opts,
+                             const LinOp* precond = nullptr);
+
+}  // namespace parsdd

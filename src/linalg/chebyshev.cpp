@@ -1,0 +1,74 @@
+#include "linalg/chebyshev.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace parsdd {
+
+IterStats chebyshev(const LinOp& a, const Vec& b, Vec& x,
+                    const ChebyshevOptions& opts, const LinOp* precond) {
+  if (!(opts.lambda_max > 0.0) || !(opts.lambda_min > 0.0) ||
+      opts.lambda_min > opts.lambda_max) {
+    throw std::invalid_argument("chebyshev: bad spectral bounds");
+  }
+  std::size_t n = b.size();
+  IterStats stats;
+  double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    x.assign(n, 0.0);
+    stats.converged = true;
+    return stats;
+  }
+
+  const double theta = 0.5 * (opts.lambda_max + opts.lambda_min);
+  const double delta = 0.5 * (opts.lambda_max - opts.lambda_min);
+
+  Vec r(n), z(n), p(n), ap(n);
+  auto refresh_residual = [&] {
+    a(x, ap);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+    if (opts.project_constant) project_out_constant(r);
+  };
+  auto apply_precond = [&](const Vec& in, Vec& out) {
+    if (precond) {
+      (*precond)(in, out);
+      if (opts.project_constant) project_out_constant(out);
+    } else {
+      out = in;
+    }
+  };
+
+  refresh_residual();
+  double alpha = 0.0, beta = 0.0;
+  for (std::uint32_t it = 0; it < opts.iterations; ++it) {
+    ++stats.iterations;
+    apply_precond(r, z);
+    if (it == 0) {
+      p = z;
+      alpha = 1.0 / theta;
+    } else if (it == 1) {
+      beta = 0.5 * (delta * alpha) * (delta * alpha);
+      alpha = 1.0 / (theta - beta / alpha);
+      xpay(z, beta, p);
+    } else {
+      beta = (delta * alpha / 2.0) * (delta * alpha / 2.0);
+      alpha = 1.0 / (theta - beta / alpha);
+      xpay(z, beta, p);
+    }
+    axpy(alpha, p, x);
+    a(p, ap);
+    axpy(-alpha, ap, r);
+    if (opts.project_constant) project_out_constant(r);
+  }
+  stats.relative_residual = norm2(r) / bnorm;
+  stats.converged = true;  // fixed-iteration method; caller checks residual
+  return stats;
+}
+
+std::uint32_t chebyshev_iterations_for(double kappa, double factor) {
+  if (kappa < 1.0) kappa = 1.0;
+  double it = 0.5 * std::sqrt(kappa) * std::log(2.0 / factor);
+  return static_cast<std::uint32_t>(std::ceil(std::max(1.0, it)));
+}
+
+}  // namespace parsdd

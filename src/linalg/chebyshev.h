@@ -1,0 +1,33 @@
+// Preconditioned Chebyshev iteration.
+//
+// The paper's recursive solver (Section 6, Lemma 6.7) is "preconditioned
+// Chebyshev": at chain level i it runs a degree-√κᵢ Chebyshev polynomial in
+// B⁺A, where the preconditioner solve B⁺ is realized recursively.  Chebyshev
+// needs explicit spectral bounds [lmin, lmax] on the preconditioned operator
+// — exactly the Aᵢ ≼ Bᵢ ≼ κᵢAᵢ guarantee of Definition 6.3.
+#pragma once
+
+#include "linalg/iterative.h"
+
+namespace parsdd {
+
+struct ChebyshevOptions {
+  /// Lower/upper bounds on the spectrum of precond∘A (restricted to the
+  /// image).  For a chain level with A ≼ B ≼ κA these are 1/κ and 1.
+  double lambda_min = 0.0;
+  double lambda_max = 1.0;
+  std::uint32_t iterations = 10;
+  bool project_constant = false;
+};
+
+/// Runs `iterations` preconditioned Chebyshev steps on A x = b, updating x.
+/// If `precond` is null the identity is used.
+IterStats chebyshev(const LinOp& a, const Vec& b, Vec& x,
+                    const ChebyshevOptions& opts,
+                    const LinOp* precond = nullptr);
+
+/// Number of Chebyshev iterations sufficient to reduce the A-norm error by
+/// `factor` given condition number kappa: ceil(sqrt(kappa)/2 * ln(2/factor)).
+std::uint32_t chebyshev_iterations_for(double kappa, double factor);
+
+}  // namespace parsdd

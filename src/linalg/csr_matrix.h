@@ -1,0 +1,69 @@
+// Symmetric sparse matrices in CSR form with parallel SpMV.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "linalg/vector_ops.h"
+
+namespace parsdd {
+
+struct Triplet {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  double value = 0.0;
+};
+
+/// A square sparse matrix; both triangles stored.  Construction sorts and
+/// merges duplicate coordinates.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from coordinate triplets (duplicates summed).  The caller is
+  /// responsible for supplying a symmetric pattern when symmetry is assumed
+  /// (Laplacian/SDD helpers do this).
+  static CsrMatrix from_triplets(std::uint32_t n, std::vector<Triplet> ts);
+
+  std::uint32_t dimension() const { return n_; }
+  std::size_t num_nonzeros() const { return val_.size(); }
+
+  /// y = A x; parallel over rows, O(nnz) work.
+  void multiply(const Vec& x, Vec& y) const;
+  Vec apply(const Vec& x) const;
+
+  /// Diagonal entries (zeros where absent).
+  Vec diagonal() const;
+
+  /// Checks symmetric diagonal dominance: A = Aᵀ and
+  /// A_ii >= Σ_{j≠i} |A_ij| for all i (within `tol` slack).
+  bool is_sdd(double tol = 1e-9) const;
+
+  /// Checks the Laplacian property: SDD, non-positive off-diagonals, and
+  /// zero row sums (within tol).
+  bool is_laplacian(double tol = 1e-9) const;
+
+  /// Quadratic form xᵀ A x.
+  double quadratic_form(const Vec& x) const;
+
+  /// Dense row-major copy (for the bottom-level factorization; small n only).
+  std::vector<double> to_dense() const;
+
+  /// Row access for algorithms that need to walk the structure.
+  std::span<const std::uint32_t> row_cols(std::uint32_t i) const {
+    return {col_.data() + off_[i], off_[i + 1] - off_[i]};
+  }
+  std::span<const double> row_vals(std::uint32_t i) const {
+    return {val_.data() + off_[i], off_[i + 1] - off_[i]};
+  }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::vector<std::size_t> off_;
+  std::vector<std::uint32_t> col_;
+  std::vector<double> val_;
+};
+
+}  // namespace parsdd

@@ -1,0 +1,102 @@
+#include "linalg/dense_ldlt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+DenseLdlt DenseLdlt::factor_spd(std::vector<double> dense, std::uint32_t n) {
+  if (dense.size() != static_cast<std::size_t>(n) * n) {
+    throw std::invalid_argument("factor_spd: dimension mismatch");
+  }
+  // In-place LDLᵀ: after the loop, dense[i*n+j] (j<i) holds L_ij and
+  // dense[j*n+j] holds D_j.
+  for (std::uint32_t j = 0; j < n; ++j) {
+    double d = dense[static_cast<std::size_t>(j) * n + j];
+    for (std::uint32_t k = 0; k < j; ++k) {
+      double l = dense[static_cast<std::size_t>(j) * n + k];
+      d -= l * l * dense[static_cast<std::size_t>(k) * n + k];
+    }
+    if (!(d > 0.0)) {
+      throw std::domain_error("factor_spd: non-positive pivot");
+    }
+    dense[static_cast<std::size_t>(j) * n + j] = d;
+    parallel_for(j + 1, n, [&](std::size_t i) {
+      double s = dense[i * n + j];
+      for (std::uint32_t k = 0; k < j; ++k) {
+        s -= dense[i * n + k] * dense[static_cast<std::size_t>(j) * n + k] *
+             dense[static_cast<std::size_t>(k) * n + k];
+      }
+      dense[i * n + j] = s / d;
+    });
+  }
+  DenseLdlt f;
+  f.n_ = n;
+  f.lf_ = std::move(dense);
+  return f;
+}
+
+DenseLdlt DenseLdlt::factor_laplacian(const CsrMatrix& lap) {
+  std::uint32_t n = lap.dimension();
+  if (n < 2) {
+    throw std::invalid_argument("factor_laplacian: need at least 2 vertices");
+  }
+  std::uint32_t m = n - 1;
+  std::vector<double> dense(static_cast<std::size_t>(m) * m, 0.0);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    auto cols = lap.row_cols(i);
+    auto vals = lap.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] < m) {
+        dense[static_cast<std::size_t>(i) * m + cols[k]] += vals[k];
+      }
+    }
+  }
+  DenseLdlt f = factor_spd(std::move(dense), m);
+  f.grounded_ = true;
+  return f;
+}
+
+Vec DenseLdlt::solve(const Vec& b) const {
+  std::uint32_t n = n_;
+  Vec x(n);
+  if (grounded_) {
+    if (b.size() != static_cast<std::size_t>(n) + 1) {
+      throw std::invalid_argument("solve: dimension mismatch");
+    }
+    for (std::uint32_t i = 0; i < n; ++i) x[i] = b[i];
+  } else {
+    if (b.size() != n) {
+      throw std::invalid_argument("solve: dimension mismatch");
+    }
+    x = b;
+  }
+  // Forward: L z = b (unit diagonal).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double s = x[i];
+    const double* row = lf_.data() + static_cast<std::size_t>(i) * n;
+    for (std::uint32_t k = 0; k < i; ++k) s -= row[k] * x[k];
+    x[i] = s;
+  }
+  // Diagonal.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    x[i] /= lf_[static_cast<std::size_t>(i) * n + i];
+  }
+  // Backward: Lᵀ x = z.
+  for (std::uint32_t i = n; i-- > 0;) {
+    double s = x[i];
+    for (std::uint32_t k = i + 1; k < n; ++k) {
+      s -= lf_[static_cast<std::size_t>(k) * n + i] * x[k];
+    }
+    x[i] = s;
+  }
+  if (grounded_) {
+    x.push_back(0.0);  // grounded vertex
+    project_out_constant(x);
+  }
+  return x;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,41 @@
+// Dense LDLᵀ factorization for the bottom of the preconditioner chain.
+//
+// Fact 6.4: "A factorization LLᵀ of the pseudo-inverse of an n-by-n
+// Laplacian A ... can be computed in O(n) time and O(n³) work, and any
+// solves thereafter can be done in O(log n) time and O(n²) work."  The chain
+// in Section 6.3 terminates at m_d ≈ m^{1/3}, so the dense factor stays
+// small.  For Laplacians the first row/column is dropped (grounding), making
+// the remaining matrix positive definite (as the paper notes after Fact 6.4),
+// and solutions are returned mean-zero (the pseudo-inverse solution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace parsdd {
+
+class DenseLdlt {
+ public:
+  /// Factors a symmetric positive definite matrix given densely (row-major).
+  /// Throws std::domain_error if a pivot is non-positive.
+  static DenseLdlt factor_spd(std::vector<double> dense, std::uint32_t n);
+
+  /// Factors a connected Laplacian by grounding vertex n-1.
+  static DenseLdlt factor_laplacian(const CsrMatrix& lap);
+
+  /// Solves A x = b.  For grounded Laplacians, b must be in the image
+  /// (mean-zero for connected graphs); the result is mean-zero.
+  Vec solve(const Vec& b) const;
+
+  std::uint32_t dimension() const { return grounded_ ? n_ + 1 : n_; }
+
+ private:
+  std::uint32_t n_ = 0;     // factored dimension
+  bool grounded_ = false;   // true if built from a Laplacian
+  std::vector<double> lf_;  // unit lower triangle (row-major), D on diagonal
+};
+
+}  // namespace parsdd

@@ -1,0 +1,37 @@
+#include "linalg/eig.h"
+
+#include <cmath>
+
+namespace parsdd {
+
+double pencil_max_eig(const LinOp& apply_a, const LinOp& apply_b,
+                      const LinOp& solve_b, std::size_t n,
+                      std::uint32_t iterations, std::uint64_t seed) {
+  Vec x = random_unit_like(n, seed);
+  Vec ax(n), bx(n), y(n);
+  double rayleigh = 0.0;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    apply_a(x, ax);
+    solve_b(ax, y);
+    project_out_constant(y);
+    double nrm = norm2(y);
+    if (nrm == 0.0) break;
+    scale(1.0 / nrm, y);
+    x.swap(y);
+    apply_a(x, ax);
+    apply_b(x, bx);
+    double denom = dot(x, bx);
+    if (denom <= 0.0) break;
+    rayleigh = dot(x, ax) / denom;
+  }
+  return rayleigh;
+}
+
+double pencil_min_eig(const LinOp& apply_a, const LinOp& apply_b,
+                      const LinOp& solve_a, std::size_t n,
+                      std::uint32_t iterations, std::uint64_t seed) {
+  double inv = pencil_max_eig(apply_b, apply_a, solve_a, n, iterations, seed);
+  return inv > 0.0 ? 1.0 / inv : 0.0;
+}
+
+}  // namespace parsdd

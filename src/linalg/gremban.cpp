@@ -1,0 +1,66 @@
+#include "linalg/gremban.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+Vec GrembanReduction::lift_rhs(const Vec& b) const {
+  Vec y(2 * static_cast<std::size_t>(n));
+  parallel_for(0, n, [&](std::size_t i) {
+    y[i] = b[i];
+    y[i + n] = -b[i];
+  });
+  return y;
+}
+
+Vec GrembanReduction::project_solution(const Vec& y) const {
+  Vec x(n);
+  parallel_for(0, n, [&](std::size_t i) { x[i] = 0.5 * (y[i] - y[i + n]); });
+  return x;
+}
+
+GrembanReduction gremban_reduce(const CsrMatrix& a) {
+  if (!a.is_sdd(1e-9)) {
+    throw std::invalid_argument("gremban_reduce: matrix is not SDD");
+  }
+  std::uint32_t n = a.dimension();
+  GrembanReduction r;
+  r.n = n;
+  r.was_laplacian = true;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto cols = a.row_cols(i);
+    auto vals = a.row_vals(i);
+    double diag = 0.0, off_abs = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      std::uint32_t j = cols[k];
+      double v = vals[k];
+      if (j == i) {
+        diag += v;
+        continue;
+      }
+      off_abs += std::fabs(v);
+      if (j < i) continue;  // handle each symmetric pair once
+      if (v < 0.0) {
+        // Ordinary edge, duplicated in both halves of the cover.
+        r.edges.push_back(Edge{i, j, -v});
+        r.edges.push_back(Edge{i + n, j + n, -v});
+      } else if (v > 0.0) {
+        // Positive off-diagonal: cross edges.
+        r.edges.push_back(Edge{i, j + n, v});
+        r.edges.push_back(Edge{j, i + n, v});
+        r.was_laplacian = false;
+      }
+    }
+    double excess = diag - off_abs;
+    if (excess > 1e-12 * (std::fabs(diag) + 1.0)) {
+      r.edges.push_back(Edge{i, i + n, excess / 2.0});
+      r.was_laplacian = false;
+    }
+  }
+  return r;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,41 @@
+// Gremban reduction: SDD system -> graph Laplacian system.
+//
+// Section 2: "Solving an SDD system reduces in O(m) work and O(log^O(1) m)
+// depth to solving a graph Laplacian" [Gre96, Section 7.1].  The classical
+// double-cover construction: an SDD matrix A splits into negative
+// off-diagonals (ordinary edges, duplicated in both halves), positive
+// off-diagonals (cross edges between the halves), and excess diagonal
+// (a cross edge i <-> i+n of weight excess_i / 2).  Then
+//   L_hat [x; -x] = [A x; -A x],
+// so solving L_hat y = [b; -b] and returning (y_head - y_tail)/2 solves
+// A x = b.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace parsdd {
+
+struct GrembanReduction {
+  /// Number of rows of the original SDD matrix.
+  std::uint32_t n = 0;
+  /// Edges of the 2n-vertex double-cover Laplacian.
+  EdgeList edges;
+  /// True if A had no positive off-diagonals and no excess (i.e. A was
+  /// already a Laplacian); callers may skip the reduction then.
+  bool was_laplacian = false;
+
+  /// [b; -b]
+  Vec lift_rhs(const Vec& b) const;
+  /// (y_head - y_tail)/2
+  Vec project_solution(const Vec& y) const;
+};
+
+/// Builds the double cover for a symmetric SDD matrix.  Throws
+/// std::invalid_argument if A is not SDD.
+GrembanReduction gremban_reduce(const CsrMatrix& a);
+
+}  // namespace parsdd

@@ -1,0 +1,21 @@
+// Shared types for iterative solvers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "linalg/vector_ops.h"
+
+namespace parsdd {
+
+/// A linear operator: out = Op(in).  Out is pre-sized by the caller.
+using LinOp = std::function<void(const Vec&, Vec&)>;
+
+struct IterStats {
+  std::uint32_t iterations = 0;
+  /// ||b - A x|| / ||b|| at exit.
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+}  // namespace parsdd

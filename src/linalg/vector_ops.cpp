@@ -1,0 +1,63 @@
+#include "linalg/vector_ops.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "parallel/primitives.h"
+#include "parallel/rng.h"
+
+namespace parsdd {
+
+void axpy(double a, const Vec& x, Vec& y) {
+  assert(x.size() == y.size());
+  parallel_for(0, x.size(), [&](std::size_t i) { y[i] += a * x[i]; });
+}
+
+void xpay(const Vec& x, double a, Vec& y) {
+  assert(x.size() == y.size());
+  parallel_for(0, x.size(), [&](std::size_t i) { y[i] = x[i] + a * y[i]; });
+}
+
+double dot(const Vec& x, const Vec& y) {
+  assert(x.size() == y.size());
+  return parallel_reduce(
+      0, x.size(), 0.0, [&](std::size_t i) { return x[i] * y[i]; },
+      [](double a, double b) { return a + b; });
+}
+
+double norm2(const Vec& x) { return std::sqrt(dot(x, x)); }
+
+void scale(double a, Vec& x) {
+  parallel_for(0, x.size(), [&](std::size_t i) { x[i] *= a; });
+}
+
+Vec subtract(const Vec& x, const Vec& y) {
+  assert(x.size() == y.size());
+  Vec out(x.size());
+  parallel_for(0, x.size(), [&](std::size_t i) { out[i] = x[i] - y[i]; });
+  return out;
+}
+
+double sum(const Vec& x) {
+  return parallel_reduce(
+      0, x.size(), 0.0, [&](std::size_t i) { return x[i]; },
+      [](double a, double b) { return a + b; });
+}
+
+void project_out_constant(Vec& x) {
+  if (x.empty()) return;
+  double mean = sum(x) / static_cast<double>(x.size());
+  parallel_for(0, x.size(), [&](std::size_t i) { x[i] -= mean; });
+}
+
+Vec random_unit_like(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Vec v(n);
+  parallel_for(0, n, [&](std::size_t i) { v[i] = 2.0 * rng.uniform(i) - 1.0; });
+  project_out_constant(v);
+  double nrm = norm2(v);
+  if (nrm > 0) scale(1.0 / nrm, v);
+  return v;
+}
+
+}  // namespace parsdd

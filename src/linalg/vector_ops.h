@@ -1,0 +1,37 @@
+// Parallel BLAS-1 style vector kernels.
+//
+// Every solver iteration (rPCh, CG, Chebyshev, Jacobi) is a sequence of these
+// O(n)-work, O(log n)-depth operations plus one SpMV, matching the paper's
+// accounting ("O(1) matrix-vector multiplications ... and other simple
+// vector-vector operations", Section 6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parsdd {
+
+using Vec = std::vector<double>;
+
+/// y += a * x
+void axpy(double a, const Vec& x, Vec& y);
+/// y = x + a * y
+void xpay(const Vec& x, double a, Vec& y);
+/// Inner product <x, y>.
+double dot(const Vec& x, const Vec& y);
+/// Euclidean norm.
+double norm2(const Vec& x);
+/// x *= a
+void scale(double a, Vec& x);
+/// out = x - y
+Vec subtract(const Vec& x, const Vec& y);
+/// Sum of entries.
+double sum(const Vec& x);
+/// Subtracts the mean from every entry (projection onto 1-perp, the image of
+/// a connected Laplacian).
+void project_out_constant(Vec& x);
+/// Deterministic pseudo-random vector with entries in [-1, 1], mean removed.
+Vec random_unit_like(std::size_t n, std::uint64_t seed);
+
+}  // namespace parsdd

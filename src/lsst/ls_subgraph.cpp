@@ -1,0 +1,159 @@
+#include "lsst/ls_subgraph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/mst.h"
+#include "graph/union_find.h"
+#include "lsst/akpw.h"
+#include "lsst/well_spaced.h"
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+namespace {
+
+// Lemma 5.8: run SparseAKPW independently on each special-bucket segment.
+// `kept` is G' with global weight classes `cls`; segment boundaries are the
+// special classes from the well-spacing surgery.  Appends chosen kept-edge
+// indices to `out` and accumulates iteration counts.
+void run_segments(std::uint32_t n, const EdgeList& kept,
+                  const std::vector<std::uint32_t>& cls,
+                  std::uint32_t num_classes,
+                  const std::vector<std::uint32_t>& boundaries,
+                  const LsSubgraphOptions& opts, double y, double z,
+                  std::vector<std::uint32_t>* out,
+                  std::uint32_t* iterations) {
+  // Global MST of G' (class structure is what matters; the MST restricted
+  // to earlier buckets has the same components as those buckets' edges).
+  std::vector<std::uint32_t> mst_idx = mst_kruskal(n, kept);
+
+  std::vector<std::uint32_t> bounds = boundaries;
+  bounds.insert(bounds.begin(), 0);
+  bounds.push_back(num_classes);
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+    std::uint32_t b0 = bounds[k], b1 = bounds[k + 1];
+    // V^(b0): contract MST edges of classes < b0.
+    UnionFind uf(n);
+    for (std::uint32_t idx : mst_idx) {
+      if (cls[idx] < b0) uf.unite(kept[idx].u, kept[idx].v);
+    }
+    std::vector<std::uint32_t> label = uf.dense_labels();
+    std::uint32_t nc = uf.num_sets();
+
+    // Segment edge list, relabeled; self-loops (inside earlier components)
+    // are dropped — they would have been contracted by earlier iterations.
+    EdgeList seg_edges;
+    std::vector<std::uint32_t> seg_cls;
+    std::vector<std::uint32_t> seg_to_kept;
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      if (cls[i] < b0 || cls[i] >= b1) continue;
+      std::uint32_t u = label[kept[i].u], v = label[kept[i].v];
+      if (u == v) continue;
+      seg_edges.push_back(Edge{u, v, kept[i].w});
+      seg_cls.push_back(cls[i]);
+      seg_to_kept.push_back(static_cast<std::uint32_t>(i));
+    }
+    if (seg_edges.empty()) continue;
+
+    SparseAkpwOptions sopts;
+    sopts.seed = opts.seed + 0x777ull * (k + 1);
+    sopts.lambda = opts.lambda;
+    sopts.y = y;
+    sopts.z = z;
+    sopts.center_constant = opts.center_constant;
+    sopts.classes = &seg_cls;
+    sopts.num_classes = b1;
+    sopts.first_class = b0;
+    SparseAkpwResult r = sparse_akpw(nc, seg_edges, sopts);
+    *iterations = std::max(*iterations, r.iterations);
+    for (std::uint32_t idx : r.all_edges()) {
+      out->push_back(seg_to_kept[idx]);
+    }
+  }
+}
+
+}  // namespace
+
+LsSubgraphResult ls_subgraph(std::uint32_t n, const EdgeList& edges,
+                             const LsSubgraphOptions& opts) {
+  LsSubgraphResult result;
+  double y, z;
+  akpw_practical_parameters(n, &y, &z);
+  if (opts.y > 0.0) y = opts.y;
+  if (opts.z > 0.0) z = opts.z;
+  result.y = y;
+  result.z = z;
+  if (edges.empty()) return result;
+
+  // Weight classes at base z (the same buckets SparseAKPW will use).
+  std::uint32_t num_classes = 0;
+  std::vector<std::uint32_t> cls = weight_classes(edges, z, &num_classes);
+
+  // tau = 3 log n / log y (Lemma 5.8's choice: long enough that any class is
+  // fully decayed before the next special bucket).
+  const double log2n = std::log2(std::max<double>(n, 4.0));
+  const std::uint32_t tau = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::ceil(3.0 * log2n / std::log2(std::max(y, 2.0)))));
+
+  std::vector<std::uint8_t> removed(edges.size(), 0);
+  std::vector<std::uint32_t> special_classes;
+  if (opts.apply_well_spacing && num_classes > tau) {
+    WellSpacedResult ws = well_space(cls, num_classes, tau, opts.theta);
+    removed = std::move(ws.removed_flag);
+    special_classes = std::move(ws.special_classes);
+    result.removed_count = ws.removed_edges.size();
+    for (std::uint32_t idx : ws.removed_edges) {
+      result.subgraph_edges.push_back(idx);
+    }
+  }
+
+  // SparseAKPW on the remaining graph G' = G \ F.
+  EdgeList kept;
+  std::vector<std::uint32_t> kept_index;  // maps G' edge -> input index
+  std::vector<std::uint32_t> kept_cls;
+  kept.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!removed[i]) {
+      kept.push_back(edges[i]);
+      kept_index.push_back(static_cast<std::uint32_t>(i));
+      kept_cls.push_back(cls[i]);
+    }
+  }
+
+  if (opts.segmented && !special_classes.empty()) {
+    // Lemma 5.8: independent per-segment runs.
+    std::vector<std::uint32_t> chosen;
+    run_segments(n, kept, kept_cls, num_classes, special_classes, opts, y, z,
+                 &chosen, &result.iterations);
+    result.tree_count = chosen.size();  // segments blend tree/extra parts
+    for (std::uint32_t idx : chosen) {
+      result.subgraph_edges.push_back(kept_index[idx]);
+    }
+    return result;
+  }
+
+  SparseAkpwOptions sopts;
+  sopts.seed = opts.seed;
+  sopts.lambda = opts.lambda;
+  sopts.y = y;
+  sopts.z = z;
+  sopts.center_constant = opts.center_constant;
+  SparseAkpwResult sparse = sparse_akpw(n, kept, sopts);
+
+  result.tree_count = sparse.tree_edges.size();
+  result.extra_count = sparse.extra_edges.size();
+  result.iterations = sparse.iterations;
+  for (std::uint32_t idx : sparse.tree_edges) {
+    result.subgraph_edges.push_back(kept_index[idx]);
+  }
+  for (std::uint32_t idx : sparse.extra_edges) {
+    result.subgraph_edges.push_back(kept_index[idx]);
+  }
+  return result;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,130 @@
+#include "lsst/sparse_akpw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/contraction.h"
+#include "graph/graph.h"
+#include "lsst/akpw.h"
+#include "parallel/primitives.h"
+#include "partition/partition.h"
+
+namespace parsdd {
+
+namespace {
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+std::vector<std::uint32_t> SparseAkpwResult::all_edges() const {
+  std::vector<std::uint32_t> out = tree_edges;
+  out.insert(out.end(), extra_edges.begin(), extra_edges.end());
+  return out;
+}
+
+SparseAkpwResult sparse_akpw(std::uint32_t n, const EdgeList& edges,
+                             const SparseAkpwOptions& opts) {
+  SparseAkpwResult result;
+  const std::uint32_t lambda = std::max<std::uint32_t>(1, opts.lambda);
+  akpw_practical_parameters(n, &result.y, &result.z);
+  if (opts.y > 0.0) result.y = opts.y;
+  if (opts.z > 0.0) result.z = opts.z;
+  if (edges.empty()) return result;
+
+  std::vector<std::uint32_t> cls;
+  std::uint32_t base_class = 0;
+  if (opts.classes) {
+    cls = *opts.classes;
+    result.num_classes = opts.num_classes;
+    base_class = opts.first_class;
+  } else {
+    cls = weight_classes(edges, result.z, &result.num_classes);
+  }
+  const std::uint32_t num_classes = result.num_classes;
+
+  std::vector<std::vector<std::uint32_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    by_class[cls[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  std::vector<std::uint32_t> label(n);
+  for (std::uint32_t v = 0; v < n; ++v) label[v] = v;
+  std::uint32_t n_cur = n;
+
+  std::vector<ClassedEdge> active;
+  std::vector<std::uint8_t> promoted(edges.size(), 0);
+  const std::uint32_t rho =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(result.z / 4.0));
+  const std::uint32_t max_iterations = num_classes + 16 * 32 + 64;
+
+  for (std::uint32_t j = base_class;; ++j) {
+    if (j >= base_class + max_iterations) {
+      throw std::runtime_error("sparse_akpw: failed to make progress");
+    }
+    if (j < num_classes) {
+      for (std::uint32_t idx : by_class[j]) {
+        std::uint32_t u = label[edges[idx].u];
+        std::uint32_t v = label[edges[idx].v];
+        if (u != v) active.push_back(ClassedEdge{u, v, cls[idx], idx});
+      }
+    }
+    // Promote survivors of class j-lambda: they enter the generic bucket
+    // and simultaneously join the output (Lemma 5.5: edges of E_i that
+    // survive until iteration i+λ "are eventually all added to Ĝ").
+    if (j >= base_class + lambda) {
+      std::uint32_t old_cls = j - lambda;
+      for (const ClassedEdge& e : active) {
+        if (e.cls == old_cls && !promoted[e.id]) {
+          promoted[e.id] = 1;
+          result.extra_edges.push_back(e.id);
+        }
+      }
+    }
+    if (active.empty()) {
+      if (j + 1 >= num_classes) break;
+      continue;
+    }
+    ++result.iterations;
+
+    // Bucket classes for Partition: the λ youngest classes individually
+    // (dense ids 1..λ by age), everything older in generic bucket 0.
+    std::uint32_t k = lambda + 1;
+    std::vector<ClassedEdge> dense_edges = active;
+    parallel_for(0, dense_edges.size(), [&](std::size_t i) {
+      std::uint32_t c = dense_edges[i].cls;
+      std::uint32_t age = j - c;  // 0 = newest
+      dense_edges[i].cls = age < lambda ? age + 1 : 0;
+    });
+
+    PartitionOptions popts;
+    popts.seed = opts.seed + 0x9e3779b9ull * (j + 1);
+    popts.center_constant = opts.center_constant;
+    PartitionResult part = partition(n_cur, dense_edges, k, rho, popts);
+    const Decomposition& d = part.decomposition;
+
+    Graph g = Graph::from_classed_edges(n_cur, active);
+    std::vector<std::uint32_t> parents = component_bfs_parents(g, d);
+    for (std::uint32_t v = 0; v < n_cur; ++v) {
+      if (parents[v] != kNone) {
+        std::uint32_t orig = active[parents[v]].id;
+        if (!promoted[orig]) {
+          result.tree_edges.push_back(orig);
+        } else {
+          // Already in the output as a promoted edge; keep the tree's edge
+          // list disjoint (the union is what matters downstream).
+        }
+      }
+    }
+
+    active = contract_edges(active, d.component);
+    parallel_for(0, n, [&](std::size_t v) {
+      label[v] = d.component[label[v]];
+    });
+    n_cur = d.num_components;
+    if (active.empty() && j + 1 >= num_classes) break;
+  }
+  return result;
+}
+
+}  // namespace parsdd

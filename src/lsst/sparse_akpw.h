@@ -1,0 +1,59 @@
+// Section 5.2.1 (SparseAKPW): low-stretch *subgraphs* with polylog stretch.
+//
+// The modification over Algorithm 5.1 (Lemma 5.5): iteration j partitions
+// with at most λ+1 edge classes — the λ youngest live classes individually
+// plus one "generic bucket" holding everything older — and edges of class i
+// that survive λ iterations (i.e. reach iteration i+λ uncontracted) are
+// *promoted* into the output subgraph Ĝ alongside the tree T.  Promoted
+// edges have stretch exactly 1 in Ĝ, which is what removes the
+// 2^sqrt(log n log log n) factor; the price is n-1 + m/y^λ edges instead of
+// a tree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace parsdd {
+
+struct SparseAkpwOptions {
+  std::uint64_t seed = 1;
+  /// λ: number of iterations a class stays individually tracked before its
+  /// survivors are promoted into the output.
+  std::uint32_t lambda = 2;
+  /// Per-iteration decay target y and bucket base z; 0 = practical auto.
+  /// The paper sets y = β/(c₂ log³ n), z = 4c₁y(λ+1)log³ n from the stretch
+  /// parameter β.
+  double y = 0.0;
+  double z = 0.0;
+  double center_constant = 2.0;
+  /// Optional externally supplied weight classes (0-based, one per edge).
+  /// Used by the segmented execution of Lemma 5.8, where a segment's run
+  /// must keep the global bucket numbering rather than re-normalize to its
+  /// own minimum weight.  When set, `num_classes` must cover all values and
+  /// iteration j activates class `first_class + j`.
+  const std::vector<std::uint32_t>* classes = nullptr;
+  std::uint32_t num_classes = 0;
+  std::uint32_t first_class = 0;
+};
+
+struct SparseAkpwResult {
+  /// Indices into the input edge list: the spanning tree/forest part.
+  std::vector<std::uint32_t> tree_edges;
+  /// Indices of promoted (surviving) edges; disjoint from tree_edges.
+  std::vector<std::uint32_t> extra_edges;
+  std::uint32_t iterations = 0;
+  std::uint32_t num_classes = 0;
+  double y = 0.0;
+  double z = 0.0;
+
+  /// tree + extra edges combined.
+  std::vector<std::uint32_t> all_edges() const;
+};
+
+/// Computes the SparseAKPW ultra-sparse subgraph of (V=[0,n), edges).
+SparseAkpwResult sparse_akpw(std::uint32_t n, const EdgeList& edges,
+                             const SparseAkpwOptions& opts = {});
+
+}  // namespace parsdd

@@ -1,0 +1,65 @@
+#include "lsst/well_spaced.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace parsdd {
+
+WellSpacedResult well_space(const std::vector<std::uint32_t>& cls,
+                            std::uint32_t num_classes, std::uint32_t tau,
+                            double theta) {
+  if (tau == 0 || !(theta > 0.0) || theta > 1.0) {
+    throw std::invalid_argument("well_space: need tau >= 1, 0 < theta <= 1");
+  }
+  WellSpacedResult out;
+  out.removed_flag.assign(cls.size(), 0);
+  if (num_classes == 0) return out;
+
+  std::vector<std::size_t> class_count(num_classes, 0);
+  for (std::uint32_t c : cls) {
+    assert(c < num_classes);
+    ++class_count[c];
+  }
+
+  const std::uint32_t group_size = static_cast<std::uint32_t>(
+      std::ceil(static_cast<double>(tau) / theta));
+  std::vector<std::uint8_t> class_removed(num_classes, 0);
+
+  for (std::uint32_t g0 = 0; g0 < num_classes; g0 += group_size) {
+    std::uint32_t g1 = std::min(num_classes, g0 + group_size);
+    // A trailing partial group has fewer than 1/theta disjoint tau-windows,
+    // so the averaging argument cannot bound its lightest window by a
+    // theta-fraction; leave it untouched (|F| <= theta*|E| must hold).
+    if (g1 - g0 < group_size) break;
+    // Disjoint tau-windows; pick the lightest (averaging gives <= theta
+    // fraction of the group's edges).
+    std::uint32_t best_start = g0;
+    std::size_t best_count = static_cast<std::size_t>(-1);
+    for (std::uint32_t s = g0; s + tau <= g1; s += tau) {
+      std::size_t cnt = 0;
+      for (std::uint32_t c = s; c < s + tau; ++c) cnt += class_count[c];
+      if (cnt < best_count) {
+        best_count = cnt;
+        best_start = s;
+      }
+    }
+    for (std::uint32_t c = best_start; c < best_start + tau; ++c) {
+      class_removed[c] = 1;
+    }
+    if (best_start + tau < num_classes) {
+      out.special_classes.push_back(best_start + tau);
+    }
+  }
+
+  for (std::size_t i = 0; i < cls.size(); ++i) {
+    if (class_removed[cls[i]]) {
+      out.removed_flag[i] = 1;
+      out.removed_edges.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace parsdd

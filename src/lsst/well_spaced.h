@@ -1,0 +1,40 @@
+// Lemma 5.7: well-spacing surgery.
+//
+// A weighted graph is (γ, τ)-well-spaced if special weight classes occur at
+// least every γ classes and each special class is preceded by τ empty
+// classes.  The lemma: any graph can be made (4τ/θ, τ)-well-spaced by
+// deleting at most a θ-fraction of edges — divide the weight classes into
+// groups of ⌈τ/θ⌉ consecutive classes, and inside each group remove the τ
+// consecutive classes with the fewest edges (an averaging argument bounds
+// them by θ·|group|).  The removed edges F are added back to the final
+// subgraph (Fact 5.6: stretch of F-edges is 1 in Ĝ' ∪ F), and the emptied
+// windows break the iteration-dependency chain so the AKPW runs between
+// special buckets can proceed independently (Lemma 5.8) — removing the
+// log Δ term from the depth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace parsdd {
+
+struct WellSpacedResult {
+  /// Indices (into the input edge list) of the deleted set F.
+  std::vector<std::uint32_t> removed_edges;
+  /// removed_flag[i] != 0 iff edge i is in F.
+  std::vector<std::uint8_t> removed_flag;
+  /// Class indices designated special (the first class after each emptied
+  /// window); AKPW runs may restart at these independently.
+  std::vector<std::uint32_t> special_classes;
+};
+
+/// Empties, per group of ⌈τ/θ⌉ consecutive weight classes, the τ-window
+/// with the fewest edges.  `cls` gives each edge's 0-based weight class;
+/// `num_classes` their count.  Guarantees |F| <= θ·|E|.
+WellSpacedResult well_space(const std::vector<std::uint32_t>& cls,
+                            std::uint32_t num_classes, std::uint32_t tau,
+                            double theta);
+
+}  // namespace parsdd

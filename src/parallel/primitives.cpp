@@ -1,0 +1,13 @@
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+std::size_t num_blocks_for(std::size_t n, std::size_t grain) {
+  std::size_t p = static_cast<std::size_t>(ThreadPool::instance().concurrency());
+  std::size_t nb = 4 * p;
+  if (grain > 0) nb = std::min(nb, (n + grain - 1) / grain);
+  nb = std::min(nb, n);
+  return std::max<std::size_t>(nb, 1);
+}
+
+}  // namespace parsdd

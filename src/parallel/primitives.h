@@ -1,0 +1,191 @@
+// Flat data-parallel primitives: parallel_for, reduce, scan, pack, sort.
+//
+// These realize the standard PRAM building blocks used throughout the paper:
+// O(n) work / O(log n) depth reductions and prefix sums ([JaJ92, Lei92], cited
+// in Lemma 5.7's "standard techniques"), and parallel packing/filtering used
+// by contraction and sampling steps.  All primitives are deterministic: for a
+// fixed input they produce identical output regardless of thread count or
+// scheduling, which the test suite relies on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace parsdd {
+
+/// Number of iterations below which a parallel loop runs sequentially.
+inline constexpr std::size_t kSeqCutoff = 2048;
+
+/// Picks the number of blocks for a loop of n iterations: enough for load
+/// balancing (4 blocks per hardware context) without excessive scheduling
+/// overhead.
+std::size_t num_blocks_for(std::size_t n, std::size_t grain);
+
+/// parallel_for(lo, hi, f): applies f(i) for i in [lo, hi).
+/// Work O(hi-lo), depth O(1) parallel rounds (modulo scheduling).
+template <typename F>
+void parallel_for(std::size_t lo, std::size_t hi, F&& f,
+                  std::size_t grain = 0) {
+  if (hi <= lo) return;
+  std::size_t n = hi - lo;
+  if (n < kSeqCutoff || ThreadPool::in_parallel()) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  std::size_t nb = num_blocks_for(n, grain);
+  std::size_t block = (n + nb - 1) / nb;
+  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+    std::size_t s = lo + b * block;
+    std::size_t e = std::min(hi, s + block);
+    for (std::size_t i = s; i < e; ++i) f(i);
+  });
+}
+
+/// parallel_reduce: returns combine-fold of map(i) over [lo, hi) with the
+/// given identity.  `combine` must be associative.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t lo, std::size_t hi, T identity, Map&& map,
+                  Combine&& combine) {
+  if (hi <= lo) return identity;
+  std::size_t n = hi - lo;
+  if (n < kSeqCutoff || ThreadPool::in_parallel()) {
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  std::size_t nb = num_blocks_for(n, 0);
+  std::size_t block = (n + nb - 1) / nb;
+  std::vector<T> partial(nb, identity);
+  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+    std::size_t s = lo + b * block;
+    std::size_t e = std::min(hi, s + block);
+    T acc = identity;
+    for (std::size_t i = s; i < e; ++i) acc = combine(acc, map(i));
+    partial[b] = acc;
+  });
+  T acc = identity;
+  for (std::size_t b = 0; b < nb; ++b) acc = combine(acc, partial[b]);
+  return acc;
+}
+
+/// Exclusive prefix sum of `values` in place; returns the total.
+/// Two-pass blocked scan: O(n) work, O(log n)-style depth.
+template <typename T>
+T scan_exclusive(std::vector<T>& values) {
+  std::size_t n = values.size();
+  if (n == 0) return T{};
+  if (n < kSeqCutoff || ThreadPool::in_parallel()) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      T v = values[i];
+      values[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+  std::size_t nb = num_blocks_for(n, 0);
+  std::size_t block = (n + nb - 1) / nb;
+  std::vector<T> sums(nb);
+  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+    std::size_t s = b * block, e = std::min(n, s + block);
+    T acc{};
+    for (std::size_t i = s; i < e; ++i) acc += values[i];
+    sums[b] = acc;
+  });
+  T total{};
+  for (std::size_t b = 0; b < nb; ++b) {
+    T v = sums[b];
+    sums[b] = total;
+    total += v;
+  }
+  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+    std::size_t s = b * block, e = std::min(n, s + block);
+    T acc = sums[b];
+    for (std::size_t i = s; i < e; ++i) {
+      T v = values[i];
+      values[i] = acc;
+      acc += v;
+    }
+  });
+  return total;
+}
+
+/// pack_index: returns, in increasing order, all i in [0, n) with pred(i).
+/// O(n) work; parallel two-pass (count then write).
+template <typename Pred>
+std::vector<std::uint32_t> pack_index(std::size_t n, Pred&& pred) {
+  std::vector<std::uint32_t> flags(n);
+  parallel_for(0, n, [&](std::size_t i) { flags[i] = pred(i) ? 1u : 0u; });
+  std::vector<std::uint32_t> offsets = flags;
+  std::uint32_t total = scan_exclusive(offsets);
+  std::vector<std::uint32_t> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offsets[i]] = static_cast<std::uint32_t>(i);
+  });
+  return out;
+}
+
+/// pack: keeps items[i] for which pred(i) holds, preserving order.
+template <typename T, typename Pred>
+std::vector<T> pack(const std::vector<T>& items, Pred&& pred) {
+  std::size_t n = items.size();
+  std::vector<std::uint32_t> flags(n);
+  parallel_for(0, n, [&](std::size_t i) { flags[i] = pred(i) ? 1u : 0u; });
+  std::vector<std::uint32_t> offsets = flags;
+  std::uint32_t total = scan_exclusive(offsets);
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offsets[i]] = items[i];
+  });
+  return out;
+}
+
+/// Parallel comparison sort: block-sort then pairwise parallel merges.
+/// O(n log n) work, polylog rounds of merging.
+template <typename T, typename Cmp = std::less<T>>
+void parallel_sort(std::vector<T>& v, Cmp cmp = Cmp{}) {
+  std::size_t n = v.size();
+  if (n < 4 * kSeqCutoff || ThreadPool::in_parallel()) {
+    std::sort(v.begin(), v.end(), cmp);
+    return;
+  }
+  std::size_t nb = num_blocks_for(n, 0);
+  // Round nb up to a power of two so the merge tree is balanced.
+  std::size_t p2 = 1;
+  while (p2 < nb) p2 <<= 1;
+  nb = p2;
+  std::size_t block = (n + nb - 1) / nb;
+  auto begin_of = [&](std::size_t b) { return std::min(n, b * block); };
+
+  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+    std::sort(v.begin() + begin_of(b), v.begin() + begin_of(b + 1), cmp);
+  });
+  std::vector<T> buf(n);
+  for (std::size_t width = 1; width < nb; width <<= 1) {
+    std::size_t pairs = nb / (2 * width);
+    ThreadPool::instance().run_blocks(pairs, [&](std::size_t p) {
+      std::size_t lo = begin_of(2 * p * width);
+      std::size_t mid = begin_of(2 * p * width + width);
+      std::size_t hi = begin_of(2 * p * width + 2 * width);
+      std::merge(v.begin() + lo, v.begin() + mid, v.begin() + mid,
+                 v.begin() + hi, buf.begin() + lo, cmp);
+      std::copy(buf.begin() + lo, buf.begin() + hi, v.begin() + lo);
+    });
+  }
+}
+
+/// Fills `out[i] = f(i)` for i in [0, n) and returns the vector.
+template <typename T, typename F>
+std::vector<T> tabulate(std::size_t n, F&& f) {
+  std::vector<T> out(n);
+  parallel_for(0, n, [&](std::size_t i) { out[i] = f(i); });
+  return out;
+}
+
+}  // namespace parsdd

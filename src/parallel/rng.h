@@ -1,0 +1,51 @@
+// Deterministic counter-based random number generation.
+//
+// Every randomized step in the paper (center sampling and jitters in
+// Algorithm 4.1, the retry loop of Algorithm 4.2, the independent-set coin
+// flips of Lemma 6.5, edge sampling in Lemma 6.1) is driven by this
+// counter-based generator: the i-th random value of a stream is a hash of
+// (seed, i), so parallel loops can draw independent values per index without
+// any shared state, and results are reproducible for a fixed seed regardless
+// of thread count.
+#pragma once
+
+#include <cstdint>
+
+namespace parsdd {
+
+/// splitmix64 finalizer: a high-quality 64-bit mixing function.
+inline std::uint64_t hash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// A stateless random stream keyed by a 64-bit seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(hash64(seed + 0x5851f42d4c957f2dull)) {}
+
+  /// i-th 64-bit draw of the stream.
+  std::uint64_t u64(std::uint64_t i) const { return hash64(seed_ ^ hash64(i)); }
+
+  /// i-th draw uniform in [0, 1).
+  double uniform(std::uint64_t i) const {
+    return static_cast<double>(u64(i) >> 11) * 0x1.0p-53;
+  }
+
+  /// i-th draw uniform in {0, 1, ..., bound-1}; bound must be positive.
+  std::uint64_t below(std::uint64_t i, std::uint64_t bound) const {
+    // 128-bit multiply avoids modulo bias for the bounds used here.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(u64(i)) * bound) >> 64);
+  }
+
+  /// Derives an independent child stream (e.g. one per round).
+  Rng child(std::uint64_t tag) const { return Rng(seed_ ^ hash64(tag + 1)); }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace parsdd

@@ -1,0 +1,109 @@
+#include "parallel/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace parsdd {
+
+namespace {
+thread_local bool tls_in_parallel = false;
+
+int configured_workers() {
+  if (const char* env = std::getenv("PARSDD_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v - 1;  // PARSDD_THREADS counts the caller too
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? static_cast<int>(hw) - 1 : 0;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::in_parallel() { return tls_in_parallel; }
+
+ThreadPool::ThreadPool() {
+  int n = configured_workers();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  tls_in_parallel = true;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;  // may be null if the job already drained
+    }
+    if (!job) continue;
+    bool did_work = false;
+    for (;;) {
+      std::size_t b = job->cursor.fetch_add(1, std::memory_order_relaxed);
+      if (b >= job->num_blocks) break;
+      job->fn(b);
+      job->done.fetch_add(1, std::memory_order_release);
+      did_work = true;
+    }
+    if (did_work) cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::run_blocks(std::size_t num_blocks,
+                            const std::function<void(std::size_t)>& block_fn) {
+  if (num_blocks == 0) return;
+  if (workers_.empty() || tls_in_parallel || num_blocks == 1) {
+    for (std::size_t b = 0; b < num_blocks; ++b) block_fn(b);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->num_blocks = num_blocks;
+  job->fn = block_fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+
+  // The caller participates as a worker.
+  tls_in_parallel = true;
+  for (;;) {
+    std::size_t b = job->cursor.fetch_add(1, std::memory_order_relaxed);
+    if (b >= num_blocks) break;
+    job->fn(b);
+    job->done.fetch_add(1, std::memory_order_release);
+  }
+  tls_in_parallel = false;
+
+  // Wait for straggler blocks.  Late-waking workers that find the cursor
+  // already exhausted only touch the shared Job, whose lifetime is managed
+  // by shared_ptr, so returning here is safe once every block has run.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) == num_blocks;
+  });
+  job_ = nullptr;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,80 @@
+// Fork-join thread pool underlying every parallel primitive in parsdd.
+//
+// The paper (Section 2, "Parallel Models") analyzes algorithms in the CRCW
+// PRAM model by work and depth.  The standard faithful realization on shared
+// memory is a fork-join pool executing flat parallel loops; the number of
+// worker threads plays the role of the number of processors, and the
+// round/level structure of the algorithms (BFS levels, contraction rounds,
+// iterations) is the machine-independent depth surrogate reported by the
+// bench harness.
+//
+// Design notes:
+//  * A single process-wide pool (lazily constructed) with
+//    `concurrency() = workers + caller`.  The worker count is taken from the
+//    environment variable PARSDD_THREADS if set, otherwise from
+//    std::thread::hardware_concurrency().
+//  * Parallel regions are non-reentrant by design: a parallel_for issued from
+//    inside a worker runs sequentially.  All algorithms in this library are
+//    written as sequences of flat parallel loops (as in the paper), so nested
+//    parallelism would add scheduling complexity for no asymptotic gain.
+//  * Block dispatch uses a shared atomic cursor, which gives dynamic load
+//    balancing for skewed iterations (e.g. ball growing from centers with
+//    very different ball sizes).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parsdd {
+
+class ThreadPool {
+ public:
+  /// Returns the process-wide pool, constructing it on first use.
+  static ThreadPool& instance();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Total concurrency including the calling thread.
+  int concurrency() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// True when called from inside a parallel region (worker thread or a
+  /// caller currently participating in one).  Used to serialize nested
+  /// parallel_for calls.
+  static bool in_parallel();
+
+  /// Runs `block_fn(b)` for every b in [0, num_blocks), distributing blocks
+  /// over all workers plus the calling thread; blocks until every block has
+  /// completed.  Must not be called from inside a parallel region.
+  void run_blocks(std::size_t num_blocks,
+                  const std::function<void(std::size_t)>& block_fn);
+
+ private:
+  ThreadPool();
+  void worker_loop();
+
+  struct Job {
+    std::atomic<std::size_t> cursor{0};
+    std::size_t num_blocks = 0;
+    std::function<void(std::size_t)> fn;
+    std::atomic<std::size_t> done{0};
+  };
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Job> job_;   // guarded by mu_ for publication
+  std::uint64_t epoch_ = 0;    // bumped per job so workers wake exactly once
+  bool shutdown_ = false;
+};
+
+}  // namespace parsdd

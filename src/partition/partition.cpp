@@ -1,0 +1,75 @@
+#include "partition/partition.h"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+std::vector<std::size_t> count_cut_edges(
+    const std::vector<ClassedEdge>& edges, std::uint32_t num_classes,
+    const std::vector<std::uint32_t>& component) {
+  std::vector<std::atomic<std::size_t>> counts(num_classes);
+  for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+  parallel_for(0, edges.size(), [&](std::size_t i) {
+    const ClassedEdge& e = edges[i];
+    if (component[e.u] != component[e.v]) {
+      counts[e.cls].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::size_t> out(num_classes);
+  for (std::uint32_t j = 0; j < num_classes; ++j) {
+    out[j] = counts[j].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+PartitionResult partition(std::uint32_t n,
+                          const std::vector<ClassedEdge>& edges,
+                          std::uint32_t num_classes, std::uint32_t rho,
+                          const PartitionOptions& opts) {
+  if (rho == 0) throw std::invalid_argument("partition: rho must be >= 1");
+  Graph g = Graph::from_classed_edges(n, edges);
+
+  const double log2n = std::log2(std::max<double>(n, 2.0));
+  PartitionResult result;
+  result.threshold =
+      std::min(1.0, opts.cut_constant * num_classes * log2n * log2n * log2n /
+                        static_cast<double>(rho));
+
+  std::vector<std::size_t> class_size(num_classes, 0);
+  for (const ClassedEdge& e : edges) ++class_size[e.cls];
+
+  for (std::uint32_t attempt = 1; attempt <= opts.max_attempts; ++attempt) {
+    SplitGraphOptions sg;
+    sg.seed = opts.seed + 0x1000003ull * attempt;
+    sg.center_constant = opts.center_constant;
+    Decomposition d = split_graph(g, rho, sg);
+
+    std::vector<std::size_t> cut =
+        count_cut_edges(edges, num_classes, d.component);
+    bool ok = true;
+    result.cut_fraction.assign(num_classes, 0.0);
+    for (std::uint32_t j = 0; j < num_classes; ++j) {
+      double frac = class_size[j] == 0
+                        ? 0.0
+                        : static_cast<double>(cut[j]) /
+                              static_cast<double>(class_size[j]);
+      result.cut_fraction[j] = frac;
+      if (static_cast<double>(cut[j]) >
+          result.threshold * static_cast<double>(class_size[j])) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      result.decomposition = std::move(d);
+      result.attempts = attempt;
+      return result;
+    }
+  }
+  throw std::runtime_error("partition: validation failed repeatedly");
+}
+
+}  // namespace parsdd

@@ -1,0 +1,54 @@
+// Algorithm 4.2 (Partition): low-diameter decomposition with per-class cut
+// guarantees (Theorem 4.1).
+//
+// Runs splitGraph treating all k edge classes as one, then validates that
+// every class j has at most |E_j| * c₁ * k * log³n / ρ cut edges; if any
+// class fails, the whole decomposition is redrawn with a fresh seed.
+// Corollary 4.8 makes each attempt succeed with probability >= 1/4, so the
+// attempt count is geometric (validated by the E2 bench).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "partition/split_graph.h"
+
+namespace parsdd {
+
+struct PartitionOptions {
+  std::uint64_t seed = 1;
+  /// Center-sampling multiplier forwarded to splitGraph.
+  double center_constant = 12.0;
+  /// c₁ in the cut-fraction bound.  The paper's analysis gives c₁ = 272;
+  /// the measured cut fractions are far below it (see EXPERIMENTS.md), so
+  /// tests exercise the retry path by lowering this.
+  double cut_constant = 272.0;
+  /// Safety valve on the geometric retry loop.
+  std::uint32_t max_attempts = 64;
+};
+
+struct PartitionResult {
+  Decomposition decomposition;
+  /// Attempts used (1 = first try accepted).
+  std::uint32_t attempts = 0;
+  /// Fraction of each class's edges cut by the accepted decomposition.
+  std::vector<double> cut_fraction;
+  /// The per-class acceptance threshold c₁·k·log³n/ρ (capped at 1).
+  double threshold = 0.0;
+};
+
+/// Partitions (V=[0,n), edges with classes in [0, num_classes)) into
+/// components of strong hop-radius <= rho.  Throws std::runtime_error if
+/// max_attempts decompositions all fail validation.
+PartitionResult partition(std::uint32_t n,
+                          const std::vector<ClassedEdge>& edges,
+                          std::uint32_t num_classes, std::uint32_t rho,
+                          const PartitionOptions& opts = {});
+
+/// Counts, for each class, how many edges straddle two components.
+std::vector<std::size_t> count_cut_edges(
+    const std::vector<ClassedEdge>& edges, std::uint32_t num_classes,
+    const std::vector<std::uint32_t>& component);
+
+}  // namespace parsdd

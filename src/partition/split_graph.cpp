@@ -1,0 +1,187 @@
+#include "partition/split_graph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "parallel/primitives.h"
+#include "parallel/rng.h"
+
+namespace parsdd {
+
+namespace {
+
+constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+
+// Atomic fetch-min; returns the previous value.
+std::uint32_t fetch_min(std::atomic<std::uint32_t>& a, std::uint32_t v) {
+  std::uint32_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  return cur;
+}
+
+}  // namespace
+
+Decomposition split_graph(const Graph& g, std::uint32_t rho,
+                          const SplitGraphOptions& opts) {
+  const std::uint32_t n = g.num_vertices();
+  Decomposition out;
+  out.component.assign(n, kUnset);
+  if (n == 0) return out;
+
+  const double ln_n = std::log(std::max<double>(n, 2.0));
+  const std::uint32_t log2_n =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                     std::ceil(std::log2(std::max(n, 2u)))));
+  const std::uint32_t T = 2 * log2_n;
+  const std::uint32_t R = std::max<std::uint32_t>(1, rho / (2 * log2_n));
+
+  Rng rng(opts.seed);
+
+  // comp_center[v]: center id claiming v (center's vertex id); claimed[v]
+  // is the iteration stamp.
+  std::vector<std::uint32_t> comp_center(n, kUnset);
+  std::vector<std::uint32_t> claimed(n, kUnset);
+  std::vector<std::atomic<std::uint32_t>> cand(n);
+  parallel_for(0, n, [&](std::size_t v) {
+    cand[v].store(kUnset, std::memory_order_relaxed);
+  });
+
+  std::size_t num_alive = n;
+  std::vector<std::uint32_t> alive(n);
+  for (std::uint32_t v = 0; v < n; ++v) alive[v] = v;
+
+  for (std::uint32_t t = 1; t <= T && num_alive > 0; ++t) {
+    out.iterations = t;
+    Rng iter_rng = rng.child(t);
+
+    // |S^(t)| = ceil(c * n^(t/T - 1) * |V^(t)| * ln n), or everything in the
+    // final iterations once the formula exceeds |V^(t)| (this also
+    // guarantees termination: at t = T the exponent is 0 and c*ln n >= 1).
+    double frac = std::pow(static_cast<double>(n),
+                           static_cast<double>(t) / T - 1.0);
+    double sigma_d = opts.center_constant * frac *
+                     static_cast<double>(num_alive) * ln_n;
+    std::size_t sigma = static_cast<std::size_t>(std::ceil(sigma_d));
+    bool take_all = sigma >= num_alive;
+
+    // Sample centers without replacement (partial Fisher–Yates on the alive
+    // list; sequential but O(sigma + |alive|) total).
+    std::vector<std::uint32_t> centers;
+    if (take_all) {
+      centers = alive;
+    } else {
+      for (std::size_t i = 0; i < sigma; ++i) {
+        std::size_t j = i + iter_rng.below(i, num_alive - i);
+        std::swap(alive[i], alive[j]);
+        centers.push_back(alive[i]);
+      }
+    }
+
+    // Jitters, grouped by activation round.  The cap at rho matters when
+    // rho < 2 log n (the paper implicitly assumes R = rho/(2 log n) >= 1);
+    // the claim-round bound r_t <= rho is what gives property (P2).
+    const std::uint32_t r_t = std::min((T - t + 1) * R, rho);
+    std::vector<std::vector<std::uint32_t>> activate(R + 1);
+    Rng jit_rng = iter_rng.child(0x9d);
+    for (std::size_t i = 0; i < centers.size(); ++i) {
+      std::uint32_t delta =
+          static_cast<std::uint32_t>(jit_rng.below(i, R + 1));
+      activate[delta].push_back(centers[i]);
+    }
+
+    // Staggered BFS for rounds 0..r_t (claim round = dist + delta).
+    std::vector<std::uint32_t> frontier;
+    std::vector<std::uint32_t> touched;
+    for (std::uint32_t round = 0; round <= r_t; ++round) {
+      touched.clear();
+      // Expand the previous round's frontier.
+      if (!frontier.empty()) {
+        std::size_t f = frontier.size();
+        std::size_t nb = num_blocks_for(f, 64);
+        std::vector<std::vector<std::uint32_t>> local(nb);
+        std::size_t block = (f + nb - 1) / nb;
+        auto expand = [&](std::size_t b) {
+          std::size_t s = b * block, e = std::min(f, s + block);
+          auto& loc = local[b];
+          for (std::size_t i = s; i < e; ++i) {
+            std::uint32_t u = frontier[i];
+            std::uint32_t cu = comp_center[u];
+            for (std::uint32_t v : g.neighbors(u)) {
+              if (claimed[v] != kUnset) continue;  // already assigned
+              if (fetch_min(cand[v], cu) == kUnset) loc.push_back(v);
+            }
+          }
+        };
+        if (f < 256 || ThreadPool::in_parallel()) {
+          nb = 1;
+          for (std::size_t b = 0; b < 1; ++b) expand(b);
+          local.resize(1);
+        } else {
+          ThreadPool::instance().run_blocks(nb, expand);
+        }
+        for (auto& loc : local) {
+          touched.insert(touched.end(), loc.begin(), loc.end());
+        }
+      }
+      // Inject centers activating this round (if still unclaimed and not
+      // already a candidate from an earlier arrival... candidates at this
+      // same round compete by min id, matching the tie-break).
+      if (round <= R) {
+        for (std::uint32_t s : activate[round]) {
+          if (claimed[s] != kUnset) continue;
+          if (fetch_min(cand[s], s) == kUnset) touched.push_back(s);
+        }
+      }
+      if (touched.empty()) {
+        frontier.clear();      // nothing claimed: all balls are exhausted
+        if (round >= R) break;  // and no future activations remain
+        continue;
+      }
+      ++out.total_rounds;
+      // Finalize claims for this round.
+      parallel_for(0, touched.size(), [&](std::size_t i) {
+        std::uint32_t v = touched[i];
+        comp_center[v] = cand[v].load(std::memory_order_relaxed);
+        claimed[v] = t;
+        cand[v].store(kUnset, std::memory_order_relaxed);
+      });
+      frontier.swap(touched);
+    }
+
+    // Remove claimed vertices from the alive set.
+    alive = pack(alive, [&](std::size_t i) {
+      return claimed[alive[i]] == kUnset;
+    });
+    num_alive = alive.size();
+  }
+
+  assert(num_alive == 0);
+
+  // Densify component labels: components are identified by their center id.
+  std::vector<std::uint32_t> is_center(n, 0);
+  parallel_for(0, n, [&](std::size_t v) {
+    // A vertex is a live center iff some vertex is assigned to it; centers
+    // always claim themselves if they claim anything (ball growth starts at
+    // the center), so checking self-assignment suffices.
+    if (comp_center[v] == v) is_center[v] = 1;
+  });
+  std::vector<std::uint32_t> center_ids =
+      pack_index(n, [&](std::size_t v) { return is_center[v] != 0; });
+  std::vector<std::uint32_t> dense(n, kUnset);
+  parallel_for(0, center_ids.size(), [&](std::size_t i) {
+    dense[center_ids[i]] = static_cast<std::uint32_t>(i);
+  });
+  out.center = center_ids;
+  out.num_components = static_cast<std::uint32_t>(center_ids.size());
+  parallel_for(0, n, [&](std::size_t v) {
+    out.component[v] = dense[comp_center[v]];
+  });
+  return out;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,112 @@
+#include "solver/chain.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/laplacian.h"
+
+namespace parsdd {
+
+std::size_t SolverChain::total_edges() const {
+  std::size_t total = 0;
+  for (const ChainLevel& l : levels) total += l.edges.size();
+  return total;
+}
+
+SolverChain build_chain(std::uint32_t n, const EdgeList& edges,
+                        const ChainOptions& opts) {
+  SolverChain chain;
+  std::uint32_t bottom_size = opts.bottom_size;
+  if (bottom_size == 0) {
+    bottom_size = std::max<std::uint32_t>(
+        24, static_cast<std::uint32_t>(
+                std::ceil(std::cbrt(static_cast<double>(edges.size()) + 1))));
+  }
+
+  std::uint32_t cur_n = n;
+  EdgeList cur_edges = edges;
+  double kappa = opts.kappa;
+
+  for (std::uint32_t level = 0;; ++level) {
+    ChainLevel lvl;
+    lvl.n = cur_n;
+    lvl.edges = cur_edges;
+    lvl.laplacian = laplacian_from_edges(cur_n, cur_edges);
+
+    const bool is_bottom =
+        cur_n <= bottom_size || level + 1 >= opts.max_levels;
+    if (is_bottom) {
+      chain.levels.push_back(std::move(lvl));
+      break;
+    }
+
+    SparsifyOptions sopts;
+    sopts.seed = opts.seed + 0x51ed2701ull * (level + 1);
+    sopts.oversample = opts.oversample;
+    sopts.p_floor = opts.p_floor;
+    sopts.subgraph_scale = opts.subgraph_scale;
+    sopts.subgraph.lambda = opts.lambda;
+    sopts.subgraph.theta = opts.theta;
+    sopts.subgraph.y = opts.subgraph_y;
+    sopts.subgraph.z = opts.subgraph_z;
+    // Resolve κ for this level.  Automatic mode mirrors Lemma 6.2's
+    // S·log n / κ edge-budget relation: aim for ~m/8 sampled edges.
+    double m = static_cast<double>(cur_edges.size());
+    double ln_n = std::log(std::max<double>(cur_n, 2.0));
+    double level_kappa = kappa;
+    SparsifyResult sp;
+    double avg_stretch = 0.0;
+    if (opts.mode == ChainMode::kUltrasparse) {
+      // B = Ĝ exactly: suppress sampling by sending κ to infinity.
+      sopts.kappa = 1e300;
+      sopts.p_floor = 0.0;
+      sp = incremental_sparsify(cur_n, cur_edges, sopts);
+      avg_stretch = sp.total_stretch / std::max(1.0, m);
+      level_kappa = avg_stretch * m;  // nominal bound: total stretch
+    } else {
+      // First pass with a provisional κ to learn the stretch; redo with the
+      // informed value if the provisional badly missed the m/8 budget.
+      if (level_kappa <= 0.0) level_kappa = 8.0 * ln_n;
+      sopts.kappa = level_kappa;
+      sp = incremental_sparsify(cur_n, cur_edges, sopts);
+      avg_stretch = sp.total_stretch / std::max(1.0, m);
+      if (opts.kappa <= 0.0) {
+        double informed = 8.0 * opts.oversample * avg_stretch * ln_n;
+        if (informed > 2.0 * level_kappa) {
+          level_kappa = informed;
+          sopts.kappa = level_kappa;
+          sp = incremental_sparsify(cur_n, cur_edges, sopts);
+        }
+      }
+    }
+    lvl.kappa = level_kappa;
+    lvl.avg_stretch = avg_stretch;
+    lvl.has_preconditioner = true;
+    lvl.b_edges = std::move(sp.h_edges);
+
+    lvl.elimination = greedy_eliminate(
+        cur_n, lvl.b_edges, opts.seed + 0x9e3779b9ull * (level + 1));
+
+    std::uint32_t next_n = lvl.elimination.reduced_n;
+    EdgeList next_edges = lvl.elimination.reduced_edges;
+    chain.levels.push_back(std::move(lvl));
+
+    if (next_n >= cur_n && next_edges.size() >= cur_edges.size()) {
+      // No progress (pathological sampling); sparsify harder next level.
+      kappa = (kappa <= 0.0 ? 16.0 * ln_n : kappa * 2.0);
+    } else {
+      if (kappa > 0.0) kappa *= opts.kappa_growth;
+    }
+    cur_n = next_n;
+    cur_edges = std::move(next_edges);
+    if (cur_n == 0) break;  // fully eliminated (input was tree-like)
+  }
+
+  const ChainLevel& last = chain.levels.back();
+  if (!last.has_preconditioner && last.n >= 2 && !last.edges.empty()) {
+    chain.bottom = DenseLdlt::factor_laplacian(last.laplacian);
+  }
+  return chain;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,173 @@
+#include "solver/greedy_elimination.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "parallel/primitives.h"
+#include "parallel/rng.h"
+
+namespace parsdd {
+
+namespace {
+constexpr std::uint32_t kGone = std::numeric_limits<std::uint32_t>::max();
+}
+
+GreedyEliminationResult greedy_eliminate(std::uint32_t n,
+                                         const EdgeList& edges,
+                                         std::uint64_t seed) {
+  GreedyEliminationResult out;
+  // Mutable multigraph adjacency.  Entries referencing eliminated vertices
+  // are cleaned lazily when a vertex becomes an elimination candidate.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adj(n);
+  std::vector<std::uint32_t> deg(n, 0);  // live incident edge count
+  for (const Edge& e : edges) {
+    adj[e.u].push_back({e.v, e.w});
+    adj[e.v].push_back({e.u, e.w});
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  std::vector<std::uint8_t> eliminated(n, 0);
+  Rng rng(seed);
+
+  auto compact = [&](std::uint32_t v) {
+    auto& a = adj[v];
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!eliminated[a[i].first]) a[w++] = a[i];
+    }
+    a.resize(w);
+    assert(a.size() == deg[v]);
+  };
+
+  std::size_t remaining = n;
+  for (std::uint32_t round = 0; remaining > 0; ++round) {
+    // Candidates: live vertices of degree <= 2.
+    std::vector<std::uint32_t> cand = pack_index(n, [&](std::size_t v) {
+      return !eliminated[v] && deg[v] <= 2;
+    });
+    if (cand.empty()) break;
+    ++out.rounds;
+    Rng round_rng = rng.child(round);
+
+    // Random priorities; a candidate is selected iff it beats every
+    // candidate neighbor (independent set of local maxima).
+    std::vector<std::uint64_t> prio(n, 0);
+    parallel_for(0, cand.size(), [&](std::size_t i) {
+      // Mix the vertex id so priorities are distinct.
+      prio[cand[i]] = (round_rng.u64(cand[i]) << 20) | cand[i];
+    });
+    std::vector<std::uint8_t> selected(n, 0);
+    parallel_for(0, cand.size(), [&](std::size_t i) {
+      std::uint32_t v = cand[i];
+      bool best = true;
+      for (const auto& [u, w] : adj[v]) {
+        (void)w;
+        if (eliminated[u]) continue;
+        if (deg[u] <= 2 && prio[u] > prio[v]) {
+          best = false;
+          break;
+        }
+      }
+      selected[v] = best ? 1 : 0;
+    });
+
+    // Apply the independent set sequentially (the updates are O(1) each;
+    // the parallel work above is the selection, matching the rake/compress
+    // rounds of [MR89]).
+    for (std::uint32_t v : cand) {
+      if (!selected[v]) continue;
+      compact(v);
+      EliminationStep step;
+      step.v = v;
+      step.degree = deg[v];
+      if (deg[v] >= 1) {
+        step.u1 = adj[v][0].first;
+        step.w1 = adj[v][0].second;
+      }
+      if (deg[v] == 2) {
+        step.u2 = adj[v][1].first;
+        step.w2 = adj[v][1].second;
+      }
+      step.pivot = step.w1 + step.w2;
+      eliminated[v] = 1;
+      --remaining;
+      if (step.degree == 1) {
+        --deg[step.u1];
+      } else if (step.degree == 2) {
+        if (step.u1 == step.u2) {
+          // Parallel edges to the same neighbor: the fill is a self-loop,
+          // which vanishes from the Laplacian.
+          deg[step.u1] -= 2;
+        } else {
+          double fill = step.w1 * step.w2 / step.pivot;
+          adj[step.u1].push_back({step.u2, fill});
+          adj[step.u2].push_back({step.u1, fill});
+          // u1/u2 each lose the edge to v and gain the fill: deg unchanged.
+        }
+      }
+      adj[v].clear();
+      out.steps.push_back(step);
+    }
+  }
+
+  // Assemble the reduced graph.
+  out.reduced_of_orig.assign(n, kGone);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!eliminated[v]) {
+      out.reduced_of_orig[v] = static_cast<std::uint32_t>(
+          out.orig_of_reduced.size());
+      out.orig_of_reduced.push_back(v);
+    }
+  }
+  out.reduced_n = static_cast<std::uint32_t>(out.orig_of_reduced.size());
+  for (std::uint32_t v : out.orig_of_reduced) {
+    compact(v);
+    for (const auto& [u, w] : adj[v]) {
+      if (u > v || (u == v)) continue;  // emit each edge once (u < v side)
+      out.reduced_edges.push_back(
+          Edge{out.reduced_of_orig[u], out.reduced_of_orig[v], w});
+    }
+  }
+  // Merge parallel edges in the reduced graph (Laplacian-equivalent and
+  // keeps later levels lean).
+  out.reduced_edges = combine_parallel_edges(out.reduced_edges);
+  return out;
+}
+
+Vec GreedyEliminationResult::fold_rhs(const Vec& b, Vec* reduced_rhs) const {
+  Vec folded = b;
+  for (const EliminationStep& s : steps) {
+    if (s.degree >= 1) folded[s.u1] += (s.w1 / s.pivot) * folded[s.v];
+    if (s.degree == 2) folded[s.u2] += (s.w2 / s.pivot) * folded[s.v];
+  }
+  if (reduced_rhs) {
+    reduced_rhs->resize(reduced_n);
+    for (std::uint32_t i = 0; i < reduced_n; ++i) {
+      (*reduced_rhs)[i] = folded[orig_of_reduced[i]];
+    }
+  }
+  return folded;
+}
+
+Vec GreedyEliminationResult::back_substitute(const Vec& folded_b,
+                                             const Vec& x_reduced) const {
+  Vec x(folded_b.size(), 0.0);
+  for (std::uint32_t i = 0; i < reduced_n; ++i) {
+    x[orig_of_reduced[i]] = x_reduced[i];
+  }
+  for (std::size_t k = steps.size(); k-- > 0;) {
+    const EliminationStep& s = steps[k];
+    if (s.degree == 0) {
+      x[s.v] = 0.0;  // isolated vertex: grounded
+    } else if (s.degree == 1) {
+      x[s.v] = folded_b[s.v] / s.pivot + x[s.u1];
+    } else {
+      x[s.v] = (folded_b[s.v] + s.w1 * x[s.u1] + s.w2 * x[s.u2]) / s.pivot;
+    }
+  }
+  return x;
+}
+
+}  // namespace parsdd

@@ -1,0 +1,69 @@
+// Lemma 6.5: parallel GreedyElimination — partial Cholesky factorization on
+// vertices of degree at most 2.
+//
+// Graph-theoretically: repeatedly remove degree-1 vertices and splice out
+// degree-2 vertices (series resistors: eliminating v on the path u1—v—u2
+// with weights w1, w2 adds the fill edge {u1,u2} of weight w1·w2/(w1+w2)),
+// "a slight generalization of parallel tree contraction [MR89]".  The
+// parallel version eliminates, per round, an independent set of degree-≤2
+// vertices chosen by random priorities — a constant fraction of the "extra"
+// vertices in expectation, so O(log n) rounds whp (validated by the E5
+// bench).  The output graph has at most 2·(m-n+1)-ish vertices left, i.e.
+// no vertices of degree <= 2 remain.
+//
+// Each elimination is recorded so linear systems factor through the
+// reduction exactly: forward-substitution folds the RHS onto the kept
+// vertices (Schur complement RHS), and back-substitution recovers eliminated
+// entries from the reduced solution.  An input that is entirely a tree
+// eliminates to nothing and is solved exactly by the recorded steps alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "linalg/vector_ops.h"
+
+namespace parsdd {
+
+struct EliminationStep {
+  std::uint32_t v = 0;       // eliminated vertex
+  std::uint32_t degree = 0;  // 0, 1 or 2 at elimination time
+  std::uint32_t u1 = 0, u2 = 0;
+  double w1 = 0.0, w2 = 0.0;
+  double pivot = 0.0;  // w1 + w2 (weighted degree of v)
+};
+
+class GreedyEliminationResult {
+ public:
+  /// Elimination record in order.
+  std::vector<EliminationStep> steps;
+  /// Parallel rounds used (Lemma 6.5: O(log n) whp).
+  std::uint32_t rounds = 0;
+
+  /// Reduced graph on relabeled vertices [0, reduced_n); may be empty if
+  /// the input was a forest.
+  std::uint32_t reduced_n = 0;
+  EdgeList reduced_edges;
+  /// reduced id -> original id.
+  std::vector<std::uint32_t> orig_of_reduced;
+  /// original id -> reduced id (UINT32_MAX if eliminated).
+  std::vector<std::uint32_t> reduced_of_orig;
+
+  /// Folds an original-space RHS through the eliminations; returns the
+  /// full-length folded vector (needed again by back_substitute) and writes
+  /// the reduced-space RHS to `reduced_rhs`.
+  Vec fold_rhs(const Vec& b, Vec* reduced_rhs) const;
+
+  /// Reconstructs the full solution from the reduced solve and the folded
+  /// RHS returned by fold_rhs.
+  Vec back_substitute(const Vec& folded_b, const Vec& x_reduced) const;
+};
+
+/// Eliminates all degree-<=2 vertices of the Laplacian graph (V=[0,n),
+/// edges).  Deterministic for a fixed seed.
+GreedyEliminationResult greedy_eliminate(std::uint32_t n,
+                                         const EdgeList& edges,
+                                         std::uint64_t seed = 1);
+
+}  // namespace parsdd

@@ -1,0 +1,103 @@
+// The recursive solve over a preconditioner chain (Section 6.2).
+//
+// Lemma 6.7/6.8: level i applies a fixed number of preconditioned iterations
+// on A_i, where each preconditioner application solves B_i by folding through
+// GreedyElimination and recursing on A_{i+1}; the bottom level uses the dense
+// factorization.  The paper's method is preconditioned Chebyshev (rPCh) —
+// a *linear* operator, which lets the whole recursion act as a single fixed
+// polynomial preconditioner.  A flexible-CG inner mode is provided as the
+// floating-point-robust alternative (see DESIGN.md).
+//
+// Two top-level drivers:
+//   * solve():      top-level flexible PCG to tolerance ε (production).
+//   * solve_rpch(): pure recursive Chebyshev — iterative refinement with the
+//                   one-pass chain operator, O(log 1/ε) passes, matching
+//                   Theorem 1.1's log(1/ε) dependence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "linalg/iterative.h"
+#include "solver/chain.h"
+
+namespace parsdd {
+
+enum class InnerMethod {
+  kChebyshev,   // paper-faithful rPCh recursion (linear operator)
+  kFlexibleCg,  // adaptive inner Krylov (nonlinear; needs flexible top)
+};
+
+struct RecursiveSolverOptions {
+  /// Default is the flexible inner Krylov method: it needs no spectral
+  /// bounds, so it is robust to the constant-factor slack in the sampled
+  /// sandwich A_i ≼ B_i ≼ κ_i A_i.  kChebyshev reproduces the paper's rPCh;
+  /// for it the constructor *measures* λmax(B_i⁺A_i) per level bottom-up by
+  /// power iteration (Chebyshev diverges if its upper bound is exceeded,
+  /// and the sampling guarantees constants only in expectation).
+  InnerMethod inner = InnerMethod::kFlexibleCg;
+  /// Flexible-CG mode: per-visit relative-residual target and iteration
+  /// budget for the inner solve of A_{i}.  The inner solve must be fairly
+  /// accurate — an ultra-sparse B_i is an excellent preconditioner only
+  /// when actually *solved*; a sloppy inner solve degrades the whole chain
+  /// (measured in the E8 ablation bench).
+  double inner_tolerance = 0.1;
+  std::uint32_t inner_max_iterations = 40;
+  /// Chebyshev mode: iterations per level visit;
+  /// 0 = ceil(sqrt(min(κ_i, kappa_cap))).
+  std::uint32_t inner_iterations = 0;
+  /// Cap on the κ used to derive the per-level iteration count.
+  double kappa_cap = 36.0;
+  /// Power-iteration steps for the per-level λmax estimate (Chebyshev mode).
+  std::uint32_t power_iterations = 12;
+  /// Safety margin multiplied onto the measured λmax.
+  double lambda_max_margin = 1.25;
+  std::uint64_t seed = 99;
+};
+
+class RecursiveSolver {
+ public:
+  RecursiveSolver(const SolverChain& chain,
+                  const RecursiveSolverOptions& opts = {});
+
+  /// One pass of the chain: x ≈ A₁⁺ b (constant-factor error reduction).
+  /// Usable directly as a preconditioner LinOp.
+  void apply(const Vec& b, Vec& x) const;
+
+  /// Top-level flexible PCG preconditioned by apply(), to tolerance.
+  IterStats solve(const Vec& b, Vec& x, double tolerance,
+                  std::uint32_t max_iterations) const;
+
+  /// Pure rPCh: iterative refinement with the chain operator until the
+  /// relative residual reaches `tolerance` (or max_passes).
+  IterStats solve_rpch(const Vec& b, Vec& x, double tolerance,
+                       std::uint32_t max_passes) const;
+
+  /// Number of bottom-level (dense) solves since construction — the
+  /// quantity the paper's depth analysis counts ("the total number of times
+  /// the algorithm reaches the last level A_d").
+  std::uint64_t bottom_visits() const {
+    return bottom_visits_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() const {
+    bottom_visits_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Measured spectral bounds of the preconditioned operator per level
+  /// (Chebyshev mode); empty in flexible-CG mode.
+  const std::vector<std::pair<double, double>>& level_bounds() const {
+    return level_bounds_;
+  }
+
+ private:
+  void apply_level(std::size_t i, const Vec& b, Vec& x) const;
+  void apply_preconditioner(std::size_t i, const Vec& r, Vec& z) const;
+  std::uint32_t level_iterations(std::size_t i) const;
+
+  const SolverChain& chain_;
+  RecursiveSolverOptions opts_;
+  std::vector<std::pair<double, double>> level_bounds_;  // (lmin, lmax)
+  mutable std::atomic<std::uint64_t> bottom_visits_{0};
+};
+
+}  // namespace parsdd

@@ -1,0 +1,82 @@
+// Theorem 1.1 — SDDSolve: the public solver facade.
+//
+// Accepts any symmetric diagonally dominant system A x = b and computes x̃
+// with small A-norm error:
+//   * SDD matrices are reduced to graph Laplacians by the Gremban double
+//     cover (Section 2 / [Gre96]);
+//   * the Laplacian graph is split into connected components, and a
+//     preconditioner chain (Definition 6.3) is built per nontrivial
+//     component;
+//   * systems are solved by top-level flexible PCG preconditioned by the
+//     recursive chain (default), by pure recursive preconditioned Chebyshev
+//     (the paper's rPCh), or by the classical baselines (CG, Jacobi-PCG)
+//     for comparison benches.
+//
+// For singular Laplacian blocks the right-hand side must be consistent
+// (mean-zero per connected component); solve() projects it and returns the
+// mean-zero (pseudo-inverse) solution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/gremban.h"
+#include "linalg/iterative.h"
+#include "solver/chain.h"
+#include "solver/recursive_solver.h"
+
+namespace parsdd {
+
+enum class SolveMethod {
+  kChainPcg,    // flexible PCG + recursive chain preconditioner (default)
+  kChainRpch,   // pure recursive preconditioned Chebyshev (Theorem 1.1)
+  kCg,          // unpreconditioned conjugate gradient (baseline)
+  kJacobiPcg,   // diagonally preconditioned CG (baseline)
+};
+
+struct SddSolverOptions {
+  double tolerance = 1e-8;
+  std::uint32_t max_iterations = 5000;
+  SolveMethod method = SolveMethod::kChainPcg;
+  ChainOptions chain;
+  RecursiveSolverOptions recursion;
+};
+
+struct SddSolveReport {
+  IterStats stats;                // worst component's iteration stats
+  std::uint32_t chain_levels = 0; // deepest chain
+  std::size_t chain_edges = 0;    // total edges across all chain levels
+  std::uint64_t bottom_visits = 0;
+  std::uint32_t components = 0;
+};
+
+class SddSolver {
+ public:
+  /// Builds a solver for the Laplacian of (V=[0,n), edges).  The graph may
+  /// be disconnected; isolated vertices get solution 0.
+  static SddSolver for_laplacian(std::uint32_t n, const EdgeList& edges,
+                                 const SddSolverOptions& opts = {});
+
+  /// Builds a solver for a general SDD matrix (Gremban reduction applied
+  /// when A is not already a Laplacian).
+  static SddSolver for_sdd(const CsrMatrix& a,
+                           const SddSolverOptions& opts = {});
+
+  /// Solves A x = b.  For Laplacian blocks b is projected per component.
+  Vec solve(const Vec& b, SddSolveReport* report = nullptr) const;
+
+  SddSolver(SddSolver&&) noexcept;
+  SddSolver& operator=(SddSolver&&) noexcept;
+  ~SddSolver();
+
+ private:
+  SddSolver();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace parsdd

@@ -1,0 +1,194 @@
+// Applications: effective resistance, spectral sparsify, maxflow, harmonic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/effective_resistance.h"
+#include "apps/harmonic.h"
+#include "apps/maxflow.h"
+#include "apps/sparsify.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+
+namespace parsdd {
+namespace {
+
+SddSolverOptions tight_solver() {
+  SddSolverOptions o;
+  o.tolerance = 1e-10;
+  return o;
+}
+
+TEST(EffectiveResistance, SeriesResistors) {
+  // Path of k unit edges: R(0, k) = k.
+  GeneratedGraph g = path(11);
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, tight_solver());
+  EXPECT_NEAR(effective_resistance(solver, 0, 10, g.n), 10.0, 1e-6);
+  EXPECT_NEAR(effective_resistance(solver, 2, 5, g.n), 3.0, 1e-6);
+}
+
+TEST(EffectiveResistance, ParallelResistors) {
+  // Two parallel unit edges: R = 1/2 (conductances add).
+  EdgeList e = {{0, 1, 1.0}, {0, 1, 1.0}};
+  SddSolver solver = SddSolver::for_laplacian(2, e, tight_solver());
+  EXPECT_NEAR(effective_resistance(solver, 0, 1, 2), 0.5, 1e-8);
+}
+
+TEST(EffectiveResistance, WeightedSeriesParallel) {
+  // 0-1 with w=2 (R=1/2) in series with 1-2 with w=1 (R=1): total 1.5.
+  EdgeList e = {{0, 1, 2.0}, {1, 2, 1.0}};
+  SddSolver solver = SddSolver::for_laplacian(3, e, tight_solver());
+  EXPECT_NEAR(effective_resistance(solver, 0, 2, 3), 1.5, 1e-8);
+}
+
+TEST(EffectiveResistance, SketchApproximatesExact) {
+  GeneratedGraph g = grid2d(8, 8);
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, tight_solver());
+  ResistanceSketchOptions opts;
+  opts.probes = 400;  // generous for a tight tolerance
+  std::vector<double> approx =
+      approx_edge_resistances(solver, g.n, g.edges, opts);
+  // Spot-check a few edges against one-solve exact values.
+  for (std::size_t i = 0; i < g.edges.size(); i += 17) {
+    double exact =
+        effective_resistance(solver, g.edges[i].u, g.edges[i].v, g.n);
+    EXPECT_NEAR(approx[i], exact, 0.35 * exact + 0.02);
+  }
+}
+
+TEST(SpectralSparsify, PreservesQuadraticForm) {
+  // Dense-ish graph so that leverage scores are genuinely small and the
+  // sampler actually drops edges.
+  GeneratedGraph g = erdos_renyi(100, 3000, 5);
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, tight_solver());
+  SpectralSparsifyOptions opts;
+  opts.epsilon = 0.5;
+  opts.constant = 0.5;
+  opts.probes = 96;
+  SpectralSparsifyResult r = spectral_sparsify(g.n, g.edges, solver, opts);
+  EXPECT_LT(r.sparsifier.size(), g.edges.size());
+  EXPECT_TRUE(is_connected(g.n, r.sparsifier));
+  // Quadratic forms close on random test vectors.
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    Vec x = random_unit_like(g.n, 100 + s);
+    double qa = laplacian_quadratic_form(g.edges, x);
+    double qh = laplacian_quadratic_form(r.sparsifier, x);
+    EXPECT_NEAR(qh / qa, 1.0, 0.6);
+  }
+}
+
+TEST(ExactMaxflow, HandComputedValues) {
+  // Two disjoint unit paths from 0 to 3 => flow 2.
+  EdgeList e = {{0, 1, 1.0}, {1, 3, 1.0}, {0, 2, 1.0}, {2, 3, 1.0}};
+  EXPECT_DOUBLE_EQ(exact_max_flow(4, e, 0, 3), 2.0);
+  // Bottleneck in series.
+  EdgeList e2 = {{0, 1, 5.0}, {1, 2, 2.0}, {2, 3, 5.0}};
+  EXPECT_DOUBLE_EQ(exact_max_flow(4, e2, 0, 3), 2.0);
+  // Undirected cycle: both directions usable.
+  EdgeList e3 = {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}};
+  EXPECT_DOUBLE_EQ(exact_max_flow(3, e3, 0, 2), 2.0);
+}
+
+TEST(ExactMaxflow, GridCutValue) {
+  // 3-wide grid: min cut from left column to right column is 3.
+  GeneratedGraph g = grid2d(5, 3);
+  // Connect a supersource to the left column and supersink to the right.
+  std::uint32_t s = g.n, t = g.n + 1;
+  EdgeList e = g.edges;
+  for (std::uint32_t y = 0; y < 3; ++y) {
+    e.push_back(Edge{s, y * 5 + 0, 100.0});
+    e.push_back(Edge{y * 5 + 4, t, 100.0});
+  }
+  EXPECT_DOUBLE_EQ(exact_max_flow(g.n + 2, e, s, t), 3.0);
+}
+
+TEST(ApproxMaxflow, WithinEpsilonOfExactOnSmallGraphs) {
+  GeneratedGraph g = erdos_renyi(40, 120, 9);
+  std::uint32_t s = 0, t = 20;
+  double exact = exact_max_flow(g.n, g.edges, s, t);
+  ASSERT_GT(exact, 0.0);
+  MaxflowOptions opts;
+  opts.epsilon = 0.2;
+  opts.max_iterations = 60;
+  opts.solver.tolerance = 1e-8;
+  MaxflowResult r = approx_max_flow(g.n, g.edges, s, t, opts);
+  EXPECT_LE(r.flow_value, exact * (1.0 + 1e-6));  // feasible: never exceeds
+  EXPECT_GE(r.flow_value, 0.5 * exact);           // reasonably close
+  // Flow conservation at a non-terminal vertex.
+  Vec net(g.n, 0.0);
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    net[g.edges[i].u] -= r.flow[i];
+    net[g.edges[i].v] += r.flow[i];
+  }
+  for (std::uint32_t v = 0; v < g.n; ++v) {
+    if (v == s || v == t) continue;
+    EXPECT_NEAR(net[v], 0.0, 1e-6 * (1.0 + r.flow_value));
+  }
+  EXPECT_NEAR(net[t], r.flow_value, 1e-6 * (1.0 + r.flow_value));
+}
+
+TEST(ApproxMaxflow, RejectsEqualTerminals) {
+  EdgeList e = {{0, 1, 1.0}};
+  EXPECT_THROW(approx_max_flow(2, e, 0, 0, {}), std::invalid_argument);
+  EXPECT_THROW(exact_max_flow(2, e, 1, 1), std::invalid_argument);
+}
+
+TEST(Harmonic, LinearFunctionIsHarmonicOnPath) {
+  GeneratedGraph g = path(20);
+  // Fix endpoints to 0 and 19; harmonic extension on a unit path is linear.
+  Vec x = harmonic_extension(g.n, g.edges, {0, 19}, {0.0, 19.0},
+                             tight_solver());
+  for (std::uint32_t v = 0; v < g.n; ++v) {
+    EXPECT_NEAR(x[v], static_cast<double>(v), 1e-6);
+  }
+}
+
+TEST(Harmonic, MaximumPrinciple) {
+  GeneratedGraph g = grid2d(10, 10);
+  std::vector<std::uint32_t> boundary;
+  std::vector<double> values;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    boundary.push_back(i);          // bottom row = 1
+    values.push_back(1.0);
+    boundary.push_back(90 + i);     // top row = -1
+    values.push_back(-1.0);
+  }
+  Vec x = harmonic_extension(g.n, g.edges, boundary, values, tight_solver());
+  for (std::uint32_t v = 0; v < g.n; ++v) {
+    EXPECT_LE(x[v], 1.0 + 1e-7);
+    EXPECT_GE(x[v], -1.0 - 1e-7);
+  }
+  // Middle rows interpolate monotonically on average.
+  double row2 = 0, row7 = 0;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    row2 += x[20 + i];
+    row7 += x[70 + i];
+  }
+  EXPECT_GT(row2, row7);
+}
+
+TEST(Harmonic, InteriorComponentWithoutBoundaryGetsZero) {
+  // Edge 2-3 is a separate component with no boundary vertex.
+  EdgeList e = {{0, 1, 1.0}, {2, 3, 1.0}};
+  Vec x = harmonic_extension(4, e, {0}, {5.0});
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+  EXPECT_NEAR(x[1], 5.0, 1e-8);  // leaf hanging off the boundary
+  EXPECT_NEAR(x[2], 0.0, 1e-9);
+  EXPECT_NEAR(x[3], 0.0, 1e-9);
+}
+
+TEST(Harmonic, AllBoundary) {
+  EdgeList e = {{0, 1, 1.0}};
+  Vec x = harmonic_extension(2, e, {0, 1}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(Harmonic, SizeMismatchThrows) {
+  EdgeList e = {{0, 1, 1.0}};
+  EXPECT_THROW(harmonic_extension(2, e, {0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parsdd

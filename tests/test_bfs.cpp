@@ -1,0 +1,104 @@
+// Parallel BFS: exact distances, parents, rounds, truncation.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+
+namespace parsdd {
+namespace {
+
+TEST(Bfs, PathDistances) {
+  GeneratedGraph g = path(100);
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  BfsResult r = bfs(csr, 0);
+  for (std::uint32_t v = 0; v < g.n; ++v) EXPECT_EQ(r.dist[v], v);
+  EXPECT_EQ(r.parent[0], 0u);
+  for (std::uint32_t v = 1; v < g.n; ++v) EXPECT_EQ(r.parent[v], v - 1);
+}
+
+TEST(Bfs, StarDistances) {
+  GeneratedGraph g = star(50);
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  BfsResult r = bfs(csr, 0);
+  EXPECT_EQ(r.dist[0], 0u);
+  for (std::uint32_t v = 1; v < g.n; ++v) EXPECT_EQ(r.dist[v], 1u);
+  BfsResult leaf = bfs(csr, 3);
+  EXPECT_EQ(leaf.dist[0], 1u);
+  EXPECT_EQ(leaf.dist[7], 2u);
+}
+
+TEST(Bfs, GridManhattanDistanceFromCorner) {
+  GeneratedGraph g = grid2d(17, 13);
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  BfsResult r = bfs(csr, 0);
+  for (std::uint32_t y = 0; y < 13; ++y) {
+    for (std::uint32_t x = 0; x < 17; ++x) {
+      EXPECT_EQ(r.dist[y * 17 + x], x + y);
+    }
+  }
+}
+
+TEST(Bfs, ParentsFormValidBfsTree) {
+  GeneratedGraph g = erdos_renyi(300, 900, 7);
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  BfsResult r = bfs(csr, 5);
+  for (std::uint32_t v = 0; v < g.n; ++v) {
+    ASSERT_NE(r.dist[v], kUnreached);
+    if (v == 5) continue;
+    EXPECT_EQ(r.dist[v], r.dist[r.parent[v]] + 1);
+    // parent_eid names an edge incident to both v and parent.
+    const Edge& e = g.edges[r.parent_eid[v]];
+    bool ok = (e.u == v && e.v == r.parent[v]) ||
+              (e.v == v && e.u == r.parent[v]);
+    EXPECT_TRUE(ok);
+  }
+}
+
+TEST(Bfs, UnreachedVerticesMarked) {
+  EdgeList e = {{0, 1, 1.0}, {2, 3, 1.0}};
+  Graph csr = Graph::from_edges(4, e);
+  BfsResult r = bfs(csr, 0);
+  EXPECT_EQ(r.dist[1], 1u);
+  EXPECT_EQ(r.dist[2], kUnreached);
+  EXPECT_EQ(r.parent[3], kUnreached);
+}
+
+TEST(Bfs, MultiSourceTakesNearest) {
+  GeneratedGraph g = path(100);
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  std::vector<std::uint32_t> sources = {0, 99};
+  BfsResult r = bfs_multi(csr, sources);
+  EXPECT_EQ(r.dist[50], 49u);
+  EXPECT_EQ(r.dist[10], 10u);
+  EXPECT_EQ(r.dist[95], 4u);
+}
+
+TEST(Bfs, MaxRoundsTruncates) {
+  GeneratedGraph g = path(100);
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  std::vector<std::uint32_t> src = {0};
+  BfsResult r = bfs_multi(csr, src, 5);
+  EXPECT_EQ(r.dist[5], 5u);
+  EXPECT_EQ(r.dist[6], kUnreached);
+  EXPECT_EQ(r.rounds, 5u);
+}
+
+TEST(Bfs, RoundsReflectEccentricity) {
+  GeneratedGraph g = path(10);
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  BfsResult r = bfs(csr, 0);
+  // 9 productive expansions plus the final empty one.
+  EXPECT_EQ(r.rounds, 10u);
+}
+
+TEST(Bfs, DuplicateSourcesHandled) {
+  GeneratedGraph g = path(10);
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  std::vector<std::uint32_t> sources = {3, 3, 3};
+  BfsResult r = bfs_multi(csr, sources);
+  EXPECT_EQ(r.dist[0], 3u);
+  EXPECT_EQ(r.dist[9], 6u);
+}
+
+}  // namespace
+}  // namespace parsdd

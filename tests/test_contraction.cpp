@@ -1,0 +1,51 @@
+// Minor contraction used by the AKPW pipeline.
+#include <gtest/gtest.h>
+
+#include "graph/contraction.h"
+
+namespace parsdd {
+namespace {
+
+TEST(Contraction, DropsSelfLoopsKeepsParallel) {
+  // Components: {0,1} -> 0, {2,3} -> 1.
+  std::vector<ClassedEdge> e = {
+      {0, 1, 0, 0},  // becomes self-loop, dropped
+      {1, 2, 0, 1},  // becomes (0,1)
+      {0, 3, 1, 2},  // becomes (0,1) — parallel, kept
+      {2, 3, 1, 3},  // self-loop, dropped
+  };
+  std::vector<std::uint32_t> label = {0, 0, 1, 1};
+  auto out = contract_edges(e, label);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].u, 0u);
+  EXPECT_EQ(out[0].v, 1u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 2u);
+  EXPECT_EQ(out[1].cls, 1u);
+}
+
+TEST(Contraction, WeightedMergeParallel) {
+  EdgeList e = {{0, 1, 1.0}, {1, 2, 2.0}, {0, 3, 3.0}};
+  std::vector<std::uint32_t> label = {0, 0, 1, 1};
+  EdgeList merged = contract_edges(e, label, /*merge_parallel=*/true);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].w, 5.0);
+  EdgeList kept = contract_edges(e, label, /*merge_parallel=*/false);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(Contraction, IdentityLabelsOnlyDropSelfLoops) {
+  std::vector<ClassedEdge> e = {{0, 1, 0, 0}, {1, 2, 0, 1}};
+  std::vector<std::uint32_t> label = {0, 1, 2};
+  auto out = contract_edges(e, label);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Contraction, EmptyInput) {
+  std::vector<ClassedEdge> e;
+  std::vector<std::uint32_t> label;
+  EXPECT_TRUE(contract_edges(e, label).empty());
+}
+
+}  // namespace
+}  // namespace parsdd

@@ -1,0 +1,121 @@
+// Generator invariants: sizes, connectivity, weight ranges.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "graph/edge_list.h"
+#include "graph/generators.h"
+
+namespace parsdd {
+namespace {
+
+TEST(Generators, Grid2dCounts) {
+  GeneratedGraph g = grid2d(4, 3);
+  EXPECT_EQ(g.n, 12u);
+  // (nx-1)*ny + nx*(ny-1)
+  EXPECT_EQ(g.edges.size(), 3u * 3 + 4 * 2);
+  EXPECT_TRUE(is_connected(g.n, g.edges));
+}
+
+TEST(Generators, Grid3dCounts) {
+  GeneratedGraph g = grid3d(3, 3, 3);
+  EXPECT_EQ(g.n, 27u);
+  EXPECT_EQ(g.edges.size(), 3u * (2 * 3 * 3));
+  EXPECT_TRUE(is_connected(g.n, g.edges));
+}
+
+TEST(Generators, Torus2dIsFourRegular) {
+  GeneratedGraph g = torus2d(4, 5);
+  EXPECT_EQ(g.n, 20u);
+  EXPECT_EQ(g.edges.size(), 2u * g.n);
+  std::vector<int> deg(g.n, 0);
+  for (const Edge& e : g.edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  for (int d : deg) EXPECT_EQ(d, 4);
+}
+
+TEST(Generators, PathAndStar) {
+  EXPECT_EQ(path(10).edges.size(), 9u);
+  EXPECT_EQ(star(10).edges.size(), 9u);
+  EXPECT_TRUE(is_connected(10, path(10).edges));
+  EXPECT_TRUE(is_connected(10, star(10).edges));
+}
+
+TEST(Generators, CompleteGraph) {
+  GeneratedGraph g = complete(7);
+  EXPECT_EQ(g.edges.size(), 21u);
+}
+
+// Parameterized connectivity/validity sweep across random families & seeds.
+struct FamilyCase {
+  const char* name;
+  std::function<GeneratedGraph(std::uint64_t)> make;
+};
+
+class RandomFamilyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+GeneratedGraph make_family(int family, std::uint64_t seed) {
+  switch (family) {
+    case 0:
+      return erdos_renyi(200, 600, seed);
+    case 1:
+      return rmat(8, 800, seed);
+    default:
+      return preferential_attachment(200, 3, seed);
+  }
+}
+
+TEST_P(RandomFamilyTest, ConnectedNoSelfLoopsInRange) {
+  auto [family, seed] = GetParam();
+  GeneratedGraph g = make_family(family, seed);
+  EXPECT_TRUE(is_connected(g.n, g.edges));
+  for (const Edge& e : g.edges) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LT(e.u, g.n);
+    EXPECT_LT(e.v, g.n);
+    EXPECT_GT(e.w, 0.0);
+  }
+}
+
+TEST_P(RandomFamilyTest, DeterministicForFixedSeed) {
+  auto [family, seed] = GetParam();
+  GeneratedGraph a = make_family(family, seed);
+  GeneratedGraph b = make_family(family, seed);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].u, b.edges[i].u);
+    EXPECT_EQ(a.edges[i].v, b.edges[i].v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSeeds, RandomFamilyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(Generators, LogUniformWeightsWithinSpread) {
+  GeneratedGraph g = grid2d(10, 10);
+  randomize_weights_log_uniform(g.edges, 100.0, 5);
+  for (const Edge& e : g.edges) {
+    EXPECT_GE(e.w, 1.0);
+    EXPECT_LE(e.w, 100.0 * (1 + 1e-9));
+  }
+}
+
+TEST(Generators, TwoLevelWeights) {
+  GeneratedGraph g = grid2d(10, 10);
+  randomize_weights_two_level(g.edges, 1000.0, 5);
+  std::size_t high = 0;
+  for (const Edge& e : g.edges) {
+    EXPECT_TRUE(e.w == 1.0 || e.w == 1000.0);
+    if (e.w == 1000.0) ++high;
+  }
+  EXPECT_GT(high, g.edges.size() / 4);
+  EXPECT_LT(high, 3 * g.edges.size() / 4);
+}
+
+}  // namespace
+}  // namespace parsdd

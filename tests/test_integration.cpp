@@ -1,0 +1,113 @@
+// Cross-module integration: the full Theorem 1.1 pipeline on varied
+// workloads, checked in the A-norm against a dense reference.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "linalg/dense_ldlt.h"
+#include "linalg/laplacian.h"
+#include "solver/sdd_solver.h"
+
+namespace parsdd {
+namespace {
+
+struct Workload {
+  const char* name;
+  GeneratedGraph graph;
+};
+
+GeneratedGraph make_workload(int id) {
+  switch (id) {
+    case 0: {
+      return grid2d(13, 11);
+    }
+    case 1: {
+      return grid3d(6, 5, 4);
+    }
+    case 2: {
+      GeneratedGraph g = torus2d(9, 9);
+      return g;
+    }
+    case 3: {
+      GeneratedGraph g = erdos_renyi(160, 640, 21);
+      randomize_weights_log_uniform(g.edges, 1e4, 3);
+      return g;
+    }
+    case 4: {
+      GeneratedGraph g = preferential_attachment(150, 4, 5);
+      randomize_weights_two_level(g.edges, 1e3, 5);
+      return g;
+    }
+    case 5: {
+      return path(180);
+    }
+    default: {
+      return star(120);
+    }
+  }
+}
+
+class EndToEnd : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EndToEnd, ANormErrorMeetsEpsilon) {
+  auto [workload, seed] = GetParam();
+  GeneratedGraph g = make_workload(workload);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  DenseLdlt ref = DenseLdlt::factor_laplacian(lap);
+  Vec b = random_unit_like(g.n, 1000 + seed);
+  Vec x_ref = ref.solve(b);
+
+  SddSolverOptions opts;
+  opts.tolerance = 1e-10;
+  opts.chain.seed = seed + 1;
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
+  Vec x = solver.solve(b);
+
+  Vec diff = subtract(x, x_ref);
+  double denom = a_norm(lap, x_ref);
+  ASSERT_GT(denom, 0.0);
+  EXPECT_LT(a_norm(lap, diff) / denom, 1e-5)
+      << "workload=" << workload << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, EndToEnd,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6),
+                       ::testing::Values(1, 2)));
+
+TEST(EndToEnd, EpsilonSweepIterationsGrowLogarithmically) {
+  GeneratedGraph g = grid2d(18, 18);
+  std::vector<double> tols = {1e-2, 1e-4, 1e-8};
+  std::vector<std::uint32_t> its;
+  for (double tol : tols) {
+    SddSolverOptions opts;
+    opts.tolerance = tol;
+    SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
+    Vec b = random_unit_like(g.n, 5);
+    SddSolveReport report;
+    solver.solve(b, &report);
+    EXPECT_TRUE(report.stats.converged);
+    its.push_back(report.stats.iterations);
+  }
+  EXPECT_LE(its[0], its[1]);
+  EXPECT_LE(its[1], its[2]);
+  // log(1/eps) scaling: 4x the digits should cost far less than 4x a few
+  // powers; allow generous slack.
+  EXPECT_LE(its[2], 8 * std::max(its[0], 1u));
+}
+
+TEST(EndToEnd, HighContrastWeightsStillConverge) {
+  GeneratedGraph g = grid2d(16, 16);
+  randomize_weights_two_level(g.edges, 1e8, 9);
+  SddSolverOptions opts;
+  opts.tolerance = 1e-8;
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
+  Vec b = random_unit_like(g.n, 6);
+  SddSolveReport report;
+  Vec x = solver.solve(b, &report);
+  EXPECT_TRUE(report.stats.converged);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
+}
+
+}  // namespace
+}  // namespace parsdd

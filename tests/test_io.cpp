@@ -1,0 +1,88 @@
+// Graph file I/O round-trips and error handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace parsdd {
+namespace {
+
+TEST(Io, EdgeListRoundTrip) {
+  GeneratedGraph g = erdos_renyi(60, 180, 4);
+  randomize_weights_log_uniform(g.edges, 10.0, 1);
+  std::stringstream ss;
+  write_edge_list(ss, g.n, g.edges);
+  GeneratedGraph back = read_edge_list(ss);
+  EXPECT_EQ(back.n, g.n);
+  ASSERT_EQ(back.edges.size(), g.edges.size());
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    EXPECT_EQ(back.edges[i].u, g.edges[i].u);
+    EXPECT_EQ(back.edges[i].v, g.edges[i].v);
+    EXPECT_NEAR(back.edges[i].w, g.edges[i].w, 1e-4 * g.edges[i].w);
+  }
+}
+
+TEST(Io, EdgeListWithoutHeaderInfersN) {
+  std::stringstream ss("0 1 2.0\n1 2 3.0\n# comment\n2 5 1.0\n");
+  GeneratedGraph g = read_edge_list(ss);
+  EXPECT_EQ(g.n, 6u);
+  EXPECT_EQ(g.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(g.edges[1].w, 3.0);
+}
+
+TEST(Io, EdgeListDefaultsUnitWeight) {
+  // A first line of two integers reads as the `n m` header, so unweighted
+  // edges require one.
+  std::stringstream ss("2 1\n0 1\n");
+  GeneratedGraph g = read_edge_list(ss);
+  ASSERT_EQ(g.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.edges[0].w, 1.0);
+}
+
+TEST(Io, EdgeListRejectsMalformed) {
+  {
+    std::stringstream ss("3 1\n0 0 1.0\n");
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);  // self-loop
+  }
+  {
+    std::stringstream ss("3 1\n0 1 -2.0\n");
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);  // bad weight
+  }
+  {
+    std::stringstream ss("2 1\n0 5 1.0\n");
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);  // out of range
+  }
+  {
+    std::stringstream ss("2 3\n0 1 1.0\n");
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);  // count mismatch
+  }
+}
+
+TEST(Io, MatrixMarketSymmetricLaplacianPattern) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% a 3-vertex path Laplacian\n"
+      "3 3 5\n"
+      "1 1 1.0\n"
+      "2 1 -1.0\n"
+      "2 2 2.0\n"
+      "3 2 -1.5\n"
+      "3 3 1.5\n");
+  GeneratedGraph g = read_matrix_market(ss);
+  EXPECT_EQ(g.n, 3u);
+  ASSERT_EQ(g.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(g.edges[0].w, 1.0);
+  EXPECT_DOUBLE_EQ(g.edges[1].w, 1.5);
+}
+
+TEST(Io, MatrixMarketRejectsBadBanner) {
+  std::stringstream ss("not a banner\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+  std::stringstream ss2("%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW(read_matrix_market(ss2), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parsdd

@@ -1,0 +1,235 @@
+// CG, flexible PCG, Chebyshev, Jacobi, and pencil eigenvalue estimation.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "linalg/cg.h"
+#include "linalg/chebyshev.h"
+#include "linalg/dense_ldlt.h"
+#include "linalg/eig.h"
+#include "linalg/jacobi.h"
+#include "linalg/laplacian.h"
+
+namespace parsdd {
+namespace {
+
+LinOp op_of(const CsrMatrix& a) {
+  return [&a](const Vec& in, Vec& out) {
+    out.resize(in.size());
+    a.multiply(in, out);
+  };
+}
+
+TEST(Cg, SolvesDiagonalSystem) {
+  std::vector<Triplet> ts = {{0, 0, 1.0}, {1, 1, 2.0}, {2, 2, 4.0}};
+  CsrMatrix a = CsrMatrix::from_triplets(3, std::move(ts));
+  Vec b = {1.0, 1.0, 1.0};
+  Vec x(3, 0.0);
+  CgOptions o;
+  o.tolerance = 1e-12;
+  LinOp aop = op_of(a);
+  IterStats st = conjugate_gradient(aop, b, x, o);
+  EXPECT_TRUE(st.converged);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 0.5, 1e-9);
+  EXPECT_NEAR(x[2], 0.25, 1e-9);
+}
+
+TEST(Cg, ZeroRhsGivesZero) {
+  CsrMatrix a = laplacian_from_edges(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  Vec b(3, 0.0);
+  Vec x = {5.0, 5.0, 5.0};
+  LinOp aop = op_of(a);
+  CgOptions o;
+  IterStats st = conjugate_gradient(aop, b, x, o);
+  EXPECT_TRUE(st.converged);
+  EXPECT_DOUBLE_EQ(norm2(x), 0.0);
+}
+
+TEST(Cg, LaplacianWithProjection) {
+  GeneratedGraph g = grid2d(10, 10);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  Vec b = random_unit_like(g.n, 3);
+  Vec x(g.n, 0.0);
+  CgOptions o;
+  o.tolerance = 1e-10;
+  o.project_constant = true;
+  LinOp aop = op_of(lap);
+  IterStats st = conjugate_gradient(aop, b, x, o);
+  EXPECT_TRUE(st.converged);
+  EXPECT_NEAR(norm2(subtract(lap.apply(x), b)) / norm2(b), 0.0, 1e-8);
+}
+
+TEST(Cg, ExactPreconditionerConvergesInFewIterations) {
+  GeneratedGraph g = grid2d(8, 8);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  DenseLdlt f = DenseLdlt::factor_laplacian(lap);
+  LinOp pre = [&f](const Vec& in, Vec& out) {
+    Vec t = in;
+    project_out_constant(t);
+    out = f.solve(t);
+  };
+  Vec b = random_unit_like(g.n, 4);
+  Vec x(g.n, 0.0);
+  CgOptions o;
+  o.tolerance = 1e-10;
+  o.project_constant = true;
+  LinOp aop = op_of(lap);
+  IterStats st = conjugate_gradient(aop, b, x, o, &pre);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LE(st.iterations, 3u);
+}
+
+TEST(Cg, FlexibleModeHandlesVariablePreconditioner) {
+  GeneratedGraph g = grid2d(12, 12);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  Vec d = lap.diagonal();
+  int call_count = 0;
+  // Preconditioner whose scaling drifts between calls.
+  LinOp pre = [&](const Vec& in, Vec& out) {
+    out.resize(in.size());
+    double s = 1.0 + 0.05 * ((call_count++) % 3);
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = s * in[i] / d[i];
+  };
+  Vec b = random_unit_like(g.n, 5);
+  Vec x(g.n, 0.0);
+  CgOptions o;
+  o.tolerance = 1e-8;
+  o.project_constant = true;
+  o.flexible = true;
+  o.max_iterations = 2000;
+  LinOp aop = op_of(lap);
+  IterStats st = conjugate_gradient(aop, b, x, o, &pre);
+  EXPECT_TRUE(st.converged);
+}
+
+TEST(Chebyshev, ConvergesWithTrueBoundsOnDiagonal) {
+  // Diagonal system: spectrum known exactly.
+  std::vector<Triplet> ts = {{0, 0, 1.0}, {1, 1, 2.0}, {2, 2, 3.0}};
+  CsrMatrix a = CsrMatrix::from_triplets(3, std::move(ts));
+  Vec b = {1.0, 2.0, 3.0};
+  Vec x(3, 0.0);
+  ChebyshevOptions o;
+  o.lambda_min = 1.0;
+  o.lambda_max = 3.0;
+  o.iterations = 40;
+  LinOp aop = op_of(a);
+  IterStats st = chebyshev(aop, b, x, o);
+  EXPECT_LT(st.relative_residual, 1e-8);
+  EXPECT_NEAR(x[0], 1.0, 1e-7);
+}
+
+TEST(Chebyshev, PreconditionedLaplacian) {
+  GeneratedGraph g = grid2d(9, 9);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  DenseLdlt f = DenseLdlt::factor_laplacian(lap);
+  LinOp pre = [&f](const Vec& in, Vec& out) {
+    Vec t = in;
+    project_out_constant(t);
+    out = f.solve(t);
+  };
+  Vec b = random_unit_like(g.n, 6);
+  Vec x(g.n, 0.0);
+  ChebyshevOptions o;
+  o.lambda_min = 0.9;
+  o.lambda_max = 1.1;  // exact preconditioner: spectrum is {1}
+  o.iterations = 12;
+  o.project_constant = true;
+  LinOp aop = op_of(lap);
+  IterStats st = chebyshev(aop, b, x, o, &pre);
+  EXPECT_LT(st.relative_residual, 1e-8);
+}
+
+TEST(Chebyshev, RejectsBadBounds) {
+  CsrMatrix a = laplacian_from_edges(2, {{0, 1, 1.0}});
+  Vec b = {1.0, -1.0};
+  Vec x(2, 0.0);
+  ChebyshevOptions o;
+  o.lambda_min = 2.0;
+  o.lambda_max = 1.0;
+  LinOp aop = op_of(a);
+  EXPECT_THROW(chebyshev(aop, b, x, o), std::invalid_argument);
+}
+
+TEST(Chebyshev, IterationEstimateMonotone) {
+  EXPECT_GE(chebyshev_iterations_for(100.0, 1e-6),
+            chebyshev_iterations_for(100.0, 1e-2));
+  EXPECT_GE(chebyshev_iterations_for(400.0, 1e-4),
+            chebyshev_iterations_for(100.0, 1e-4));
+  EXPECT_GE(chebyshev_iterations_for(1.0, 0.5), 1u);
+}
+
+TEST(Jacobi, ConvergesOnStrictlyDominantSystem) {
+  // Laplacian + identity: strictly diagonally dominant, Jacobi converges.
+  GeneratedGraph g = grid2d(6, 6);
+  std::vector<Triplet> ts;
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  for (std::uint32_t i = 0; i < g.n; ++i) {
+    auto cols = lap.row_cols(i);
+    auto vals = lap.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      ts.push_back({i, cols[k], vals[k]});
+    }
+    ts.push_back({i, i, 1.0});
+  }
+  CsrMatrix a = CsrMatrix::from_triplets(g.n, std::move(ts));
+  Vec b = random_unit_like(g.n, 7);
+  Vec x(g.n, 0.0);
+  JacobiOptions o;
+  o.tolerance = 1e-8;
+  IterStats st = jacobi(a, b, x, o);
+  EXPECT_TRUE(st.converged);
+  EXPECT_NEAR(norm2(subtract(a.apply(x), b)) / norm2(b), 0.0, 1e-7);
+}
+
+TEST(Jacobi, PreconditionerDividesByDiagonal) {
+  std::vector<Triplet> ts = {{0, 0, 2.0}, {1, 1, 4.0}};
+  CsrMatrix a = CsrMatrix::from_triplets(2, std::move(ts));
+  LinOp pre = jacobi_preconditioner(a);
+  Vec out;
+  pre({2.0, 4.0}, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+}
+
+TEST(Eig, PencilOfScaledMatricesIsTheScale) {
+  GeneratedGraph g = grid2d(7, 7);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  EdgeList scaled = g.edges;
+  for (Edge& e : scaled) e.w *= 2.0;
+  CsrMatrix lap2 = laplacian_from_edges(g.n, scaled);
+  DenseLdlt f2 = DenseLdlt::factor_laplacian(lap2);
+  LinOp a = op_of(lap2), bop = op_of(lap);
+  LinOp solve_b = [&](const Vec& in, Vec& out) {
+    // solve lap (= lap2 / 2): x = 2 * lap2^+ in
+    Vec t = in;
+    project_out_constant(t);
+    out = f2.solve(t);
+    scale(2.0, out);
+  };
+  // pencil (2L, L): all eigenvalues are 2.
+  double mx = pencil_max_eig(a, bop, solve_b, g.n, 50, 1);
+  EXPECT_NEAR(mx, 2.0, 1e-6);
+}
+
+TEST(Eig, MinEigOfSandwich) {
+  // A = L, B = L + 0.5*L' where L' adds extra edges: x'Bx >= x'Ax, so
+  // lambda_max(B^+A) <= 1 and pencil_min of (B, A) >= 1.
+  GeneratedGraph g = grid2d(6, 6);
+  CsrMatrix la = laplacian_from_edges(g.n, g.edges);
+  EdgeList be = g.edges;
+  be.push_back(Edge{0, g.n - 1, 0.5});
+  CsrMatrix lb = laplacian_from_edges(g.n, be);
+  DenseLdlt fb = DenseLdlt::factor_laplacian(lb);
+  LinOp aop = op_of(la), bop = op_of(lb);
+  LinOp solve_b = [&](const Vec& in, Vec& out) {
+    Vec t = in;
+    project_out_constant(t);
+    out = fb.solve(t);
+  };
+  double mx = pencil_max_eig(aop, bop, solve_b, g.n, 100, 3);
+  EXPECT_LE(mx, 1.0 + 1e-6);
+  EXPECT_GT(mx, 0.5);
+}
+
+}  // namespace
+}  // namespace parsdd

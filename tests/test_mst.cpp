@@ -1,0 +1,103 @@
+// MST: Kruskal vs Borůvka equivalence, spanning/forest structure.
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "graph/union_find.h"
+
+namespace parsdd {
+namespace {
+
+void check_spanning_forest(std::uint32_t n, const EdgeList& edges,
+                           const std::vector<std::uint32_t>& chosen) {
+  Components c = connected_components(n, edges);
+  EXPECT_EQ(chosen.size(), n - c.count);
+  UnionFind uf(n);
+  for (std::uint32_t idx : chosen) {
+    ASSERT_LT(idx, edges.size());
+    EXPECT_TRUE(uf.unite(edges[idx].u, edges[idx].v)) << "cycle in forest";
+  }
+  EXPECT_EQ(uf.num_sets(), c.count);
+}
+
+TEST(Mst, KruskalOnTriangle) {
+  EdgeList e = {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 3.0}};
+  auto chosen = mst_kruskal(3, e);
+  ASSERT_EQ(chosen.size(), 2u);
+  EXPECT_DOUBLE_EQ(forest_weight(e, chosen), 3.0);
+}
+
+TEST(Mst, BoruvkaOnTriangle) {
+  EdgeList e = {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 3.0}};
+  auto chosen = mst_boruvka(3, e);
+  ASSERT_EQ(chosen.size(), 2u);
+  EXPECT_DOUBLE_EQ(forest_weight(e, chosen), 3.0);
+}
+
+TEST(Mst, HandlesDisconnectedForest) {
+  EdgeList e = {{0, 1, 1.0}, {2, 3, 2.0}, {3, 4, 1.0}, {2, 4, 5.0}};
+  auto k = mst_kruskal(6, e);
+  auto b = mst_boruvka(6, e);
+  check_spanning_forest(6, e, k);
+  check_spanning_forest(6, e, b);
+  EXPECT_DOUBLE_EQ(forest_weight(e, k), forest_weight(e, b));
+}
+
+TEST(Mst, TieBreakingDeterministic) {
+  EdgeList e = {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}};
+  auto k1 = mst_kruskal(3, e);
+  auto k2 = mst_kruskal(3, e);
+  EXPECT_EQ(k1, k2);
+  auto b1 = mst_boruvka(3, e);
+  auto b2 = mst_boruvka(3, e);
+  EXPECT_EQ(b1, b2);
+}
+
+class MstEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MstEquivalence, KruskalAndBoruvkaAgreeOnWeight) {
+  auto [family, seed] = GetParam();
+  GeneratedGraph g;
+  switch (family) {
+    case 0:
+      g = erdos_renyi(150, 500, seed);
+      break;
+    case 1:
+      g = grid2d(12, 12);
+      break;
+    default:
+      g = preferential_attachment(150, 2, seed);
+      break;
+  }
+  randomize_weights_log_uniform(g.edges, 50.0, seed + 10);
+  auto k = mst_kruskal(g.n, g.edges);
+  auto b = mst_boruvka(g.n, g.edges);
+  check_spanning_forest(g.n, g.edges, k);
+  check_spanning_forest(g.n, g.edges, b);
+  // Distinct weights (log-uniform doubles) => unique MST => same edge set
+  // (Kruskal emits in weight order, Borůvka in index order).
+  EXPECT_NEAR(forest_weight(g.edges, k), forest_weight(g.edges, b), 1e-9);
+  std::sort(k.begin(), k.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(k, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MstEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(11u, 22u, 33u)));
+
+TEST(Mst, ParallelEdgesPickCheapest) {
+  EdgeList e = {{0, 1, 5.0}, {0, 1, 1.0}};
+  auto k = mst_kruskal(2, e);
+  ASSERT_EQ(k.size(), 1u);
+  EXPECT_EQ(k[0], 1u);
+  auto b = mst_boruvka(2, e);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 1u);
+}
+
+}  // namespace
+}  // namespace parsdd

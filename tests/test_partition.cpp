@@ -1,0 +1,157 @@
+// Theorem 4.1 properties: split_graph (Alg 4.1) and Partition (Alg 4.2).
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "partition/partition.h"
+#include "partition/split_graph.h"
+
+namespace parsdd {
+namespace {
+
+// Validates (P1) center in own component and (P2) strong radius <= rho by
+// BFS inside each component.
+void check_p1_p2(const Graph& g, const Decomposition& d, std::uint32_t rho) {
+  std::uint32_t n = g.num_vertices();
+  ASSERT_EQ(d.component.size(), n);
+  ASSERT_EQ(d.center.size(), d.num_components);
+  for (std::uint32_t c = 0; c < d.num_components; ++c) {
+    ASSERT_LT(d.center[c], n);
+    EXPECT_EQ(d.component[d.center[c]], c) << "P1 violated";
+  }
+  // Strong diameter: BFS from all centers, restricted to components, must
+  // reach every vertex within rho hops.
+  std::vector<std::uint32_t> dist(n, kUnreached);
+  std::vector<std::uint32_t> frontier = d.center;
+  for (std::uint32_t s : frontier) dist[s] = 0;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t u : frontier) {
+      for (std::uint32_t v : g.neighbors(u)) {
+        if (dist[v] != kUnreached) continue;
+        if (d.component[v] != d.component[u]) continue;
+        dist[v] = level;
+        next.push_back(v);
+      }
+    }
+    frontier.swap(next);
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    ASSERT_NE(dist[v], kUnreached) << "vertex unassigned or disconnected";
+    EXPECT_LE(dist[v], rho) << "P2 violated";
+  }
+}
+
+class SplitGraphProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(SplitGraphProperty, P1P2HoldOnFamilies) {
+  auto [family, rho] = GetParam();
+  GeneratedGraph g;
+  switch (family) {
+    case 0:
+      g = grid2d(20, 20);
+      break;
+    case 1:
+      g = erdos_renyi(400, 1200, 5);
+      break;
+    case 2:
+      g = path(300);
+      break;
+    default:
+      g = preferential_attachment(400, 3, 5);
+      break;
+  }
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  SplitGraphOptions opts;
+  opts.seed = 42;
+  Decomposition d = split_graph(csr, rho, opts);
+  check_p1_p2(csr, d, rho);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesByRho, SplitGraphProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(8u, 32u, 128u)));
+
+TEST(SplitGraph, DeterministicForFixedSeed) {
+  GeneratedGraph g = erdos_renyi(300, 900, 1);
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  SplitGraphOptions opts;
+  opts.seed = 7;
+  Decomposition a = split_graph(csr, 16, opts);
+  Decomposition b = split_graph(csr, 16, opts);
+  EXPECT_EQ(a.component, b.component);
+  EXPECT_EQ(a.center, b.center);
+}
+
+TEST(SplitGraph, SingleVertexAndEdgeless) {
+  EdgeList none;
+  Graph g1 = Graph::from_edges(1, none);
+  Decomposition d = split_graph(g1, 4);
+  EXPECT_EQ(d.num_components, 1u);
+  Graph g3 = Graph::from_edges(3, none);
+  Decomposition d3 = split_graph(g3, 4);
+  EXPECT_EQ(d3.num_components, 3u);  // all isolated vertices
+}
+
+TEST(SplitGraph, LargeRhoYieldsFewComponents) {
+  GeneratedGraph g = grid2d(15, 15);
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  Decomposition small = split_graph(csr, 4);
+  Decomposition large = split_graph(csr, 1024);
+  EXPECT_GT(small.num_components, large.num_components);
+}
+
+TEST(Partition, CutFractionWithinTheoremBound) {
+  GeneratedGraph g = grid2d(25, 25);
+  std::vector<ClassedEdge> ce;
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    ce.push_back(ClassedEdge{g.edges[i].u, g.edges[i].v,
+                             static_cast<std::uint32_t>(i % 3),
+                             static_cast<std::uint32_t>(i)});
+  }
+  PartitionResult r = partition(g.n, ce, 3, 32);
+  EXPECT_EQ(r.attempts, 1u);  // the paper bound is loose; first try passes
+  for (double f : r.cut_fraction) EXPECT_LE(f, r.threshold + 1e-12);
+}
+
+TEST(Partition, CountCutEdges) {
+  std::vector<ClassedEdge> ce = {{0, 1, 0, 0}, {1, 2, 1, 1}, {2, 3, 0, 2}};
+  std::vector<std::uint32_t> comp = {0, 0, 1, 1};
+  auto cut = count_cut_edges(ce, 2, comp);
+  EXPECT_EQ(cut[0], 0u);
+  EXPECT_EQ(cut[1], 1u);
+}
+
+TEST(Partition, ImpossibleThresholdThrows) {
+  GeneratedGraph g = grid2d(12, 12);
+  std::vector<ClassedEdge> ce;
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    ce.push_back(ClassedEdge{g.edges[i].u, g.edges[i].v, 0,
+                             static_cast<std::uint32_t>(i)});
+  }
+  PartitionOptions opts;
+  opts.cut_constant = 1e-12;  // no decomposition can cut zero edges at rho=2
+  opts.max_attempts = 3;
+  EXPECT_THROW(partition(g.n, ce, 1, 2, opts), std::runtime_error);
+}
+
+TEST(Partition, RejectsZeroRho) {
+  std::vector<ClassedEdge> ce = {{0, 1, 0, 0}};
+  EXPECT_THROW(partition(2, ce, 1, 0), std::invalid_argument);
+}
+
+TEST(Partition, DepthSurrogateScalesWithRho) {
+  GeneratedGraph g = path(2000);
+  Graph csr = Graph::from_edges(g.n, g.edges);
+  Decomposition d = split_graph(csr, 64);
+  // Total BFS rounds bounded by (rho+1) * iterations.
+  EXPECT_LE(d.total_rounds, (64u + 1) * d.iterations + 64u);
+  EXPECT_GT(d.total_rounds, 0u);
+}
+
+}  // namespace
+}  // namespace parsdd

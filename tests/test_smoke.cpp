@@ -1,0 +1,25 @@
+// End-to-end smoke test: the full pipeline on a small grid.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "solver/sdd_solver.h"
+
+namespace parsdd {
+namespace {
+
+TEST(Smoke, GridSolve) {
+  GeneratedGraph g = grid2d(20, 20);
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges);
+  Vec b = random_unit_like(g.n, 42);
+  SddSolveReport report;
+  Vec x = solver.solve(b, &report);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  Vec ax = lap.apply(x);
+  double err = norm2(subtract(ax, b)) / norm2(b);
+  EXPECT_LT(err, 1e-6);
+  EXPECT_TRUE(report.stats.converged);
+}
+
+}  // namespace
+}  // namespace parsdd

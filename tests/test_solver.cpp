@@ -1,0 +1,309 @@
+// IncrementalSparsify, chain construction, recursive solver, SddSolver.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "linalg/dense_ldlt.h"
+#include "linalg/eig.h"
+#include "linalg/laplacian.h"
+#include "solver/chain.h"
+#include "solver/incremental_sparsify.h"
+#include "solver/recursive_solver.h"
+#include "solver/sdd_solver.h"
+
+namespace parsdd {
+namespace {
+
+TEST(IncrementalSparsify, OutputConnectedAndBounded) {
+  GeneratedGraph g = grid2d(18, 18);
+  SparsifyOptions opts;
+  opts.kappa = 100.0;
+  SparsifyResult r = incremental_sparsify(g.n, g.edges, opts);
+  EXPECT_TRUE(is_connected(g.n, r.h_edges));
+  EXPECT_LE(r.h_edges.size(), g.edges.size());
+  EXPECT_EQ(r.h_edges.size(), r.subgraph_count + r.sampled_count);
+  EXPECT_GT(r.total_stretch, 0.0);
+}
+
+TEST(IncrementalSparsify, LargerKappaSparsifiesMore) {
+  GeneratedGraph g = grid2d(20, 20);
+  SparsifyOptions lo, hi;
+  lo.kappa = 16.0;
+  hi.kappa = 4096.0;
+  lo.p_floor = hi.p_floor = 0.0;
+  auto rl = incremental_sparsify(g.n, g.edges, lo);
+  auto rh = incremental_sparsify(g.n, g.edges, hi);
+  EXPECT_GE(rl.sampled_count, rh.sampled_count);
+}
+
+TEST(IncrementalSparsify, SpectralSandwichOnSmallGraph) {
+  // Measure the pencil (A, H) extremes with dense solves; Lemma 6.1 says
+  // G ≼ H ≼ κG up to sampling constants.
+  GeneratedGraph g = grid2d(8, 8);
+  SparsifyOptions opts;
+  opts.kappa = 32.0;
+  opts.p_floor = 0.2;
+  SparsifyResult r = incremental_sparsify(g.n, g.edges, opts);
+  CsrMatrix la = laplacian_from_edges(g.n, g.edges);
+  CsrMatrix lh = laplacian_from_edges(g.n, r.h_edges);
+  DenseLdlt fh = DenseLdlt::factor_laplacian(lh);
+  LinOp aop = [&](const Vec& in, Vec& out) { out.resize(in.size()); la.multiply(in, out); };
+  LinOp hop = [&](const Vec& in, Vec& out) { out.resize(in.size()); lh.multiply(in, out); };
+  LinOp hsolve = [&](const Vec& in, Vec& out) {
+    Vec t = in;
+    project_out_constant(t);
+    out = fh.solve(t);
+  };
+  double lmax = pencil_max_eig(aop, hop, hsolve, g.n, 150, 5);
+  // A ≼ c·H: the preconditioned spectrum is bounded well below κ.
+  EXPECT_LE(lmax, 2.0 * opts.kappa);
+  EXPECT_GT(lmax, 0.1);
+}
+
+TEST(IncrementalSparsify, MstComparisonPicksLowerStretchTree) {
+  // Two-level contrast: the MST (stretch ~1.5) must beat the AKPW subgraph
+  // (stretch ~100+), so total_stretch reported is the MST's.
+  GeneratedGraph g = grid2d(20, 20);
+  randomize_weights_two_level(g.edges, 1e4, 21);
+  SparsifyOptions with, without;
+  with.kappa = without.kappa = 1e300;
+  with.p_floor = without.p_floor = 0.0;
+  without.include_mst = false;
+  auto r_with = incremental_sparsify(g.n, g.edges, with);
+  auto r_without = incremental_sparsify(g.n, g.edges, without);
+  EXPECT_LE(r_with.total_stretch, r_without.total_stretch);
+  EXPECT_LT(r_with.total_stretch / g.edges.size(), 10.0);
+}
+
+TEST(IncrementalSparsify, MstComparisonKeepsAkpwOnUnitGrids) {
+  // On unit grids AKPW wins (MST stretch grows with the side); the
+  // ultrasparse subgraph keeps its extra edges.
+  GeneratedGraph g = grid2d(30, 30);
+  SparsifyOptions opts;
+  opts.kappa = 1e300;
+  opts.p_floor = 0.0;
+  auto r = incremental_sparsify(g.n, g.edges, opts);
+  EXPECT_GE(r.subgraph_count, static_cast<std::size_t>(g.n));  // tree+extras
+}
+
+TEST(IncrementalSparsify, RejectsBadKappaAndDisconnected) {
+  GeneratedGraph g = grid2d(4, 4);
+  SparsifyOptions opts;
+  opts.kappa = 0.5;
+  EXPECT_THROW(incremental_sparsify(g.n, g.edges, opts),
+               std::invalid_argument);
+  EdgeList disc = {{0, 1, 1.0}, {2, 3, 1.0}};
+  EXPECT_THROW(incremental_sparsify(4, disc, {}), std::invalid_argument);
+}
+
+TEST(Chain, ShrinksGeometrically) {
+  GeneratedGraph g = grid2d(40, 40);
+  SolverChain chain = build_chain(g.n, g.edges);
+  ASSERT_GE(chain.depth(), 2u);
+  for (std::size_t i = 1; i < chain.levels.size(); ++i) {
+    EXPECT_LT(chain.levels[i].n, chain.levels[i - 1].n);
+  }
+  EXPECT_LE(chain.total_edges(), 3 * g.edges.size());
+}
+
+TEST(Chain, BottomSizeRespected) {
+  GeneratedGraph g = grid2d(30, 30);
+  ChainOptions opts;
+  opts.bottom_size = 100;
+  SolverChain chain = build_chain(g.n, g.edges, opts);
+  const ChainLevel& last = chain.levels.back();
+  if (!last.has_preconditioner) {
+    EXPECT_LE(last.n, 100u);
+  }
+}
+
+TEST(Chain, TreeInputCollapsesWithoutDenseBottom) {
+  GeneratedGraph g = path(500);
+  SolverChain chain = build_chain(g.n, g.edges);
+  EXPECT_FALSE(chain.bottom.has_value());
+  const ChainLevel& top = chain.levels.front();
+  EXPECT_TRUE(top.has_preconditioner);
+  EXPECT_EQ(top.elimination.reduced_n, 0u);
+}
+
+TEST(Chain, SampledModeBuilds) {
+  GeneratedGraph g = grid2d(20, 20);
+  ChainOptions opts;
+  opts.mode = ChainMode::kSampled;
+  SolverChain chain = build_chain(g.n, g.edges, opts);
+  EXPECT_GE(chain.depth(), 2u);
+  EXPECT_GT(chain.levels.front().kappa, 1.0);
+}
+
+class RecursiveSolverFamily
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RecursiveSolverFamily, SolvesToTolerance) {
+  auto [family, method] = GetParam();
+  GeneratedGraph g;
+  switch (family) {
+    case 0:
+      g = grid2d(20, 20);
+      break;
+    case 1:
+      g = erdos_renyi(350, 1200, 3);
+      break;
+    case 2:
+      g = preferential_attachment(350, 3, 3);
+      break;
+    default:
+      g = grid2d(16, 16);
+      randomize_weights_two_level(g.edges, 1e4, 3);
+      break;
+  }
+  SolverChain chain = build_chain(g.n, g.edges);
+  RecursiveSolverOptions ro;
+  ro.inner = method == 0 ? InnerMethod::kFlexibleCg : InnerMethod::kChebyshev;
+  RecursiveSolver rs(chain, ro);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  Vec b = random_unit_like(g.n, 11);
+  Vec x(g.n, 0.0);
+  IterStats st = rs.solve(b, x, 1e-8, 3000);
+  EXPECT_TRUE(st.converged) << "family=" << family;
+  EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndInner, RecursiveSolverFamily,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3), ::testing::Values(0, 1)));
+
+TEST(RecursiveSolver, OnePassReducesResidual) {
+  GeneratedGraph g = grid2d(24, 24);
+  SolverChain chain = build_chain(g.n, g.edges);
+  RecursiveSolver rs(chain);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  Vec b = random_unit_like(g.n, 12);
+  Vec x;
+  rs.apply(b, x);
+  double rel = norm2(subtract(lap.apply(x), b)) / norm2(b);
+  EXPECT_LT(rel, 0.9);
+  // bottom_visits is 0 when the chain's B collapses to a tree (fully
+  // eliminated, no dense level) — both shapes are valid.
+}
+
+TEST(RecursiveSolver, RpchConvergesLinearlyInPasses) {
+  GeneratedGraph g = grid2d(20, 20);
+  SolverChain chain = build_chain(g.n, g.edges);
+  RecursiveSolver rs(chain);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  Vec b = random_unit_like(g.n, 13);
+  Vec x(g.n, 0.0);
+  IterStats st = rs.solve_rpch(b, x, 1e-8, 400);
+  EXPECT_TRUE(st.converged);
+  // log(1/eps) dependence: doubling the digits should not explode passes.
+  Vec x2(g.n, 0.0);
+  IterStats st2 = rs.solve_rpch(b, x2, 1e-4, 400);
+  EXPECT_LE(st2.iterations, st.iterations);
+}
+
+TEST(SddSolver, LaplacianGridMatchesDenseReference) {
+  GeneratedGraph g = grid2d(12, 12);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  DenseLdlt ref = DenseLdlt::factor_laplacian(lap);
+  Vec b = random_unit_like(g.n, 14);
+  Vec x_ref = ref.solve(b);
+  SddSolverOptions opts;
+  opts.tolerance = 1e-10;
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
+  Vec x = solver.solve(b);
+  // A-norm error (Theorem 1.1's metric).
+  Vec diff = subtract(x, x_ref);
+  double err = a_norm(lap, diff) / std::max(a_norm(lap, x_ref), 1e-30);
+  EXPECT_LT(err, 1e-6);
+}
+
+TEST(SddSolver, DisconnectedComponentsSolvedIndependently) {
+  // Two disjoint paths + one isolated vertex.
+  EdgeList e;
+  for (std::uint32_t i = 0; i + 1 < 10; ++i) e.push_back(Edge{i, i + 1, 1.0});
+  for (std::uint32_t i = 10; i + 1 < 20; ++i)
+    e.push_back(Edge{i, i + 1, 2.0});
+  std::uint32_t n = 21;
+  SddSolver solver = SddSolver::for_laplacian(n, e);
+  Vec b(n, 0.0);
+  b[0] = 1.0;
+  b[9] = -1.0;
+  b[10] = 2.0;
+  b[19] = -2.0;
+  SddSolveReport report;
+  Vec x = solver.solve(b, &report);
+  EXPECT_EQ(report.components, 3u);
+  EXPECT_DOUBLE_EQ(x[20], 0.0);
+  CsrMatrix lap = laplacian_from_edges(n, e);
+  EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
+}
+
+TEST(SddSolver, GrembanSddSolve) {
+  // SDD system with positive off-diagonals and excess diagonal.
+  std::vector<Triplet> ts = {
+      {0, 0, 3.0},  {0, 1, 1.0},  {1, 0, 1.0},  {1, 1, 4.0},
+      {1, 2, -2.0}, {2, 1, -2.0}, {2, 2, 3.0},
+  };
+  CsrMatrix a = CsrMatrix::from_triplets(3, std::move(ts));
+  ASSERT_TRUE(a.is_sdd());
+  SddSolverOptions opts;
+  opts.tolerance = 1e-10;
+  SddSolver solver = SddSolver::for_sdd(a, opts);
+  Vec b = {1.0, 0.0, -1.0};
+  Vec x = solver.solve(b);
+  Vec ax = a.apply(x);
+  EXPECT_LT(norm2(subtract(ax, b)) / norm2(b), 1e-7);
+}
+
+TEST(SddSolver, SddLaplacianInputSkipsGremban) {
+  GeneratedGraph g = grid2d(8, 8);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  SddSolver solver = SddSolver::for_sdd(lap);
+  Vec b = random_unit_like(g.n, 15);
+  Vec x = solver.solve(b);
+  EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
+}
+
+class SddMethods : public ::testing::TestWithParam<SolveMethod> {};
+
+TEST_P(SddMethods, AllMethodsConvergeOnWeightedGrid) {
+  GeneratedGraph g = grid2d(14, 14);
+  randomize_weights_log_uniform(g.edges, 100.0, 4);
+  SddSolverOptions opts;
+  opts.method = GetParam();
+  opts.tolerance = 1e-8;
+  opts.max_iterations = 20000;
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
+  Vec b = random_unit_like(g.n, 16);
+  SddSolveReport report;
+  Vec x = solver.solve(b, &report);
+  EXPECT_TRUE(report.stats.converged);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SddMethods,
+                         ::testing::Values(SolveMethod::kChainPcg,
+                                           SolveMethod::kChainRpch,
+                                           SolveMethod::kCg,
+                                           SolveMethod::kJacobiPcg));
+
+TEST(SddSolver, ReportFieldsPopulated) {
+  GeneratedGraph g = grid2d(16, 16);
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges);
+  Vec b = random_unit_like(g.n, 17);
+  SddSolveReport report;
+  solver.solve(b, &report);
+  EXPECT_GE(report.chain_levels, 2u);
+  EXPECT_GT(report.chain_edges, 0u);
+  EXPECT_EQ(report.components, 1u);
+}
+
+TEST(SddSolver, DimensionMismatchThrows) {
+  GeneratedGraph g = grid2d(4, 4);
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges);
+  Vec b(5, 1.0);
+  EXPECT_THROW(solver.solve(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parsdd

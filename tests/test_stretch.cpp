@@ -1,0 +1,85 @@
+// Stretch computation against trees and subgraphs.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "graph/stretch.h"
+
+namespace parsdd {
+namespace {
+
+TEST(Stretch, TreeEdgesHaveStretchOne) {
+  GeneratedGraph g = path(30);
+  RootedTree t = RootedTree::from_edges(g.n, g.edges, 0);
+  StretchStats s = stretch_wrt_tree(g.edges, t);
+  for (double v : s.per_edge) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(s.total, 29.0);
+  EXPECT_DOUBLE_EQ(s.average(), 1.0);
+}
+
+TEST(Stretch, CycleClosingEdge) {
+  // Cycle 0-1-2-3-0 with unit weights; tree = path 0-1-2-3.
+  EdgeList tree = {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}};
+  EdgeList all = tree;
+  all.push_back(Edge{0, 3, 1.0});
+  RootedTree t = RootedTree::from_edges(4, tree, 0);
+  StretchStats s = stretch_wrt_tree(all, t);
+  EXPECT_DOUBLE_EQ(s.per_edge[3], 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Stretch, WeightedStretch) {
+  EdgeList tree = {{0, 1, 2.0}, {1, 2, 2.0}};
+  EdgeList all = tree;
+  all.push_back(Edge{0, 2, 1.0});  // d_T = 4, w = 1 -> stretch 4
+  RootedTree t = RootedTree::from_edges(3, tree, 0);
+  StretchStats s = stretch_wrt_tree(all, t);
+  EXPECT_DOUBLE_EQ(s.per_edge[2], 4.0);
+}
+
+TEST(Stretch, SubgraphMatchesTreeWhenSubgraphIsTree) {
+  GeneratedGraph g = erdos_renyi(80, 240, 5);
+  auto idx = mst_kruskal(g.n, g.edges);
+  EdgeList tree;
+  for (auto i : idx) tree.push_back(g.edges[i]);
+  RootedTree t = RootedTree::from_edges(g.n, tree, 0);
+  StretchStats st = stretch_wrt_tree(g.edges, t);
+  StretchStats ss = stretch_wrt_subgraph(g.n, tree, g.edges);
+  ASSERT_EQ(st.per_edge.size(), ss.per_edge.size());
+  for (std::size_t i = 0; i < st.per_edge.size(); ++i) {
+    EXPECT_NEAR(st.per_edge[i], ss.per_edge[i], 1e-9);
+  }
+}
+
+TEST(Stretch, SubgraphNeverWorseThanSpanningTreeInsideIt) {
+  GeneratedGraph g = erdos_renyi(80, 240, 9);
+  randomize_weights_log_uniform(g.edges, 8.0, 2);
+  auto idx = mst_kruskal(g.n, g.edges);
+  EdgeList sub;
+  for (auto i : idx) sub.push_back(g.edges[i]);
+  // Enrich the subgraph with every 10th edge.
+  for (std::size_t i = 0; i < g.edges.size(); i += 10) sub.push_back(g.edges[i]);
+  RootedTree t = RootedTree::from_edges(
+      g.n, EdgeList(sub.begin(), sub.begin() + (g.n - 1)), 0);
+  StretchStats st = stretch_wrt_tree(g.edges, t);
+  StretchStats ss = stretch_wrt_subgraph(g.n, sub, g.edges);
+  EXPECT_LE(ss.total, st.total + 1e-9);
+  for (std::size_t i = 0; i < ss.per_edge.size(); ++i) {
+    EXPECT_LE(ss.per_edge[i], st.per_edge[i] + 1e-9);
+  }
+}
+
+TEST(Stretch, SubgraphEdgesInSubgraphHaveStretchAtMostOne) {
+  GeneratedGraph g = grid2d(8, 8);
+  StretchStats s = stretch_wrt_subgraph(g.n, g.edges, g.edges);
+  for (double v : s.per_edge) EXPECT_LE(v, 1.0 + 1e-12);
+}
+
+TEST(Stretch, ThrowsWhenSubgraphDisconnectsEndpoints) {
+  EdgeList sub = {{0, 1, 1.0}};
+  EdgeList query = {{2, 3, 1.0}};
+  EXPECT_THROW(stretch_wrt_subgraph(4, sub, query), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parsdd

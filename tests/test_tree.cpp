@@ -1,0 +1,90 @@
+// RootedTree: depths, LCA, distances (brute-force cross-check).
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "graph/tree.h"
+#include "parallel/rng.h"
+
+namespace parsdd {
+namespace {
+
+// Brute-force LCA by walking parents.
+std::uint32_t lca_brute(const RootedTree& t, std::uint32_t u,
+                        std::uint32_t v) {
+  while (t.depth(u) > t.depth(v)) u = t.parent(u);
+  while (t.depth(v) > t.depth(u)) v = t.parent(v);
+  while (u != v) {
+    u = t.parent(u);
+    v = t.parent(v);
+  }
+  return u;
+}
+
+TEST(RootedTree, PathTree) {
+  GeneratedGraph g = path(64);
+  RootedTree t = RootedTree::from_edges(g.n, g.edges, 0);
+  EXPECT_EQ(t.depth(63), 63u);
+  EXPECT_EQ(t.lca(10, 50), 10u);
+  EXPECT_DOUBLE_EQ(t.distance(10, 50), 40.0);
+  EXPECT_EQ(t.hop_distance(3, 7), 4u);
+}
+
+TEST(RootedTree, StarTree) {
+  GeneratedGraph g = star(20);
+  RootedTree t = RootedTree::from_edges(g.n, g.edges, 0);
+  EXPECT_EQ(t.lca(3, 7), 0u);
+  EXPECT_DOUBLE_EQ(t.distance(3, 7), 2.0);
+  EXPECT_EQ(t.lca(0, 9), 0u);
+  EXPECT_DOUBLE_EQ(t.distance(0, 9), 1.0);
+}
+
+TEST(RootedTree, RootedAwayFromZero) {
+  GeneratedGraph g = path(10);
+  RootedTree t = RootedTree::from_edges(g.n, g.edges, 9);
+  EXPECT_EQ(t.root(), 9u);
+  EXPECT_EQ(t.depth(0), 9u);
+  EXPECT_EQ(t.lca(0, 5), 5u);
+}
+
+TEST(RootedTree, WeightedDistances) {
+  EdgeList e = {{0, 1, 2.5}, {1, 2, 4.0}, {1, 3, 1.0}};
+  RootedTree t = RootedTree::from_edges(4, e, 0);
+  EXPECT_DOUBLE_EQ(t.weighted_depth(2), 6.5);
+  EXPECT_DOUBLE_EQ(t.distance(2, 3), 5.0);
+  EXPECT_DOUBLE_EQ(t.distance(0, 3), 3.5);
+}
+
+TEST(RootedTree, ThrowsOnWrongEdgeCount) {
+  EdgeList e = {{0, 1, 1.0}};
+  EXPECT_THROW(RootedTree::from_edges(3, e, 0), std::invalid_argument);
+}
+
+TEST(RootedTree, ThrowsOnDisconnected) {
+  EdgeList e = {{0, 1, 1.0}, {0, 1, 1.0}};  // parallel pair, vertex 2 isolated
+  EXPECT_THROW(RootedTree::from_edges(3, e, 0), std::invalid_argument);
+}
+
+class RandomTreeLca : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeLca, MatchesBruteForce) {
+  std::uint64_t seed = GetParam();
+  // Random spanning tree via MST of a random graph with random weights.
+  GeneratedGraph g = erdos_renyi(200, 800, seed);
+  randomize_weights_log_uniform(g.edges, 10.0, seed);
+  auto idx = mst_kruskal(g.n, g.edges);
+  EdgeList tree;
+  for (auto i : idx) tree.push_back(g.edges[i]);
+  RootedTree t = RootedTree::from_edges(g.n, tree, 0);
+  Rng rng(seed + 100);
+  for (std::uint64_t q = 0; q < 200; ++q) {
+    std::uint32_t u = static_cast<std::uint32_t>(rng.below(2 * q, g.n));
+    std::uint32_t v = static_cast<std::uint32_t>(rng.below(2 * q + 1, g.n));
+    EXPECT_EQ(t.lca(u, v), lca_brute(t, u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeLca, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace parsdd
