@@ -74,11 +74,14 @@ void maxflow_table() {
   }
 }
 
-void harmonic_table() {
+void harmonic_table(parsdd_bench::BenchJson& json) {
   parsdd_bench::header(
       "E9c  Harmonic interpolation (Dirichlet problem on grids)",
-      "columns: grid side, interior unknowns, solve residual, seconds");
-  std::printf("%6s %10s %12s %8s\n", "side", "interior", "residual", "sec");
+      "columns: grid side, interior unknowns, solve residual, 1-channel "
+      "seconds, 4-channel seconds (one setup + solve_batch), per-channel "
+      "amortization");
+  std::printf("%6s %10s %12s %8s %8s %10s\n", "side", "interior", "residual",
+              "sec", "sec_x4", "ms/chan");
   for (std::uint32_t side : {32u, 64u, 128u}) {
     GeneratedGraph g = grid2d(side, side);
     std::vector<std::uint32_t> boundary;
@@ -92,6 +95,15 @@ void harmonic_table() {
     Timer t;
     Vec x = harmonic_extension(g.n, g.edges, boundary, values);
     double sec = t.seconds();
+    // Serving shape: four channels through one interior setup.
+    std::vector<std::vector<double>> channels(4, values);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      for (double& v : channels[c]) v *= 1.0 + 0.25 * c;
+    }
+    t.reset();
+    std::vector<Vec> multi =
+        harmonic_extension_multi(g.n, g.edges, boundary, channels);
+    double sec4 = t.seconds();
     // Residual of the harmonic property at interior vertices.
     CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
     Vec lx = lap.apply(x);
@@ -101,7 +113,16 @@ void harmonic_table() {
     for (std::uint32_t v = 0; v < g.n; ++v) {
       if (!is_b[v]) res = std::max(res, std::fabs(lx[v]));
     }
-    std::printf("%6u %10u %12.2e %8.2f\n", side, g.n - 2 * side, res, sec);
+    std::printf("%6u %10u %12.2e %8.2f %8.2f %10.1f\n", side, g.n - 2 * side,
+                res, sec, sec4, 1e3 * sec4 / channels.size());
+    json.record()
+        .str("experiment", "harmonic")
+        .num("side", side)
+        .num("interior", g.n - 2 * side)
+        .num("single_channel_ms", 1e3 * sec)
+        .num("four_channel_ms", 1e3 * sec4)
+        .num("per_channel_ms", 1e3 * sec4 / channels.size())
+        .num("residual", res);
   }
 }
 
@@ -109,8 +130,10 @@ void harmonic_table() {
 
 int main() {
   setvbuf(stdout, nullptr, _IOLBF, 0);
+  parsdd_bench::BenchJson json("apps");
   sparsifier_table();
   maxflow_table();
-  harmonic_table();
+  harmonic_table(json);
+  json.write();
   return 0;
 }

@@ -9,14 +9,16 @@
 #include "bench_util.h"
 #include "graph/generators.h"
 #include "linalg/laplacian.h"
+#include "parallel/thread_pool.h"
 #include "solver/sdd_solver.h"
 
 using namespace parsdd;
+using parsdd_bench::BenchJson;
 using parsdd_bench::Timer;
 
 namespace {
 
-void scaling_table() {
+void scaling_table(BenchJson& json) {
   parsdd_bench::header(
       "E7a  Work scaling vs m (chain PCG, tol 1e-8)",
       "columns: graph, n, m, build sec, solve sec, iters, solve_sec/m "
@@ -50,6 +52,15 @@ void scaling_table() {
     std::printf("%-18s %8u %8zu %9.2f %9.2f %6u %10.2f %9.2f\n", c.name,
                 c.g.n, c.g.edges.size(), build, solve, rep.stats.iterations,
                 1e6 * solve / m, rep.chain_edges / m);
+    json.record()
+        .str("graph", c.name)
+        .num("n", c.g.n)
+        .num("m", m)
+        .num("setup_ms", 1e3 * build)
+        .num("solve_ms", 1e3 * solve)
+        .num("iterations", rep.stats.iterations)
+        .num("chain_edges", static_cast<double>(rep.chain_edges))
+        .num("threads", ThreadPool::instance().concurrency());
   }
 }
 
@@ -98,8 +109,10 @@ void rpch_table() {
 
 int main() {
   setvbuf(stdout, nullptr, _IOLBF, 0);
-  scaling_table();
+  BenchJson json("solver");
+  scaling_table(json);
   epsilon_table();
   rpch_table();
+  json.write();
   return 0;
 }

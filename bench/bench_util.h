@@ -1,10 +1,16 @@
-// Shared helpers for the experiment benches (E1-E9): wall-clock timing and
-// aligned table output.  Each bench binary runs with no arguments, prints
-// the table(s) for its experiment id (see DESIGN.md section 3), and exits.
+// Shared helpers for the experiment benches (E1-E9): wall-clock timing,
+// aligned table output, and machine-readable BENCH_*.json emission so the
+// perf trajectory can be tracked across PRs.  Each bench binary runs with no
+// arguments, prints the table(s) for its experiment id (see DESIGN.md
+// section 3), drops BENCH_<name>.json in the working directory, and exits.
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
 
 namespace parsdd_bench {
 
@@ -25,5 +31,92 @@ class Timer {
 inline void header(const char* experiment, const char* claim) {
   std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
 }
+
+/// Accumulates flat key/value records and writes them as a JSON array to
+/// BENCH_<name>.json.  One record per measured configuration; numeric
+/// values keep full precision.  Usage:
+///   BenchJson json("batch");
+///   json.record().num("n", n).num("setup_ms", ms).str("mode", "batch");
+///   json.write();
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  class Record {
+   public:
+    Record& num(const std::string& key, double value) {
+      char buf[64];
+      if (std::isfinite(value)) {
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+      } else {
+        // JSON has no nan/inf literals; null keeps the file parseable.
+        std::snprintf(buf, sizeof(buf), "null");
+      }
+      fields_.push_back("\"" + key + "\": " + buf);
+      return *this;
+    }
+    Record& str(const std::string& key, const std::string& value) {
+      fields_.push_back("\"" + key + "\": \"" + escape(value) + "\"");
+      return *this;
+    }
+    std::string json() const {
+      std::string out = "{";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i) out += ", ";
+        out += fields_[i];
+      }
+      return out + "}";
+    }
+
+   private:
+    static std::string escape(const std::string& s) {
+      std::string out;
+      for (char c : s) {
+        if (c == '"' || c == '\\') {
+          out += '\\';
+          out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+      }
+      return out;
+    }
+    std::vector<std::string> fields_;
+  };
+
+  Record& record() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Writes BENCH_<name>.json; returns false (and warns) on I/O failure.
+  bool write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", records_[i].json().c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  // Deque: references handed out by record() stay valid as more records are
+  // added.
+  std::deque<Record> records_;
+};
 
 }  // namespace parsdd_bench

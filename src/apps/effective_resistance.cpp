@@ -1,5 +1,6 @@
 #include "apps/effective_resistance.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "parallel/primitives.h"
@@ -9,11 +10,25 @@ namespace parsdd {
 
 double effective_resistance(const SddSolver& solver, std::uint32_t u,
                             std::uint32_t v, std::size_t n) {
-  Vec b(n, 0.0);
-  b[u] = 1.0;
-  b[v] = -1.0;
-  Vec x = solver.solve(b);
-  return x[u] - x[v];
+  return pair_resistances(solver, n, {{u, v}})[0];
+}
+
+std::vector<double> pair_resistances(
+    const SddSolver& solver, std::size_t n,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs) {
+  std::size_t k = pairs.size();
+  std::vector<double> r(k, 0.0);
+  if (k == 0) return r;
+  MultiVec b(n, k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    b.at(pairs[c].first, c) += 1.0;
+    b.at(pairs[c].second, c) -= 1.0;
+  }
+  MultiVec x = solver.solve_batch(b);
+  for (std::size_t c = 0; c < k; ++c) {
+    r[c] = x.at(pairs[c].first, c) - x.at(pairs[c].second, c);
+  }
+  return r;
 }
 
 std::vector<double> approx_edge_resistances(
@@ -21,19 +36,30 @@ std::vector<double> approx_edge_resistances(
     const ResistanceSketchOptions& opts) {
   std::vector<double> r(edges.size(), 0.0);
   Rng rng(opts.seed);
-  for (std::uint32_t j = 0; j < opts.probes; ++j) {
-    // rhs = Bᵀ W^{1/2} q with q ∈ {±1}^m.
-    Vec rhs(n, 0.0);
-    for (std::size_t e = 0; e < edges.size(); ++e) {
-      double q = (rng.u64(j * edges.size() + e) & 1) ? 1.0 : -1.0;
-      double s = q * std::sqrt(edges[e].w);
-      rhs[edges[e].u] += s;
-      rhs[edges[e].v] -= s;
+  std::uint32_t batch = std::max<std::uint32_t>(opts.batch_size, 1);
+  for (std::uint32_t j0 = 0; j0 < opts.probes; j0 += batch) {
+    std::uint32_t k = std::min(batch, opts.probes - j0);
+    // Column j-j0 holds Bᵀ W^{1/2} q_j with q_j ∈ {±1}^m.
+    MultiVec rhs(n, k, 0.0);
+    for (std::uint32_t j = j0; j < j0 + k; ++j) {
+      std::size_t c = j - j0;
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        double q = (rng.u64(j * edges.size() + e) & 1) ? 1.0 : -1.0;
+        double s = q * std::sqrt(edges[e].w);
+        rhs.at(edges[e].u, c) += s;
+        rhs.at(edges[e].v, c) -= s;
+      }
     }
-    Vec z = solver.solve(rhs);
+    MultiVec z = solver.solve_batch(rhs);
     parallel_for(0, edges.size(), [&](std::size_t e) {
-      double d = z[edges[e].u] - z[edges[e].v];
-      r[e] += d * d;
+      const double* zu = z.row(edges[e].u);
+      const double* zv = z.row(edges[e].v);
+      double acc = 0.0;
+      for (std::uint32_t c = 0; c < k; ++c) {
+        double d = zu[c] - zv[c];
+        acc += d * d;
+      }
+      r[e] += acc;
     });
   }
   double inv = 1.0 / std::max<std::uint32_t>(opts.probes, 1);

@@ -4,9 +4,17 @@
 // needs approximate effective resistances for every edge; with O(log n)
 // Laplacian solves on random ±1 right-hand sides (a Johnson–Lindenstrauss
 // sketch of W^{1/2} B L⁺) all m of them concentrate simultaneously.
+//
+// Serving pattern: every entry point here is a batch query against one
+// shared SolverSetup — the probe sketch is one solve_batch over all probe
+// columns, and pair queries batch any number of (u, v) pairs into a single
+// block solve, so the preconditioner chain is traversed once per block
+// instead of once per query.
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "graph/edge_list.h"
 #include "solver/sdd_solver.h"
@@ -18,14 +26,23 @@ namespace parsdd {
 double effective_resistance(const SddSolver& solver, std::uint32_t u,
                             std::uint32_t v, std::size_t n);
 
+/// Exact effective resistances for a batch of vertex pairs: one
+/// solve_batch with a column e_u - e_v per pair.
+std::vector<double> pair_resistances(
+    const SddSolver& solver, std::size_t n,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs);
+
 struct ResistanceSketchOptions {
   /// Number of random probe solves (JL dimension); ~ c·log n / ε².
   std::uint32_t probes = 24;
   std::uint64_t seed = 7;
+  /// Probe columns solved per solve_batch call (bounds the block's memory
+  /// footprint; all probes go in one batch when probes <= batch_size).
+  std::uint32_t batch_size = 32;
 };
 
 /// Approximate effective resistance of every edge of the graph the solver
-/// was built for.  Performs `probes` solves total.
+/// was built for.  Performs `probes` solves total, batched.
 std::vector<double> approx_edge_resistances(
     const SddSolver& solver, std::uint32_t n, const EdgeList& edges,
     const ResistanceSketchOptions& opts = {});

@@ -9,16 +9,30 @@ Vec harmonic_extension(std::uint32_t n, const EdgeList& edges,
                        const std::vector<std::uint32_t>& boundary,
                        const std::vector<double>& boundary_values,
                        const SddSolverOptions& solver_opts) {
-  if (boundary.size() != boundary_values.size()) {
-    throw std::invalid_argument("harmonic_extension: size mismatch");
+  return harmonic_extension_multi(n, edges, boundary, {boundary_values},
+                                  solver_opts)[0];
+}
+
+std::vector<Vec> harmonic_extension_multi(
+    std::uint32_t n, const EdgeList& edges,
+    const std::vector<std::uint32_t>& boundary,
+    const std::vector<std::vector<double>>& boundary_channels,
+    const SddSolverOptions& solver_opts) {
+  std::size_t k = boundary_channels.size();
+  for (const auto& ch : boundary_channels) {
+    if (ch.size() != boundary.size()) {
+      throw std::invalid_argument("harmonic_extension: size mismatch");
+    }
   }
   constexpr std::uint32_t kFree = std::numeric_limits<std::uint32_t>::max();
-  Vec x(n, 0.0);
+  std::vector<Vec> x(k, Vec(n, 0.0));
   std::vector<std::uint32_t> interior_id(n, kFree);
   std::vector<std::uint8_t> is_boundary(n, 0);
   for (std::size_t i = 0; i < boundary.size(); ++i) {
     is_boundary[boundary[i]] = 1;
-    x[boundary[i]] = boundary_values[i];
+    for (std::size_t c = 0; c < k; ++c) {
+      x[c][boundary[i]] = boundary_channels[c][i];
+    }
   }
   std::vector<std::uint32_t> interior;
   for (std::uint32_t v = 0; v < n; ++v) {
@@ -27,11 +41,11 @@ Vec harmonic_extension(std::uint32_t n, const EdgeList& edges,
       interior.push_back(v);
     }
   }
-  if (interior.empty()) return x;
+  if (interior.empty() || k == 0) return x;
 
-  // Assemble L_II and the right-hand side -L_IB x_B.
+  // Assemble L_II once and the per-channel right-hand sides -L_IB x_B.
   std::vector<Triplet> ts;
-  Vec rhs(interior.size(), 0.0);
+  MultiVec rhs(interior.size(), k, 0.0);
   for (const Edge& e : edges) {
     bool bu = is_boundary[e.u], bv = is_boundary[e.v];
     if (bu && bv) continue;
@@ -46,14 +60,19 @@ Vec harmonic_extension(std::uint32_t n, const EdgeList& edges,
       std::uint32_t vb = bu ? e.u : e.v;
       std::uint32_t ii = interior_id[vin];
       ts.push_back(Triplet{ii, ii, e.w});
-      rhs[ii] += e.w * x[vb];
+      double* rr = rhs.row(ii);
+      for (std::size_t c = 0; c < k; ++c) rr[c] += e.w * x[c][vb];
     }
   }
   CsrMatrix lii = CsrMatrix::from_triplets(
       static_cast<std::uint32_t>(interior.size()), std::move(ts));
+  // Setup once, solve every channel in one batch.
   SddSolver solver = SddSolver::for_sdd(lii, solver_opts);
-  Vec xi = solver.solve(rhs);
-  for (std::size_t i = 0; i < interior.size(); ++i) x[interior[i]] = xi[i];
+  MultiVec xi = solver.solve_batch(rhs);
+  for (std::size_t i = 0; i < interior.size(); ++i) {
+    const double* xr = xi.row(i);
+    for (std::size_t c = 0; c < k; ++c) x[c][interior[i]] = xr[c];
+  }
   return x;
 }
 

@@ -7,6 +7,10 @@
 // vertices adjacent to the boundary), so the reduced system goes straight
 // through SddSolver::for_sdd — this is the classical Poisson/colorization/
 // semi-supervised-labeling pipeline.
+//
+// The multi-channel form is the serving shape: one L_II setup answers all
+// channels (RGB planes, per-label indicator functions) through a single
+// solve_batch.
 #pragma once
 
 #include <cstdint>
@@ -24,5 +28,15 @@ Vec harmonic_extension(std::uint32_t n, const EdgeList& edges,
                        const std::vector<std::uint32_t>& boundary,
                        const std::vector<double>& boundary_values,
                        const SddSolverOptions& solver_opts = {});
+
+/// Multi-channel harmonic extension: channel c fixes boundary vertex i to
+/// boundary_channels[c][i].  The interior system L_II is assembled and its
+/// solver set up ONCE; all channels are solved in one batch.  Returns one
+/// full-length vector per channel.
+std::vector<Vec> harmonic_extension_multi(
+    std::uint32_t n, const EdgeList& edges,
+    const std::vector<std::uint32_t>& boundary,
+    const std::vector<std::vector<double>>& boundary_channels,
+    const SddSolverOptions& solver_opts = {});
 
 }  // namespace parsdd

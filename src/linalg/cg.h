@@ -28,4 +28,15 @@ IterStats conjugate_gradient(const LinOp& a, const Vec& b, Vec& x,
                              const CgOptions& opts,
                              const LinOp* precond = nullptr);
 
+/// Solves A X = B for all columns in lockstep: every iteration streams A
+/// (and the preconditioner chain) once for the whole block, while alpha,
+/// beta, and the convergence test stay per-column, so column c runs the
+/// exact iteration sequence of an independent conjugate_gradient call on
+/// B[:,c].  Columns freeze (no further updates) the moment they converge or
+/// break down; the loop exits when every column is frozen.  Returns one
+/// IterStats per column.
+std::vector<IterStats> block_conjugate_gradient(
+    const BlockLinOp& a, const MultiVec& b, MultiVec& x, const CgOptions& opts,
+    const BlockLinOp* precond = nullptr, BlockScratch* scratch = nullptr);
+
 }  // namespace parsdd

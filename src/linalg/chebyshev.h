@@ -26,6 +26,17 @@ IterStats chebyshev(const LinOp& a, const Vec& b, Vec& x,
                     const ChebyshevOptions& opts,
                     const LinOp* precond = nullptr);
 
+/// Block Chebyshev over k columns.  The recurrence scalars depend only on
+/// the spectral bounds, so all columns share them and every step is one SpMM
+/// plus one block preconditioner application; column c reproduces a single
+/// chebyshev() run on B[:,c] exactly (columns with a zero RHS stay at their
+/// initial value, which callers set to zero).
+std::vector<IterStats> chebyshev_block(const BlockLinOp& a, const MultiVec& b,
+                                       MultiVec& x,
+                                       const ChebyshevOptions& opts,
+                                       const BlockLinOp* precond = nullptr,
+                                       BlockScratch* scratch = nullptr);
+
 /// Number of Chebyshev iterations sufficient to reduce the A-norm error by
 /// `factor` given condition number kappa: ceil(sqrt(kappa)/2 * ln(2/factor)).
 std::uint32_t chebyshev_iterations_for(double kappa, double factor);

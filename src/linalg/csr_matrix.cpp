@@ -60,6 +60,26 @@ Vec CsrMatrix::apply(const Vec& x) const {
   return y;
 }
 
+void CsrMatrix::multiply(const MultiVec& x, MultiVec& y) const {
+  assert(x.rows() == n_ && y.rows() == n_ && x.cols() == y.cols());
+  std::size_t k = x.cols();
+  parallel_for(0, n_, [&](std::size_t i) {
+    double* yr = y.row(i);
+    for (std::size_t c = 0; c < k; ++c) yr[c] = 0.0;
+    for (std::size_t p = off_[i]; p < off_[i + 1]; ++p) {
+      double v = val_[p];
+      const double* xr = x.row(col_[p]);
+      for (std::size_t c = 0; c < k; ++c) yr[c] += v * xr[c];
+    }
+  });
+}
+
+MultiVec CsrMatrix::apply_block(const MultiVec& x) const {
+  MultiVec y(n_, x.cols());
+  multiply(x, y);
+  return y;
+}
+
 Vec CsrMatrix::diagonal() const {
   Vec d(n_, 0.0);
   parallel_for(0, n_, [&](std::size_t i) {

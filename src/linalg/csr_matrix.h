@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/edge_list.h"
+#include "linalg/multivec.h"
 #include "linalg/vector_ops.h"
 
 namespace parsdd {
@@ -33,6 +34,13 @@ class CsrMatrix {
   /// y = A x; parallel over rows, O(nnz) work.
   void multiply(const Vec& x, Vec& y) const;
   Vec apply(const Vec& x) const;
+
+  /// Y = A X (SpMM): one traversal of the matrix structure serves all
+  /// X.cols() right-hand sides; the inner loop is contiguous over each
+  /// row of the block.  Column c is arithmetically identical to
+  /// multiply(X[:,c]).
+  void multiply(const MultiVec& x, MultiVec& y) const;
+  MultiVec apply_block(const MultiVec& x) const;
 
   /// Diagonal entries (zeros where absent).
   Vec diagonal() const;

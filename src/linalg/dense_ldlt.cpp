@@ -99,4 +99,48 @@ Vec DenseLdlt::solve(const Vec& b) const {
   return x;
 }
 
+void DenseLdlt::solve_block(const MultiVec& b, MultiVec& x) const {
+  std::uint32_t n = n_;
+  std::size_t k = b.cols();
+  std::size_t expect = grounded_ ? static_cast<std::size_t>(n) + 1 : n;
+  if (b.rows() != expect) {
+    throw std::invalid_argument("solve_block: dimension mismatch");
+  }
+  x.assign(expect, k, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double* br = b.row(i);
+    double* xr = x.row(i);
+    for (std::size_t c = 0; c < k; ++c) xr[c] = br[c];
+  }
+  // Forward: L z = b (unit diagonal).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double* xi = x.row(i);
+    const double* row = lf_.data() + static_cast<std::size_t>(i) * n;
+    for (std::uint32_t j = 0; j < i; ++j) {
+      const double* xj = x.row(j);
+      double lij = row[j];
+      for (std::size_t c = 0; c < k; ++c) xi[c] -= lij * xj[c];
+    }
+  }
+  // Diagonal.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double d = lf_[static_cast<std::size_t>(i) * n + i];
+    double* xi = x.row(i);
+    for (std::size_t c = 0; c < k; ++c) xi[c] /= d;
+  }
+  // Backward: Lᵀ x = z.
+  for (std::uint32_t i = n; i-- > 0;) {
+    double* xi = x.row(i);
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      const double* xj = x.row(j);
+      double lji = lf_[static_cast<std::size_t>(j) * n + i];
+      for (std::size_t c = 0; c < k; ++c) xi[c] -= lji * xj[c];
+    }
+  }
+  if (grounded_) {
+    // Row n is the grounded vertex (zero), already in place from assign().
+    project_out_constant_cols(x);
+  }
+}
+
 }  // namespace parsdd

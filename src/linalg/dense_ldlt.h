@@ -30,6 +30,11 @@ class DenseLdlt {
   /// (mean-zero for connected graphs); the result is mean-zero.
   Vec solve(const Vec& b) const;
 
+  /// Batched solve: each row of the triangular factor is streamed once for
+  /// all columns of `b` (the O(n²) substitution sweeps amortize over the
+  /// block).  Column c matches solve(b[:,c]) exactly.
+  void solve_block(const MultiVec& b, MultiVec& x) const;
+
   std::uint32_t dimension() const { return grounded_ ? n_ + 1 : n_; }
 
  private:

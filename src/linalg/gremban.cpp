@@ -22,6 +22,33 @@ Vec GrembanReduction::project_solution(const Vec& y) const {
   return x;
 }
 
+MultiVec GrembanReduction::lift_rhs_block(const MultiVec& b) const {
+  std::size_t k = b.cols();
+  MultiVec y(2 * static_cast<std::size_t>(n), k);
+  parallel_for(0, n, [&](std::size_t i) {
+    const double* br = b.row(i);
+    double* head = y.row(i);
+    double* tail = y.row(i + n);
+    for (std::size_t c = 0; c < k; ++c) {
+      head[c] = br[c];
+      tail[c] = -br[c];
+    }
+  });
+  return y;
+}
+
+MultiVec GrembanReduction::project_solution_block(const MultiVec& y) const {
+  std::size_t k = y.cols();
+  MultiVec x(n, k);
+  parallel_for(0, n, [&](std::size_t i) {
+    const double* head = y.row(i);
+    const double* tail = y.row(i + n);
+    double* xr = x.row(i);
+    for (std::size_t c = 0; c < k; ++c) xr[c] = 0.5 * (head[c] - tail[c]);
+  });
+  return x;
+}
+
 GrembanReduction gremban_reduce(const CsrMatrix& a) {
   if (!a.is_sdd(1e-9)) {
     throw std::invalid_argument("gremban_reduce: matrix is not SDD");

@@ -32,6 +32,10 @@ struct GrembanReduction {
   Vec lift_rhs(const Vec& b) const;
   /// (y_head - y_tail)/2
   Vec project_solution(const Vec& y) const;
+
+  /// Column-wise [B; -B] / (Y_head - Y_tail)/2 for batched solves.
+  MultiVec lift_rhs_block(const MultiVec& b) const;
+  MultiVec project_solution_block(const MultiVec& y) const;
 };
 
 /// Builds the double cover for a symmetric SDD matrix.  Throws

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "linalg/multivec.h"
 #include "linalg/vector_ops.h"
 
 namespace parsdd {
@@ -11,11 +12,24 @@ namespace parsdd {
 /// A linear operator: out = Op(in).  Out is pre-sized by the caller.
 using LinOp = std::function<void(const Vec&, Vec&)>;
 
+/// A linear operator applied column-wise to a block of k vectors; the block
+/// form lets implementations (SpMM, batched elimination folds) stream their
+/// structure once for all k columns.
+using BlockLinOp = std::function<void(const MultiVec&, MultiVec&)>;
+
 struct IterStats {
   std::uint32_t iterations = 0;
   /// ||b - A x|| / ||b|| at exit.
   double relative_residual = 0.0;
   bool converged = false;
+};
+
+/// Reusable iteration buffers for the block solvers.  A caller that solves
+/// repeatedly (the recursive chain visits each level once per outer
+/// iteration) passes the same scratch back in so steady-state solves do no
+/// allocation; each concurrent solve owns its own scratch.
+struct BlockScratch {
+  MultiVec r, z, p, ap, r_prev;
 };
 
 }  // namespace parsdd

@@ -20,4 +20,7 @@ IterStats jacobi(const CsrMatrix& a, const Vec& b, Vec& x,
 /// Returns the diagonal (Jacobi) preconditioner of A as a LinOp.
 LinOp jacobi_preconditioner(const CsrMatrix& a);
 
+/// Block form: scales every column of the block by the inverse diagonal.
+BlockLinOp jacobi_preconditioner_block(const CsrMatrix& a);
+
 }  // namespace parsdd

@@ -1,0 +1,173 @@
+#include "linalg/multivec.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/primitives.h"
+
+namespace parsdd {
+
+namespace {
+
+inline bool active(const ColMask* mask, std::size_t c) {
+  return mask == nullptr || (*mask)[c] != 0;
+}
+
+// Per-column reduction over rows.  Mirrors parallel_reduce's blocking, which
+// depends only on the row count — never on k — so each column accumulates in
+// an order independent of how many columns ride along (the determinism
+// contract in multivec.h).
+template <typename RowAccum>
+ColScalars reduce_cols(std::size_t rows, std::size_t cols, RowAccum&& acc_row) {
+  ColScalars acc(cols, 0.0);
+  if (cols == 0) return acc;
+  if (rows < kSeqCutoff || ThreadPool::in_parallel()) {
+    for (std::size_t i = 0; i < rows; ++i) acc_row(i, acc.data());
+    return acc;
+  }
+  std::size_t nb = num_blocks_for(rows, 0);
+  std::size_t block = (rows + nb - 1) / nb;
+  std::vector<ColScalars> partial(nb, ColScalars(cols, 0.0));
+  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+    std::size_t s = b * block, e = std::min(rows, s + block);
+    double* p = partial[b].data();
+    for (std::size_t i = s; i < e; ++i) acc_row(i, p);
+  });
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::size_t c = 0; c < cols; ++c) acc[c] += partial[b][c];
+  }
+  return acc;
+}
+
+}  // namespace
+
+MultiVec MultiVec::from_columns(const std::vector<Vec>& columns) {
+  if (columns.empty()) return {};
+  std::size_t rows = columns[0].size();
+  MultiVec out(rows, columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c].size() != rows) {
+      throw std::invalid_argument("MultiVec::from_columns: ragged columns");
+    }
+    out.set_column(c, columns[c]);
+  }
+  return out;
+}
+
+Vec MultiVec::column(std::size_t c) const {
+  assert(c < cols_);
+  Vec v(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) v[i] = data_[i * cols_ + c];
+  return v;
+}
+
+void MultiVec::set_column(std::size_t c, const Vec& v) {
+  assert(c < cols_ && v.size() == rows_);
+  for (std::size_t i = 0; i < rows_; ++i) data_[i * cols_ + c] = v[i];
+}
+
+void axpy_cols(const ColScalars& a, const MultiVec& x, MultiVec& y,
+               const ColMask* mask) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  assert(a.size() == x.cols());
+  std::size_t k = x.cols();
+  parallel_for(0, x.rows(), [&](std::size_t i) {
+    const double* xr = x.row(i);
+    double* yr = y.row(i);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (active(mask, c)) yr[c] += a[c] * xr[c];
+    }
+  });
+}
+
+void xpay_cols(const MultiVec& x, const ColScalars& a, MultiVec& y,
+               const ColMask* mask) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  assert(a.size() == x.cols());
+  std::size_t k = x.cols();
+  parallel_for(0, x.rows(), [&](std::size_t i) {
+    const double* xr = x.row(i);
+    double* yr = y.row(i);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (active(mask, c)) yr[c] = xr[c] + a[c] * yr[c];
+    }
+  });
+}
+
+ColScalars dot_cols(const MultiVec& x, const MultiVec& y) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  std::size_t k = x.cols();
+  return reduce_cols(x.rows(), k, [&](std::size_t i, double* acc) {
+    const double* xr = x.row(i);
+    const double* yr = y.row(i);
+    for (std::size_t c = 0; c < k; ++c) acc[c] += xr[c] * yr[c];
+  });
+}
+
+ColScalars dot_diff_cols(const MultiVec& z, const MultiVec& x,
+                         const MultiVec& y) {
+  assert(z.rows() == x.rows() && x.rows() == y.rows());
+  assert(z.cols() == x.cols() && x.cols() == y.cols());
+  std::size_t k = x.cols();
+  return reduce_cols(x.rows(), k, [&](std::size_t i, double* acc) {
+    const double* zr = z.row(i);
+    const double* xr = x.row(i);
+    const double* yr = y.row(i);
+    for (std::size_t c = 0; c < k; ++c) acc[c] += zr[c] * (xr[c] - yr[c]);
+  });
+}
+
+ColScalars norm2_cols(const MultiVec& x) {
+  ColScalars n = dot_cols(x, x);
+  for (double& v : n) v = std::sqrt(v);
+  return n;
+}
+
+ColScalars sum_cols(const MultiVec& x) {
+  std::size_t k = x.cols();
+  return reduce_cols(x.rows(), k, [&](std::size_t i, double* acc) {
+    const double* xr = x.row(i);
+    for (std::size_t c = 0; c < k; ++c) acc[c] += xr[c];
+  });
+}
+
+void scale_cols(const ColScalars& a, MultiVec& x, const ColMask* mask) {
+  assert(a.size() == x.cols());
+  std::size_t k = x.cols();
+  parallel_for(0, x.rows(), [&](std::size_t i) {
+    double* xr = x.row(i);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (active(mask, c)) xr[c] *= a[c];
+    }
+  });
+}
+
+void copy_cols(const MultiVec& src, MultiVec& dst, const ColMask* mask) {
+  assert(src.rows() == dst.rows() && src.cols() == dst.cols());
+  std::size_t k = src.cols();
+  parallel_for(0, src.rows(), [&](std::size_t i) {
+    const double* sr = src.row(i);
+    double* dr = dst.row(i);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (active(mask, c)) dr[c] = sr[c];
+    }
+  });
+}
+
+void project_out_constant_cols(MultiVec& x, const ColMask* mask) {
+  if (x.empty()) return;
+  ColScalars mean = sum_cols(x);
+  // Divide (not multiply by a reciprocal): bitwise-matches the single-column
+  // project_out_constant so batched and single solves stay in lockstep.
+  for (double& m : mean) m /= static_cast<double>(x.rows());
+  std::size_t k = x.cols();
+  parallel_for(0, x.rows(), [&](std::size_t i) {
+    double* xr = x.row(i);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (active(mask, c)) xr[c] -= mean[c];
+    }
+  });
+}
+
+}  // namespace parsdd

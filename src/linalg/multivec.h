@@ -1,0 +1,103 @@
+// Dense multi-vectors: k right-hand sides / iterates stored as an n x k
+// row-major block, plus the batched BLAS-1 kernels the block solvers need.
+//
+// Layout rationale: one row holds entry i of every column contiguously, so
+// an SpMM (csr_matrix.h) streams the matrix structure ONCE for all k
+// columns and the inner k-loop vectorizes over adjacent doubles.  This is
+// the amortization behind the setup-once / solve-many serving pattern: a
+// batch of solves shares each traversal of the matrix instead of
+// re-streaming it per RHS.
+//
+// Determinism contract: every kernel reduces over rows in the same order and
+// with the same block structure regardless of k, so column c of a batched
+// solve performs the exact arithmetic sequence of an independent single
+// solve of that column.  test_batch_solve relies on this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace parsdd {
+
+class MultiVec {
+ public:
+  MultiVec() = default;
+  // Explicit so brace-enclosed vector literals keep resolving to Vec in
+  // overload sets like CsrMatrix::apply.
+  explicit MultiVec(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static MultiVec from_columns(const std::vector<Vec>& columns);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  void assign(std::size_t rows, std::size_t cols, double fill) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  double* row(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  double& at(std::size_t i, std::size_t c) { return data_[i * cols_ + c]; }
+  double at(std::size_t i, std::size_t c) const {
+    return data_[i * cols_ + c];
+  }
+
+  Vec column(std::size_t c) const;
+  void set_column(std::size_t c, const Vec& v);
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// One scalar per column (per-RHS alpha/beta/dot).
+using ColScalars = std::vector<double>;
+/// Per-column activity mask; nonzero = column participates.  Block CG
+/// freezes converged columns by clearing their mask bit, which leaves the
+/// frozen columns bitwise untouched by every masked kernel.
+using ColMask = std::vector<std::uint8_t>;
+
+/// y[:,c] += a[c] * x[:,c]  (active columns only when mask is given).
+void axpy_cols(const ColScalars& a, const MultiVec& x, MultiVec& y,
+               const ColMask* mask = nullptr);
+/// y[:,c] = x[:,c] + a[c] * y[:,c]
+void xpay_cols(const MultiVec& x, const ColScalars& a, MultiVec& y,
+               const ColMask* mask = nullptr);
+/// Per-column inner products <x_c, y_c>.
+ColScalars dot_cols(const MultiVec& x, const MultiVec& y);
+/// Per-column <z_c, x_c - y_c> (the flexible-CG Polak–Ribière numerator,
+/// fused so no difference block is materialized).
+ColScalars dot_diff_cols(const MultiVec& z, const MultiVec& x,
+                         const MultiVec& y);
+/// Per-column Euclidean norms.
+ColScalars norm2_cols(const MultiVec& x);
+/// Per-column entry sums.
+ColScalars sum_cols(const MultiVec& x);
+/// x[:,c] *= a[c]
+void scale_cols(const ColScalars& a, MultiVec& x,
+                const ColMask* mask = nullptr);
+/// dst[:,c] = src[:,c] for active columns.
+void copy_cols(const MultiVec& src, MultiVec& dst,
+               const ColMask* mask = nullptr);
+/// Subtracts each column's mean (projection onto 1-perp per column).
+void project_out_constant_cols(MultiVec& x, const ColMask* mask = nullptr);
+
+/// Resizes `m` to rows x cols if its shape differs; contents are otherwise
+/// left alone (solver kernels fully overwrite their scratch before reading).
+inline void ensure_shape(MultiVec& m, std::size_t rows, std::size_t cols) {
+  if (m.rows() != rows || m.cols() != cols) m.assign(rows, cols, 0.0);
+}
+
+}  // namespace parsdd

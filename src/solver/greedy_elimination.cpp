@@ -170,4 +170,62 @@ Vec GreedyEliminationResult::back_substitute(const Vec& folded_b,
   return x;
 }
 
+void GreedyEliminationResult::fold_rhs_block(const MultiVec& b,
+                                             MultiVec& folded,
+                                             MultiVec& reduced_rhs) const {
+  std::size_t k = b.cols();
+  ensure_shape(folded, b.rows(), k);
+  copy_cols(b, folded);
+  for (const EliminationStep& s : steps) {
+    const double* fv = folded.row(s.v);
+    if (s.degree >= 1) {
+      double f = s.w1 / s.pivot;
+      double* fu = folded.row(s.u1);
+      for (std::size_t c = 0; c < k; ++c) fu[c] += f * fv[c];
+    }
+    if (s.degree == 2) {
+      double f = s.w2 / s.pivot;
+      double* fu = folded.row(s.u2);
+      for (std::size_t c = 0; c < k; ++c) fu[c] += f * fv[c];
+    }
+  }
+  ensure_shape(reduced_rhs, reduced_n, k);
+  for (std::uint32_t i = 0; i < reduced_n; ++i) {
+    const double* src = folded.row(orig_of_reduced[i]);
+    double* dst = reduced_rhs.row(i);
+    for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
+  }
+}
+
+void GreedyEliminationResult::back_substitute_block(const MultiVec& folded_b,
+                                                    const MultiVec& x_reduced,
+                                                    MultiVec& x) const {
+  std::size_t k = folded_b.cols();
+  x.assign(folded_b.rows(), k, 0.0);
+  for (std::uint32_t i = 0; i < reduced_n; ++i) {
+    const double* src = x_reduced.row(i);
+    double* dst = x.row(orig_of_reduced[i]);
+    for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
+  }
+  for (std::size_t s_idx = steps.size(); s_idx-- > 0;) {
+    const EliminationStep& s = steps[s_idx];
+    double* xv = x.row(s.v);
+    const double* fb = folded_b.row(s.v);
+    if (s.degree == 0) {
+      for (std::size_t c = 0; c < k; ++c) xv[c] = 0.0;
+    } else if (s.degree == 1) {
+      const double* xu1 = x.row(s.u1);
+      for (std::size_t c = 0; c < k; ++c) {
+        xv[c] = fb[c] / s.pivot + xu1[c];
+      }
+    } else {
+      const double* xu1 = x.row(s.u1);
+      const double* xu2 = x.row(s.u2);
+      for (std::size_t c = 0; c < k; ++c) {
+        xv[c] = (fb[c] + s.w1 * xu1[c] + s.w2 * xu2[c]) / s.pivot;
+      }
+    }
+  }
+}
+
 }  // namespace parsdd

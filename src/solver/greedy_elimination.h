@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "graph/edge_list.h"
+#include "linalg/multivec.h"
 #include "linalg/vector_ops.h"
 
 namespace parsdd {
@@ -58,6 +59,18 @@ class GreedyEliminationResult {
   /// Reconstructs the full solution from the reduced solve and the folded
   /// RHS returned by fold_rhs.
   Vec back_substitute(const Vec& folded_b, const Vec& x_reduced) const;
+
+  /// Batched fold: one walk of the elimination record serves all columns of
+  /// `b` (the step decode is amortized and the per-step update vectorizes
+  /// over the row).  Column c matches fold_rhs(b[:,c]) exactly.  Output
+  /// blocks are resized in place so steady-state calls do not allocate.
+  void fold_rhs_block(const MultiVec& b, MultiVec& folded,
+                      MultiVec& reduced_rhs) const;
+
+  /// Batched back-substitution; column c matches back_substitute on that
+  /// column.
+  void back_substitute_block(const MultiVec& folded_b,
+                             const MultiVec& x_reduced, MultiVec& x) const;
 };
 
 /// Eliminates all degree-<=2 vertices of the Laplacian graph (V=[0,n),

@@ -105,6 +105,168 @@ void RecursiveSolver::apply_level(std::size_t i, const Vec& b, Vec& x) const {
   }
 }
 
+void RecursiveSolver::apply_preconditioner_block(std::size_t i,
+                                                 const MultiVec& r,
+                                                 MultiVec& z,
+                                                 Workspace& ws) const {
+  const ChainLevel& lvl = chain_.levels[i];
+  Workspace::Level& sc = ws.levels[i];
+  lvl.elimination.fold_rhs_block(r, sc.folded, sc.reduced_rhs);
+  if (lvl.elimination.reduced_n > 0) {
+    apply_level_block(i + 1, sc.reduced_rhs, sc.x_reduced, ws);
+  } else {
+    sc.x_reduced.assign(0, r.cols(), 0.0);
+  }
+  lvl.elimination.back_substitute_block(sc.folded, sc.x_reduced, z);
+  project_out_constant_cols(z);
+}
+
+void RecursiveSolver::apply_level_block(std::size_t i, const MultiVec& b,
+                                        MultiVec& x, Workspace& ws) const {
+  const ChainLevel& lvl = chain_.levels[i];
+  std::size_t k = b.cols();
+  x.assign(lvl.n, k, 0.0);
+  if (!lvl.has_preconditioner) {
+    // Bottom level: one dense block solve serves every column.
+    bottom_visits_.fetch_add(1, std::memory_order_relaxed);
+    if (chain_.bottom) {
+      MultiVec& rhs = ws.levels[i].folded;  // unused by this level otherwise
+      ensure_shape(rhs, b.rows(), k);
+      copy_cols(b, rhs);
+      project_out_constant_cols(rhs);
+      chain_.bottom->solve_block(rhs, x);
+    }
+    return;
+  }
+
+  BlockLinOp a_op = [&lvl](const MultiVec& in, MultiVec& out) {
+    ensure_shape(out, in.rows(), in.cols());
+    lvl.laplacian.multiply(in, out);
+  };
+  BlockLinOp precond = [this, i, &ws](const MultiVec& in, MultiVec& out) {
+    apply_preconditioner_block(i, in, out, ws);
+  };
+
+  std::uint32_t iters = level_iterations(i);
+
+  if (opts_.inner == InnerMethod::kChebyshev) {
+    ChebyshevOptions copts;
+    copts.lambda_min = level_bounds_[i].first;
+    copts.lambda_max = level_bounds_[i].second;
+    if (!(copts.lambda_max > 0.0)) {
+      copts.lambda_min = 1.0 / std::max(lvl.kappa, 2.0);
+      copts.lambda_max = 8.0;
+    }
+    copts.iterations = iters;
+    copts.project_constant = true;
+    chebyshev_block(a_op, b, x, copts, &precond, &ws.levels[i].iter);
+  } else {
+    CgOptions copts;
+    copts.tolerance = opts_.inner_tolerance;
+    copts.max_iterations = opts_.inner_max_iterations;
+    copts.project_constant = true;
+    copts.flexible = true;
+    block_conjugate_gradient(a_op, b, x, copts, &precond, &ws.levels[i].iter);
+  }
+}
+
+void RecursiveSolver::apply_block(const MultiVec& b, MultiVec& x,
+                                  Workspace& ws) const {
+  apply_level_block(0, b, x, ws);
+}
+
+std::vector<IterStats> RecursiveSolver::solve_batch(
+    const MultiVec& b, MultiVec& x, double tolerance,
+    std::uint32_t max_iterations, Workspace& ws) const {
+  const ChainLevel& top = chain_.levels.front();
+  std::size_t k = b.cols();
+  BlockLinOp a_op = [&top](const MultiVec& in, MultiVec& out) {
+    ensure_shape(out, in.rows(), in.cols());
+    top.laplacian.multiply(in, out);
+  };
+  // As in solve(): precondition with the B₁ solve directly when available.
+  BlockLinOp precond;
+  if (top.has_preconditioner) {
+    precond = [this, &ws](const MultiVec& in, MultiVec& out) {
+      apply_preconditioner_block(0, in, out, ws);
+    };
+  } else {
+    precond = [this, &ws](const MultiVec& in, MultiVec& out) {
+      apply_block(in, out, ws);
+    };
+  }
+  CgOptions copts;
+  copts.tolerance = tolerance;
+  copts.max_iterations = max_iterations;
+  copts.project_constant = true;
+  copts.flexible = true;
+  if (x.rows() != top.n || x.cols() != k) x.assign(top.n, k, 0.0);
+  if (chain_.levels.size() == 1) {
+    // Degenerate chain: one chain pass is a direct solve; columns it already
+    // converged freeze at the first CG convergence check.
+    apply_block(b, x, ws);
+  }
+  // The top-level CG can safely borrow level 0's iteration scratch: the
+  // preconditioner recursion starts at the fold of level 0 (or the bottom
+  // solve), neither of which touches levels[0].iter.
+  return block_conjugate_gradient(a_op, b, x, copts, &precond,
+                                  &ws.levels.front().iter);
+}
+
+std::vector<IterStats> RecursiveSolver::solve_rpch_batch(
+    const MultiVec& b, MultiVec& x, double tolerance,
+    std::uint32_t max_passes, Workspace& ws) const {
+  const ChainLevel& top = chain_.levels.front();
+  std::size_t k = b.cols();
+  std::vector<IterStats> stats(k);
+  if (x.rows() != top.n || x.cols() != k) x.assign(top.n, k, 0.0);
+  ColScalars bnorm = norm2_cols(b);
+  ColMask alive(k, 1);
+  std::size_t remaining = k;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (bnorm[c] == 0.0) {
+      stats[c].converged = true;
+      alive[c] = 0;
+      --remaining;
+    }
+  }
+  const ColScalars minus_one(k, -1.0), one(k, 1.0);
+  MultiVec r(top.n, k), ax(top.n, k), dx;
+  auto refresh_residual = [&] {
+    top.laplacian.multiply(x, ax);
+    copy_cols(b, r);
+    axpy_cols(minus_one, ax, r);
+    project_out_constant_cols(r);
+  };
+  for (std::uint32_t pass = 0; pass < max_passes && remaining > 0; ++pass) {
+    refresh_residual();
+    ColScalars rnorm = norm2_cols(r);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!alive[c]) continue;
+      stats[c].relative_residual = rnorm[c] / bnorm[c];
+      if (stats[c].relative_residual <= tolerance) {
+        stats[c].converged = true;
+        alive[c] = 0;
+        --remaining;
+      }
+    }
+    if (remaining == 0) return stats;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (alive[c]) ++stats[c].iterations;
+    }
+    apply_block(r, dx, ws);
+    axpy_cols(one, dx, x, &alive);
+  }
+  refresh_residual();
+  ColScalars rnorm = norm2_cols(r);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (stats[c].converged || bnorm[c] == 0.0) continue;
+    stats[c].relative_residual = rnorm[c] / bnorm[c];
+    stats[c].converged = stats[c].relative_residual <= tolerance;
+  }
+  return stats;
+}
+
 void RecursiveSolver::apply(const Vec& b, Vec& x) const {
   apply_level(0, b, x);
 }

@@ -60,6 +60,22 @@ class RecursiveSolver {
   RecursiveSolver(const SolverChain& chain,
                   const RecursiveSolverOptions& opts = {});
 
+  /// Per-call scratch for the batched solvers: one slot per chain level,
+  /// reused across outer iterations so a steady-state solve allocates
+  /// nothing inside the recursion.  The solver itself is immutable after
+  /// construction; each concurrent solve owns a private Workspace, which is
+  /// what makes simultaneous solve_batch calls against one solver safe.
+  struct Workspace {
+    struct Level {
+      MultiVec folded, reduced_rhs, x_reduced;  // elimination fold scratch
+      BlockScratch iter;                        // inner Chebyshev/FCG buffers
+    };
+    std::vector<Level> levels;
+  };
+  Workspace make_workspace() const {
+    return Workspace{std::vector<Workspace::Level>(chain_.levels.size())};
+  }
+
   /// One pass of the chain: x ≈ A₁⁺ b (constant-factor error reduction).
   /// Usable directly as a preconditioner LinOp.
   void apply(const Vec& b, Vec& x) const;
@@ -73,14 +89,34 @@ class RecursiveSolver {
   IterStats solve_rpch(const Vec& b, Vec& x, double tolerance,
                        std::uint32_t max_passes) const;
 
+  /// Batched one-pass chain application over all columns of b.
+  void apply_block(const MultiVec& b, MultiVec& x, Workspace& ws) const;
+
+  /// Batched top-level flexible PCG: all columns advance in lockstep, each
+  /// SpMM / elimination fold / bottom solve is shared by the whole block,
+  /// and per-column convergence freezes finished columns.  Column c of x
+  /// reproduces solve() on b[:,c] exactly; per-column IterStats may differ
+  /// cosmetically on degenerate single-level chains (the direct-solve path
+  /// counts its pass as 1 iteration, the batch counts 0).  Thread-safe
+  /// given a private workspace.
+  std::vector<IterStats> solve_batch(const MultiVec& b, MultiVec& x,
+                                     double tolerance,
+                                     std::uint32_t max_iterations,
+                                     Workspace& ws) const;
+
+  /// Batched rPCh refinement (solve_rpch over a block).
+  std::vector<IterStats> solve_rpch_batch(const MultiVec& b, MultiVec& x,
+                                          double tolerance,
+                                          std::uint32_t max_passes,
+                                          Workspace& ws) const;
+
   /// Number of bottom-level (dense) solves since construction — the
   /// quantity the paper's depth analysis counts ("the total number of times
-  /// the algorithm reaches the last level A_d").
+  /// the algorithm reaches the last level A_d").  Cumulative and monotone:
+  /// callers wanting per-solve counts take before/after deltas (see
+  /// solver_setup.cpp), which stays consistent under concurrent solves.
   std::uint64_t bottom_visits() const {
     return bottom_visits_.load(std::memory_order_relaxed);
-  }
-  void reset_counters() const {
-    bottom_visits_.store(0, std::memory_order_relaxed);
   }
 
   /// Measured spectral bounds of the preconditioned operator per level
@@ -92,6 +128,10 @@ class RecursiveSolver {
  private:
   void apply_level(std::size_t i, const Vec& b, Vec& x) const;
   void apply_preconditioner(std::size_t i, const Vec& r, Vec& z) const;
+  void apply_level_block(std::size_t i, const MultiVec& b, MultiVec& x,
+                         Workspace& ws) const;
+  void apply_preconditioner_block(std::size_t i, const MultiVec& r,
+                                  MultiVec& z, Workspace& ws) const;
   std::uint32_t level_iterations(std::size_t i) const;
 
   const SolverChain& chain_;

@@ -1,180 +1,26 @@
 #include "solver/sdd_solver.h"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "graph/connectivity.h"
-#include "linalg/cg.h"
-#include "linalg/jacobi.h"
-#include "linalg/laplacian.h"
-
 namespace parsdd {
-
-namespace {
-
-// One connected component's solver state.
-struct ComponentSolver {
-  std::vector<std::uint32_t> vertices;  // original ids, in local order
-  EdgeList local_edges;
-  CsrMatrix laplacian;
-  std::unique_ptr<SolverChain> chain;
-  std::unique_ptr<RecursiveSolver> recursive;
-};
-
-}  // namespace
-
-struct SddSolver::Impl {
-  SddSolverOptions opts;
-  std::uint32_t n = 0;  // size of the (possibly reduced) Laplacian system
-  std::vector<ComponentSolver> components;
-  // Gremban state (only for non-Laplacian SDD inputs).
-  std::optional<GrembanReduction> gremban;
-
-  void build(std::uint32_t num_vertices, const EdgeList& edges);
-  Vec solve_laplacian(const Vec& b, SddSolveReport* report) const;
-};
-
-void SddSolver::Impl::build(std::uint32_t num_vertices,
-                            const EdgeList& edges) {
-  n = num_vertices;
-  Components comps = connected_components(n, edges);
-  std::vector<std::vector<std::uint32_t>> members(comps.count);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    members[comps.label[v]].push_back(v);
-  }
-  // Local index of each vertex inside its component.
-  std::vector<std::uint32_t> local(n);
-  for (auto& m : members) {
-    for (std::size_t i = 0; i < m.size(); ++i) {
-      local[m[i]] = static_cast<std::uint32_t>(i);
-    }
-  }
-  components.resize(comps.count);
-  for (std::uint32_t c = 0; c < comps.count; ++c) {
-    components[c].vertices = std::move(members[c]);
-  }
-  for (const Edge& e : edges) {
-    std::uint32_t c = comps.label[e.u];
-    components[c].local_edges.push_back(Edge{local[e.u], local[e.v], e.w});
-  }
-  for (auto& cs : components) {
-    std::uint32_t cn = static_cast<std::uint32_t>(cs.vertices.size());
-    if (cn < 2) continue;  // isolated vertex: solution 0
-    cs.laplacian = laplacian_from_edges(cn, cs.local_edges);
-    if (opts.method == SolveMethod::kChainPcg ||
-        opts.method == SolveMethod::kChainRpch) {
-      cs.chain = std::make_unique<SolverChain>(
-          build_chain(cn, cs.local_edges, opts.chain));
-      cs.recursive =
-          std::make_unique<RecursiveSolver>(*cs.chain, opts.recursion);
-    }
-  }
-}
-
-Vec SddSolver::Impl::solve_laplacian(const Vec& b,
-                                     SddSolveReport* report) const {
-  if (b.size() != n) {
-    throw std::invalid_argument("SddSolver::solve: dimension mismatch");
-  }
-  Vec x(n, 0.0);
-  if (report) {
-    *report = SddSolveReport{};
-    report->components = static_cast<std::uint32_t>(components.size());
-  }
-  for (const ComponentSolver& cs : components) {
-    std::uint32_t cn = static_cast<std::uint32_t>(cs.vertices.size());
-    if (cn < 2) continue;
-    Vec cb(cn);
-    for (std::uint32_t i = 0; i < cn; ++i) cb[i] = b[cs.vertices[i]];
-    project_out_constant(cb);  // consistency for the singular Laplacian
-    Vec cx(cn, 0.0);
-    IterStats st;
-    switch (opts.method) {
-      case SolveMethod::kChainPcg:
-        st = cs.recursive->solve(cb, cx, opts.tolerance, opts.max_iterations);
-        break;
-      case SolveMethod::kChainRpch:
-        st = cs.recursive->solve_rpch(cb, cx, opts.tolerance,
-                                      opts.max_iterations);
-        break;
-      case SolveMethod::kCg: {
-        LinOp a_op = [&cs](const Vec& in, Vec& out) {
-          out.resize(in.size());
-          cs.laplacian.multiply(in, out);
-        };
-        CgOptions copts;
-        copts.tolerance = opts.tolerance;
-        copts.max_iterations = opts.max_iterations;
-        copts.project_constant = true;
-        st = conjugate_gradient(a_op, cb, cx, copts);
-        break;
-      }
-      case SolveMethod::kJacobiPcg: {
-        LinOp a_op = [&cs](const Vec& in, Vec& out) {
-          out.resize(in.size());
-          cs.laplacian.multiply(in, out);
-        };
-        LinOp pre = jacobi_preconditioner(cs.laplacian);
-        CgOptions copts;
-        copts.tolerance = opts.tolerance;
-        copts.max_iterations = opts.max_iterations;
-        copts.project_constant = true;
-        st = conjugate_gradient(a_op, cb, cx, copts, &pre);
-        break;
-      }
-    }
-    project_out_constant(cx);
-    for (std::uint32_t i = 0; i < cn; ++i) x[cs.vertices[i]] = cx[i];
-    if (report) {
-      if (st.iterations >= report->stats.iterations) report->stats = st;
-      if (cs.chain) {
-        report->chain_levels =
-            std::max(report->chain_levels, cs.chain->depth());
-        report->chain_edges += cs.chain->total_edges();
-      }
-      if (cs.recursive) {
-        report->bottom_visits += cs.recursive->bottom_visits();
-        cs.recursive->reset_counters();
-      }
-    }
-  }
-  return x;
-}
-
-SddSolver::SddSolver() : impl_(std::make_unique<Impl>()) {}
-SddSolver::SddSolver(SddSolver&&) noexcept = default;
-SddSolver& SddSolver::operator=(SddSolver&&) noexcept = default;
-SddSolver::~SddSolver() = default;
 
 SddSolver SddSolver::for_laplacian(std::uint32_t n, const EdgeList& edges,
                                    const SddSolverOptions& opts) {
-  SddSolver s;
-  s.impl_->opts = opts;
-  s.impl_->build(n, edges);
-  return s;
+  return SddSolver(std::make_shared<const SolverSetup>(
+      SolverSetup::for_laplacian(n, edges, opts)));
 }
 
 SddSolver SddSolver::for_sdd(const CsrMatrix& a,
                              const SddSolverOptions& opts) {
-  GrembanReduction red = gremban_reduce(a);
-  SddSolver s;
-  s.impl_->opts = opts;
-  if (red.was_laplacian) {
-    s.impl_->build(a.dimension(), edges_from_laplacian(a));
-  } else {
-    s.impl_->gremban = std::move(red);
-    s.impl_->build(2 * a.dimension(), s.impl_->gremban->edges);
-  }
-  return s;
+  return SddSolver(
+      std::make_shared<const SolverSetup>(SolverSetup::for_sdd(a, opts)));
 }
 
 Vec SddSolver::solve(const Vec& b, SddSolveReport* report) const {
-  if (!impl_->gremban) {
-    return impl_->solve_laplacian(b, report);
-  }
-  Vec lifted = impl_->gremban->lift_rhs(b);
-  Vec y = impl_->solve_laplacian(lifted, report);
-  return impl_->gremban->project_solution(y);
+  return setup_->solve(b, report);
+}
+
+MultiVec SddSolver::solve_batch(const MultiVec& b,
+                                BatchSolveReport* report) const {
+  return setup_->solve_batch(b, report);
 }
 
 }  // namespace parsdd

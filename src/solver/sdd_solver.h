@@ -12,6 +12,12 @@
 //     (the paper's rPCh), or by the classical baselines (CG, Jacobi-PCG)
 //     for comparison benches.
 //
+// Construction IS the setup phase: all RHS-independent state lives in a
+// shared, immutable SolverSetup (solver/solver_setup.h), so a solver is
+// cheap to copy and safe to query from many threads at once.  Answer many
+// right-hand sides against one setup with solve_batch — the serving-shaped
+// pattern the apps build on.
+//
 // For singular Laplacian blocks the right-hand side must be consistent
 // (mean-zero per connected component); solve() projects it and returns the
 // mean-zero (pseudo-inverse) solution.
@@ -19,40 +25,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "graph/edge_list.h"
 #include "linalg/csr_matrix.h"
-#include "linalg/gremban.h"
-#include "linalg/iterative.h"
-#include "solver/chain.h"
-#include "solver/recursive_solver.h"
+#include "linalg/multivec.h"
+#include "solver/solver_setup.h"
 
 namespace parsdd {
-
-enum class SolveMethod {
-  kChainPcg,    // flexible PCG + recursive chain preconditioner (default)
-  kChainRpch,   // pure recursive preconditioned Chebyshev (Theorem 1.1)
-  kCg,          // unpreconditioned conjugate gradient (baseline)
-  kJacobiPcg,   // diagonally preconditioned CG (baseline)
-};
-
-struct SddSolverOptions {
-  double tolerance = 1e-8;
-  std::uint32_t max_iterations = 5000;
-  SolveMethod method = SolveMethod::kChainPcg;
-  ChainOptions chain;
-  RecursiveSolverOptions recursion;
-};
-
-struct SddSolveReport {
-  IterStats stats;                // worst component's iteration stats
-  std::uint32_t chain_levels = 0; // deepest chain
-  std::size_t chain_edges = 0;    // total edges across all chain levels
-  std::uint64_t bottom_visits = 0;
-  std::uint32_t components = 0;
-};
 
 class SddSolver {
  public:
@@ -69,14 +49,18 @@ class SddSolver {
   /// Solves A x = b.  For Laplacian blocks b is projected per component.
   Vec solve(const Vec& b, SddSolveReport* report = nullptr) const;
 
-  SddSolver(SddSolver&&) noexcept;
-  SddSolver& operator=(SddSolver&&) noexcept;
-  ~SddSolver();
+  /// Solves A X = B for k right-hand sides at once; column c equals
+  /// solve(B[:,c]) but the whole block shares each matrix traversal.
+  MultiVec solve_batch(const MultiVec& b,
+                       BatchSolveReport* report = nullptr) const;
+
+  /// The shared setup phase (chains, components, Gremban state).
+  const SolverSetup& setup() const { return *setup_; }
 
  private:
-  SddSolver();
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
+  explicit SddSolver(std::shared_ptr<const SolverSetup> setup)
+      : setup_(std::move(setup)) {}
+  std::shared_ptr<const SolverSetup> setup_;
 };
 
 }  // namespace parsdd

@@ -1,0 +1,253 @@
+#include "solver/solver_setup.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/connectivity.h"
+#include "linalg/cg.h"
+#include "linalg/jacobi.h"
+#include "linalg/laplacian.h"
+
+namespace parsdd {
+
+namespace {
+
+// One connected component's RHS-independent state.
+struct ComponentSetup {
+  std::vector<std::uint32_t> vertices;  // original ids, in local order
+  EdgeList local_edges;
+  CsrMatrix laplacian;
+  std::unique_ptr<SolverChain> chain;
+  std::unique_ptr<RecursiveSolver> recursive;
+};
+
+}  // namespace
+
+struct SolverSetup::Impl {
+  SddSolverOptions opts;
+  std::uint32_t n = 0;  // size of the (possibly lifted) Laplacian system
+  std::vector<ComponentSetup> components;
+  // Gremban state (only for non-Laplacian SDD inputs).
+  std::optional<GrembanReduction> gremban;
+
+  void build(std::uint32_t num_vertices, const EdgeList& edges);
+  MultiVec solve_batch_laplacian(const MultiVec& b,
+                                 BatchSolveReport* report) const;
+};
+
+void SolverSetup::Impl::build(std::uint32_t num_vertices,
+                              const EdgeList& edges) {
+  n = num_vertices;
+  Components comps = connected_components(n, edges);
+  std::vector<std::vector<std::uint32_t>> members(comps.count);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    members[comps.label[v]].push_back(v);
+  }
+  // Local index of each vertex inside its component.
+  std::vector<std::uint32_t> local(n);
+  for (auto& m : members) {
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      local[m[i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+  components.resize(comps.count);
+  for (std::uint32_t c = 0; c < comps.count; ++c) {
+    components[c].vertices = std::move(members[c]);
+  }
+  for (const Edge& e : edges) {
+    std::uint32_t c = comps.label[e.u];
+    components[c].local_edges.push_back(Edge{local[e.u], local[e.v], e.w});
+  }
+  for (auto& cs : components) {
+    std::uint32_t cn = static_cast<std::uint32_t>(cs.vertices.size());
+    if (cn < 2) continue;  // isolated vertex: solution 0
+    cs.laplacian = laplacian_from_edges(cn, cs.local_edges);
+    if (opts.method == SolveMethod::kChainPcg ||
+        opts.method == SolveMethod::kChainRpch) {
+      cs.chain = std::make_unique<SolverChain>(
+          build_chain(cn, cs.local_edges, opts.chain));
+      cs.recursive =
+          std::make_unique<RecursiveSolver>(*cs.chain, opts.recursion);
+    }
+  }
+}
+
+MultiVec SolverSetup::Impl::solve_batch_laplacian(
+    const MultiVec& b, BatchSolveReport* report) const {
+  if (b.rows() != n) {
+    throw std::invalid_argument("SolverSetup::solve_batch: dimension mismatch");
+  }
+  std::size_t k = b.cols();
+  MultiVec x(n, k, 0.0);
+  if (report) {
+    *report = BatchSolveReport{};
+    report->column_stats.assign(k, IterStats{});
+    report->components = static_cast<std::uint32_t>(components.size());
+  }
+  for (const ComponentSetup& cs : components) {
+    std::uint32_t cn = static_cast<std::uint32_t>(cs.vertices.size());
+    if (cn < 2) continue;
+    MultiVec cb(cn, k);
+    for (std::uint32_t i = 0; i < cn; ++i) {
+      const double* src = b.row(cs.vertices[i]);
+      double* dst = cb.row(i);
+      for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
+    }
+    project_out_constant_cols(cb);  // consistency for the singular Laplacian
+    MultiVec cx(cn, k, 0.0);
+    std::vector<IterStats> st;
+    std::uint64_t visits_before =
+        cs.recursive ? cs.recursive->bottom_visits() : 0;
+    switch (opts.method) {
+      case SolveMethod::kChainPcg: {
+        RecursiveSolver::Workspace ws = cs.recursive->make_workspace();
+        st = cs.recursive->solve_batch(cb, cx, opts.tolerance,
+                                       opts.max_iterations, ws);
+        break;
+      }
+      case SolveMethod::kChainRpch: {
+        RecursiveSolver::Workspace ws = cs.recursive->make_workspace();
+        st = cs.recursive->solve_rpch_batch(cb, cx, opts.tolerance,
+                                            opts.max_iterations, ws);
+        break;
+      }
+      case SolveMethod::kCg: {
+        BlockLinOp a_op = [&cs](const MultiVec& in, MultiVec& out) {
+          ensure_shape(out, in.rows(), in.cols());
+          cs.laplacian.multiply(in, out);
+        };
+        CgOptions copts;
+        copts.tolerance = opts.tolerance;
+        copts.max_iterations = opts.max_iterations;
+        copts.project_constant = true;
+        st = block_conjugate_gradient(a_op, cb, cx, copts);
+        break;
+      }
+      case SolveMethod::kJacobiPcg: {
+        BlockLinOp a_op = [&cs](const MultiVec& in, MultiVec& out) {
+          ensure_shape(out, in.rows(), in.cols());
+          cs.laplacian.multiply(in, out);
+        };
+        BlockLinOp pre = jacobi_preconditioner_block(cs.laplacian);
+        CgOptions copts;
+        copts.tolerance = opts.tolerance;
+        copts.max_iterations = opts.max_iterations;
+        copts.project_constant = true;
+        st = block_conjugate_gradient(a_op, cb, cx, copts, &pre);
+        break;
+      }
+    }
+    project_out_constant_cols(cx);
+    for (std::uint32_t i = 0; i < cn; ++i) {
+      const double* src = cx.row(i);
+      double* dst = x.row(cs.vertices[i]);
+      for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
+    }
+    if (report) {
+      for (std::size_t c = 0; c < k; ++c) {
+        if (st[c].iterations >= report->column_stats[c].iterations) {
+          report->column_stats[c] = st[c];
+        }
+      }
+      if (cs.chain) {
+        report->chain_levels =
+            std::max(report->chain_levels, cs.chain->depth());
+        report->chain_edges += cs.chain->total_edges();
+      }
+      if (cs.recursive) {
+        report->bottom_visits += cs.recursive->bottom_visits() - visits_before;
+      }
+    }
+  }
+  return x;
+}
+
+SolverSetup::SolverSetup() : impl_(std::make_unique<Impl>()) {}
+SolverSetup::SolverSetup(SolverSetup&&) noexcept = default;
+SolverSetup& SolverSetup::operator=(SolverSetup&&) noexcept = default;
+SolverSetup::~SolverSetup() = default;
+
+SolverSetup SolverSetup::for_laplacian(std::uint32_t n, const EdgeList& edges,
+                                       const SddSolverOptions& opts) {
+  SolverSetup s;
+  s.impl_->opts = opts;
+  s.impl_->build(n, edges);
+  return s;
+}
+
+SolverSetup SolverSetup::for_sdd(const CsrMatrix& a,
+                                 const SddSolverOptions& opts) {
+  GrembanReduction red = gremban_reduce(a);
+  SolverSetup s;
+  s.impl_->opts = opts;
+  if (red.was_laplacian) {
+    s.impl_->build(a.dimension(), edges_from_laplacian(a));
+  } else {
+    s.impl_->gremban = std::move(red);
+    s.impl_->build(2 * a.dimension(), s.impl_->gremban->edges);
+  }
+  return s;
+}
+
+std::uint32_t SolverSetup::dimension() const {
+  return impl_->gremban && !impl_->gremban->was_laplacian ? impl_->gremban->n
+                                                          : impl_->n;
+}
+
+std::uint32_t SolverSetup::num_components() const {
+  return static_cast<std::uint32_t>(impl_->components.size());
+}
+
+std::uint32_t SolverSetup::chain_levels() const {
+  std::uint32_t levels = 0;
+  for (const ComponentSetup& cs : impl_->components) {
+    if (cs.chain) levels = std::max(levels, cs.chain->depth());
+  }
+  return levels;
+}
+
+std::size_t SolverSetup::chain_edges() const {
+  std::size_t edges = 0;
+  for (const ComponentSetup& cs : impl_->components) {
+    if (cs.chain) edges += cs.chain->total_edges();
+  }
+  return edges;
+}
+
+MultiVec SolverSetup::solve_batch(const MultiVec& b,
+                                  BatchSolveReport* report) const {
+  if (!impl_->gremban) {
+    return impl_->solve_batch_laplacian(b, report);
+  }
+  // Validate against the ORIGINAL dimension before lifting: the lifted
+  // block is always 2n rows, so the downstream check cannot catch a
+  // wrong-sized input.
+  if (b.rows() != impl_->gremban->n) {
+    throw std::invalid_argument("SolverSetup::solve_batch: dimension mismatch");
+  }
+  MultiVec lifted = impl_->gremban->lift_rhs_block(b);
+  MultiVec y = impl_->solve_batch_laplacian(lifted, report);
+  return impl_->gremban->project_solution_block(y);
+}
+
+Vec SolverSetup::solve(const Vec& b, SddSolveReport* report) const {
+  // A single solve is a 1-column batch: both entry points share one code
+  // path, so batched and single solves are arithmetically identical.
+  MultiVec bb(b.size(), 1);
+  bb.set_column(0, b);
+  BatchSolveReport batch_report;
+  MultiVec xx = solve_batch(bb, report ? &batch_report : nullptr);
+  if (report) {
+    *report = SddSolveReport{};
+    if (!batch_report.column_stats.empty()) {
+      report->stats = batch_report.column_stats.front();
+    }
+    report->chain_levels = batch_report.chain_levels;
+    report->chain_edges = batch_report.chain_edges;
+    report->bottom_visits = batch_report.bottom_visits;
+    report->components = batch_report.components;
+  }
+  return xx.column(0);
+}
+
+}  // namespace parsdd

@@ -1,0 +1,106 @@
+// The setup phase of the setup/solve split.
+//
+// A production deployment never solves one system once: it builds the
+// preconditioner chain (Definition 6.3) for a fixed Laplacian/SDD matrix
+// once and then answers many right-hand sides against it — one solve per
+// queried edge in apps/effective_resistance, one per channel in
+// apps/harmonic.  SolverSetup owns everything that is expensive and
+// RHS-independent (Gremban reduction, connected components, per-component
+// chain + recursive solver), and exposes two cheap query entry points:
+//
+//   * solve(b)        — one RHS (internally a 1-column batch);
+//   * solve_batch(B)  — k RHS in lockstep, sharing every matrix traversal,
+//                       elimination fold, and bottom dense solve across the
+//                       whole block (SpMM-style amortization).
+//
+// Both are const and allocate per-call workspaces, so any number of threads
+// may solve concurrently against one shared SolverSetup.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/gremban.h"
+#include "linalg/iterative.h"
+#include "linalg/multivec.h"
+#include "solver/chain.h"
+#include "solver/recursive_solver.h"
+
+namespace parsdd {
+
+enum class SolveMethod {
+  kChainPcg,    // flexible PCG + recursive chain preconditioner (default)
+  kChainRpch,   // pure recursive preconditioned Chebyshev (Theorem 1.1)
+  kCg,          // unpreconditioned conjugate gradient (baseline)
+  kJacobiPcg,   // diagonally preconditioned CG (baseline)
+};
+
+struct SddSolverOptions {
+  double tolerance = 1e-8;
+  std::uint32_t max_iterations = 5000;
+  SolveMethod method = SolveMethod::kChainPcg;
+  ChainOptions chain;
+  RecursiveSolverOptions recursion;
+};
+
+struct SddSolveReport {
+  IterStats stats;                // worst component's iteration stats
+  std::uint32_t chain_levels = 0; // deepest chain
+  std::size_t chain_edges = 0;    // total edges across all chain levels
+  std::uint64_t bottom_visits = 0;
+  std::uint32_t components = 0;
+};
+
+struct BatchSolveReport {
+  /// Worst-component iteration stats, one entry per RHS column.
+  std::vector<IterStats> column_stats;
+  std::uint32_t chain_levels = 0;
+  std::size_t chain_edges = 0;
+  /// Bottom-level dense solves during this batch (a batched visit counts
+  /// once for the whole block); approximate under concurrent solves.
+  std::uint64_t bottom_visits = 0;
+  std::uint32_t components = 0;
+};
+
+class SolverSetup {
+ public:
+  /// Builds the chain(s) for the Laplacian of (V=[0,n), edges).  The graph
+  /// may be disconnected; isolated vertices get solution 0.
+  static SolverSetup for_laplacian(std::uint32_t n, const EdgeList& edges,
+                                   const SddSolverOptions& opts = {});
+
+  /// Builds for a general SDD matrix (Gremban double cover applied when A
+  /// is not already a Laplacian).
+  static SolverSetup for_sdd(const CsrMatrix& a,
+                             const SddSolverOptions& opts = {});
+
+  SolverSetup(SolverSetup&&) noexcept;
+  SolverSetup& operator=(SolverSetup&&) noexcept;
+  ~SolverSetup();
+
+  /// Size of the original system (before any Gremban lift).
+  std::uint32_t dimension() const;
+  std::uint32_t num_components() const;
+  std::uint32_t chain_levels() const;
+  std::size_t chain_edges() const;
+
+  /// Solves A x = b.  For Laplacian blocks b is projected per component.
+  /// Thread-safe: concurrent calls share the setup, never the scratch.
+  Vec solve(const Vec& b, SddSolveReport* report = nullptr) const;
+
+  /// Solves A X = B column-wise; column c equals solve(B[:,c]).  One chain
+  /// pass serves the whole block, amortizing setup traversals over k RHS.
+  MultiVec solve_batch(const MultiVec& b,
+                       BatchSolveReport* report = nullptr) const;
+
+ private:
+  SolverSetup();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace parsdd
