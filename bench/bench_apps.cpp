@@ -37,7 +37,8 @@ void sparsifier_table() {
     opts.epsilon = eps;
     opts.constant = 0.5;
     opts.probes = 64;
-    SpectralSparsifyResult r = spectral_sparsify(g.n, g.edges, solver, opts);
+    SpectralSparsifyResult r =
+        spectral_sparsify(g.n, g.edges, solver, opts).value();
     double worst = 1.0;
     for (std::uint64_t s = 0; s < 8; ++s) {
       Vec x = random_unit_like(g.n, 50 + s);
@@ -68,7 +69,7 @@ void maxflow_table() {
     opts.max_iterations = iters;
     opts.solver.tolerance = 1e-8;
     Timer timer;
-    MaxflowResult r = approx_max_flow(g.n, g.edges, s, t, opts);
+    MaxflowResult r = approx_max_flow(g.n, g.edges, s, t, opts).value();
     std::printf("%6u %12.4f %8u %8.2f\n", iters, r.flow_value / exact,
                 r.laplacian_solves, timer.seconds());
   }
@@ -93,7 +94,7 @@ void harmonic_table(parsdd_bench::BenchJson& json) {
       values.push_back(-1.0);
     }
     Timer t;
-    Vec x = harmonic_extension(g.n, g.edges, boundary, values);
+    Vec x = harmonic_extension(g.n, g.edges, boundary, values).value();
     double sec = t.seconds();
     // Serving shape: four channels through one interior setup.
     std::vector<std::vector<double>> channels(4, values);
@@ -102,7 +103,7 @@ void harmonic_table(parsdd_bench::BenchJson& json) {
     }
     t.reset();
     std::vector<Vec> multi =
-        harmonic_extension_multi(g.n, g.edges, boundary, channels);
+        harmonic_extension_multi(g.n, g.edges, boundary, channels).value();
     double sec4 = t.seconds();
     // Residual of the harmonic property at interior vertices.
     CsrMatrix lap = laplacian_from_edges(g.n, g.edges);

@@ -32,7 +32,7 @@ Row run(const GeneratedGraph& g, SolveMethod method) {
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
   Vec b = random_unit_like(g.n, 7);
   SddSolveReport rep;
-  solver.solve(b, &rep);
+  (void)solver.solve(b, &rep).value();
   Row r;
   r.iters = rep.stats.iterations;
   r.sec = t.seconds();
@@ -101,7 +101,7 @@ void mode_ablation() {
     SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
     Vec b = random_unit_like(g.n, 8);
     SddSolveReport rep;
-    solver.solve(b, &rep);
+    (void)solver.solve(b, &rep).value();
     std::printf("%-12s depth=%u chain_m=%zu iters=%u conv=%s sec=%.2f\n",
                 mode == 0 ? "ultrasparse" : "sampled", rep.chain_levels,
                 rep.chain_edges, rep.stats.iterations,

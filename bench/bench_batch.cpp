@@ -67,18 +67,18 @@ int main() {
     MultiVec b = MultiVec::from_columns(cols);
 
     // Warm both paths once so neither pays first-touch costs.
-    (void)solver.solve(cols[0]);
-    (void)solver.solve_batch(MultiVec::from_columns({cols[0]}));
+    (void)solver.solve(cols[0]).value();
+    (void)solver.solve_batch(MultiVec::from_columns({cols[0]})).value();
 
     t.reset();
     std::vector<Vec> singles;
     for (std::uint32_t j = 0; j < c.k; ++j) {
-      singles.push_back(solver.solve(cols[j]));
+      singles.push_back(solver.solve(cols[j]).value());
     }
     double single_s = t.seconds();
 
     t.reset();
-    MultiVec x = solver.solve_batch(b);
+    MultiVec x = solver.solve_batch(b).value();
     double batch_s = t.seconds();
 
     // Correctness guard: the batch must reproduce the single solves.

@@ -46,7 +46,7 @@ void scaling_table(BenchJson& json) {
     Vec b = random_unit_like(c.g.n, 3);
     Timer ts;
     SddSolveReport rep;
-    Vec x = solver.solve(b, &rep);
+    Vec x = solver.solve(b, &rep).value();
     double solve = ts.seconds();
     double m = static_cast<double>(c.g.edges.size());
     std::printf("%-18s %8u %8zu %9.2f %9.2f %6u %10.2f %9.2f\n", c.name,
@@ -78,7 +78,7 @@ void epsilon_table() {
     SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
     Vec b = random_unit_like(g.n, 4);
     SddSolveReport rep;
-    solver.solve(b, &rep);
+    (void)solver.solve(b, &rep).value();
     std::printf("%10.0e %6u %12.2e\n", tol, rep.stats.iterations,
                 rep.stats.relative_residual);
   }
@@ -99,7 +99,7 @@ void rpch_table() {
     SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
     Vec b = random_unit_like(g.n, 5);
     SddSolveReport rep;
-    solver.solve(b, &rep);
+    (void)solver.solve(b, &rep).value();
     std::printf("%10.0e %7u %12.2e\n", tol, rep.stats.iterations,
                 rep.stats.relative_residual);
   }

@@ -29,7 +29,8 @@ int main() {
     cols.push_back(random_unit_like(g.n, 11 + c));
   }
   BatchSolveReport report;
-  MultiVec x = solver.solve_batch(MultiVec::from_columns(cols), &report);
+  MultiVec x =
+      solver.solve_batch(MultiVec::from_columns(cols), &report).value();
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   for (std::size_t c = 0; c < cols.size(); ++c) {
     Vec xc = x.column(c);
@@ -41,7 +42,7 @@ int main() {
   // Query 2: effective resistances for a batch of vertex pairs.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs = {
       {0, 1}, {0, g.n - 1}, {g.n / 2, g.n / 2 + 40}};
-  std::vector<double> r = pair_resistances(solver, g.n, pairs);
+  std::vector<double> r = pair_resistances(solver, g.n, pairs).value();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     std::printf("  R(%u, %u) = %.6f\n", pairs[i].first, pairs[i].second, r[i]);
   }
@@ -52,7 +53,7 @@ int main() {
   std::vector<std::vector<double>> channels = {
       {1.0, 0.0, 0.0, 0.5}, {0.0, 1.0, 0.0, 0.5}, {0.0, 0.0, 1.0, 0.5}};
   std::vector<Vec> rgb =
-      harmonic_extension_multi(g.n, g.edges, boundary, channels);
+      harmonic_extension_multi(g.n, g.edges, boundary, channels).value();
   std::printf("  center pixel rgb = (%.3f, %.3f, %.3f)\n",
               rgb[0][g.n / 2 + 20], rgb[1][g.n / 2 + 20],
               rgb[2][g.n / 2 + 20]);

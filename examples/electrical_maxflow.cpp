@@ -29,7 +29,7 @@ int main() {
     opts.epsilon = 0.15;
     opts.max_iterations = iters;
     opts.solver.tolerance = 1e-8;
-    MaxflowResult r = approx_max_flow(g.n, g.edges, s, t, opts);
+    MaxflowResult r = approx_max_flow(g.n, g.edges, s, t, opts).value();
     std::printf("%-8u %-12.3f %-10.4f\n", r.iterations, r.flow_value,
                 r.flow_value / exact);
     best = r.flow_value;

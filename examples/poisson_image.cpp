@@ -47,7 +47,8 @@ int main() {
 
   SddSolverOptions opts;
   opts.tolerance = 1e-9;
-  Vec filled = harmonic_extension(g.n, g.edges, boundary, values, opts);
+  Vec filled =
+      harmonic_extension(g.n, g.edges, boundary, values, opts).value();
 
   double max_err = 0.0, sum_err = 0.0;
   std::size_t count = 0;

@@ -26,7 +26,7 @@ int main() {
   Vec b = random_unit_like(g.n, /*seed=*/1);
 
   SddSolveReport report;
-  Vec x = solver.solve(b, &report);
+  Vec x = solver.solve(b, &report).value();
 
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   double rel = norm2(subtract(lap.apply(x), b)) / norm2(b);

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
   Vec b = random_unit_like(g.n, 1);
   SddSolveReport rep;
-  Vec x = solver.solve(b, &rep);
+  Vec x = solver.solve(b, &rep).value();
 
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   double rel = norm2(subtract(lap.apply(x), b)) / norm2(b);

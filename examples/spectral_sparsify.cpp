@@ -27,7 +27,8 @@ int main() {
   opts.epsilon = 0.5;
   opts.constant = 0.5;
   opts.probes = 48;
-  SpectralSparsifyResult r = spectral_sparsify(g.n, g.edges, solver, opts);
+  SpectralSparsifyResult r =
+      spectral_sparsify(g.n, g.edges, solver, opts).value();
   std::printf("sparsifier: %zu edges (%.1f%% of input)\n",
               r.sparsifier.size(),
               100.0 * r.sparsifier.size() / g.edges.size());

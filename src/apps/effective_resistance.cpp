@@ -2,38 +2,65 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "parallel/primitives.h"
 #include "parallel/rng.h"
 
 namespace parsdd {
 
-double effective_resistance(const SddSolver& solver, std::uint32_t u,
-                            std::uint32_t v, std::size_t n) {
-  return pair_resistances(solver, n, {{u, v}})[0];
+StatusOr<double> effective_resistance(const SddSolver& solver, std::uint32_t u,
+                                      std::uint32_t v, std::size_t n) {
+  StatusOr<std::vector<double>> r = pair_resistances(solver, n, {{u, v}});
+  if (!r.ok()) return r.status();
+  return (*r)[0];
 }
 
-std::vector<double> pair_resistances(
+StatusOr<std::vector<double>> pair_resistances(
     const SddSolver& solver, std::size_t n,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs) {
   std::size_t k = pairs.size();
   std::vector<double> r(k, 0.0);
   if (k == 0) return r;
+  if (n != solver.setup().dimension()) {
+    return InvalidArgumentError(
+        "pair_resistances: n mismatches the solver dimension");
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (pairs[c].first >= n || pairs[c].second >= n) {
+      return InvalidArgumentError("pair_resistances: pair " +
+                                  std::to_string(c) + " out of range");
+    }
+  }
   MultiVec b(n, k, 0.0);
   for (std::size_t c = 0; c < k; ++c) {
     b.at(pairs[c].first, c) += 1.0;
     b.at(pairs[c].second, c) -= 1.0;
   }
-  MultiVec x = solver.solve_batch(b);
+  StatusOr<MultiVec> x = solver.solve_batch(b);
+  if (!x.ok()) return x.status();
   for (std::size_t c = 0; c < k; ++c) {
-    r[c] = x.at(pairs[c].first, c) - x.at(pairs[c].second, c);
+    r[c] = x->at(pairs[c].first, c) - x->at(pairs[c].second, c);
   }
   return r;
 }
 
-std::vector<double> approx_edge_resistances(
+StatusOr<std::vector<double>> approx_edge_resistances(
     const SddSolver& solver, std::uint32_t n, const EdgeList& edges,
     const ResistanceSketchOptions& opts) {
+  if (n != solver.setup().dimension()) {
+    return InvalidArgumentError(
+        "approx_edge_resistances: n mismatches the solver dimension");
+  }
+  if (opts.probes == 0) {
+    return InvalidArgumentError("approx_edge_resistances: probes == 0");
+  }
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      return InvalidArgumentError(
+          "approx_edge_resistances: edge endpoint out of range");
+    }
+  }
   std::vector<double> r(edges.size(), 0.0);
   Rng rng(opts.seed);
   std::uint32_t batch = std::max<std::uint32_t>(opts.batch_size, 1);
@@ -50,10 +77,11 @@ std::vector<double> approx_edge_resistances(
         rhs.at(edges[e].v, c) -= s;
       }
     }
-    MultiVec z = solver.solve_batch(rhs);
+    StatusOr<MultiVec> z = solver.solve_batch(rhs);
+    if (!z.ok()) return z.status();
     parallel_for(0, edges.size(), [&](std::size_t e) {
-      const double* zu = z.row(edges[e].u);
-      const double* zv = z.row(edges[e].v);
+      const double* zu = z->row(edges[e].u);
+      const double* zv = z->row(edges[e].v);
       double acc = 0.0;
       for (std::uint32_t c = 0; c < k; ++c) {
         double d = zu[c] - zv[c];
@@ -62,7 +90,7 @@ std::vector<double> approx_edge_resistances(
       r[e] += acc;
     });
   }
-  double inv = 1.0 / std::max<std::uint32_t>(opts.probes, 1);
+  double inv = 1.0 / opts.probes;
   parallel_for(0, r.size(), [&](std::size_t e) { r[e] *= inv; });
   return r;
 }

@@ -22,13 +22,16 @@
 namespace parsdd {
 
 /// Exact effective resistance between u and v: (e_u-e_v)ᵀ L⁺ (e_u-e_v),
-/// via one solve with the supplied solver.
-double effective_resistance(const SddSolver& solver, std::uint32_t u,
-                            std::uint32_t v, std::size_t n);
+/// via one solve with the supplied solver.  InvalidArgument when u or v is
+/// out of range or n mismatches the solver.
+StatusOr<double> effective_resistance(const SddSolver& solver, std::uint32_t u,
+                                      std::uint32_t v, std::size_t n);
 
 /// Exact effective resistances for a batch of vertex pairs: one
-/// solve_batch with a column e_u - e_v per pair.
-std::vector<double> pair_resistances(
+/// solve_batch with a column e_u - e_v per pair (an empty pair list is OK
+/// and returns an empty result).  InvalidArgument when a pair endpoint is
+/// out of range or n mismatches the solver.
+StatusOr<std::vector<double>> pair_resistances(
     const SddSolver& solver, std::size_t n,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs);
 
@@ -43,7 +46,9 @@ struct ResistanceSketchOptions {
 
 /// Approximate effective resistance of every edge of the graph the solver
 /// was built for.  Performs `probes` solves total, batched.
-std::vector<double> approx_edge_resistances(
+/// InvalidArgument when an edge endpoint is out of range, n mismatches the
+/// solver, or probes == 0.
+StatusOr<std::vector<double>> approx_edge_resistances(
     const SddSolver& solver, std::uint32_t n, const EdgeList& edges,
     const ResistanceSketchOptions& opts = {});
 

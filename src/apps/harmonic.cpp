@@ -1,27 +1,37 @@
 #include "apps/harmonic.h"
 
 #include <limits>
-#include <stdexcept>
+#include <string>
 
 namespace parsdd {
 
-Vec harmonic_extension(std::uint32_t n, const EdgeList& edges,
-                       const std::vector<std::uint32_t>& boundary,
-                       const std::vector<double>& boundary_values,
-                       const SddSolverOptions& solver_opts) {
-  return harmonic_extension_multi(n, edges, boundary, {boundary_values},
-                                  solver_opts)[0];
+StatusOr<Vec> harmonic_extension(std::uint32_t n, const EdgeList& edges,
+                                 const std::vector<std::uint32_t>& boundary,
+                                 const std::vector<double>& boundary_values,
+                                 const SddSolverOptions& solver_opts) {
+  StatusOr<std::vector<Vec>> multi = harmonic_extension_multi(
+      n, edges, boundary, {boundary_values}, solver_opts);
+  if (!multi.ok()) return multi.status();
+  return std::move((*multi)[0]);
 }
 
-std::vector<Vec> harmonic_extension_multi(
+StatusOr<std::vector<Vec>> harmonic_extension_multi(
     std::uint32_t n, const EdgeList& edges,
     const std::vector<std::uint32_t>& boundary,
     const std::vector<std::vector<double>>& boundary_channels,
     const SddSolverOptions& solver_opts) {
   std::size_t k = boundary_channels.size();
-  for (const auto& ch : boundary_channels) {
-    if (ch.size() != boundary.size()) {
-      throw std::invalid_argument("harmonic_extension: size mismatch");
+  for (std::size_t c = 0; c < k; ++c) {
+    if (boundary_channels[c].size() != boundary.size()) {
+      return InvalidArgumentError("harmonic_extension: channel " +
+                                  std::to_string(c) +
+                                  " mismatches the boundary size");
+    }
+  }
+  for (std::uint32_t v : boundary) {
+    if (v >= n) {
+      return InvalidArgumentError(
+          "harmonic_extension: boundary vertex out of range");
     }
   }
   constexpr std::uint32_t kFree = std::numeric_limits<std::uint32_t>::max();
@@ -68,9 +78,10 @@ std::vector<Vec> harmonic_extension_multi(
       static_cast<std::uint32_t>(interior.size()), std::move(ts));
   // Setup once, solve every channel in one batch.
   SddSolver solver = SddSolver::for_sdd(lii, solver_opts);
-  MultiVec xi = solver.solve_batch(rhs);
+  StatusOr<MultiVec> xi = solver.solve_batch(rhs);
+  if (!xi.ok()) return xi.status();
   for (std::size_t i = 0; i < interior.size(); ++i) {
-    const double* xr = xi.row(i);
+    const double* xr = xi->row(i);
     for (std::size_t c = 0; c < k; ++c) x[c][interior[i]] = xr[c];
   }
   return x;

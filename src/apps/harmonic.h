@@ -23,17 +23,19 @@ namespace parsdd {
 
 /// Returns the full vector x with x[boundary[i]] = boundary_values[i] and
 /// all other entries harmonic (energy-minimizing).  Interior components not
-/// connected to any boundary vertex get 0.
-Vec harmonic_extension(std::uint32_t n, const EdgeList& edges,
-                       const std::vector<std::uint32_t>& boundary,
-                       const std::vector<double>& boundary_values,
-                       const SddSolverOptions& solver_opts = {});
+/// connected to any boundary vertex get 0.  InvalidArgument when the value
+/// list mismatches the boundary or a boundary vertex is out of range.
+StatusOr<Vec> harmonic_extension(std::uint32_t n, const EdgeList& edges,
+                                 const std::vector<std::uint32_t>& boundary,
+                                 const std::vector<double>& boundary_values,
+                                 const SddSolverOptions& solver_opts = {});
 
 /// Multi-channel harmonic extension: channel c fixes boundary vertex i to
 /// boundary_channels[c][i].  The interior system L_II is assembled and its
 /// solver set up ONCE; all channels are solved in one batch.  Returns one
-/// full-length vector per channel.
-std::vector<Vec> harmonic_extension_multi(
+/// full-length vector per channel; InvalidArgument on ragged channels or
+/// out-of-range boundary vertices.
+StatusOr<std::vector<Vec>> harmonic_extension_multi(
     std::uint32_t n, const EdgeList& edges,
     const std::vector<std::uint32_t>& boundary,
     const std::vector<std::vector<double>>& boundary_channels,

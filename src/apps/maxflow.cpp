@@ -10,10 +10,14 @@
 
 namespace parsdd {
 
-MaxflowResult approx_max_flow(std::uint32_t n, const EdgeList& capacities,
-                              std::uint32_t s, std::uint32_t t,
-                              const MaxflowOptions& opts) {
-  if (s == t) throw std::invalid_argument("approx_max_flow: s == t");
+StatusOr<MaxflowResult> approx_max_flow(std::uint32_t n,
+                                        const EdgeList& capacities,
+                                        std::uint32_t s, std::uint32_t t,
+                                        const MaxflowOptions& opts) {
+  if (s == t) return InvalidArgumentError("approx_max_flow: s == t");
+  if (s >= n || t >= n) {
+    return InvalidArgumentError("approx_max_flow: terminal out of range");
+  }
   MaxflowResult result;
   result.flow.assign(capacities.size(), 0.0);
   const std::size_t m = capacities.size();
@@ -37,7 +41,9 @@ MaxflowResult approx_max_flow(std::uint32_t n, const EdgeList& capacities,
     Vec b(n, 0.0);
     b[s] = 1.0;
     b[t] = -1.0;
-    Vec x = solver.solve(b);
+    // The solver matches `conduct` by construction, so a non-OK result
+    // here would be a bug.
+    Vec x = solver.solve(b).value();
     ++result.laplacian_solves;
 
     double width = 0.0;

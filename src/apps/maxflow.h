@@ -34,9 +34,11 @@ struct MaxflowResult {
 
 /// Approximate max flow from s to t on the undirected capacitated graph
 /// (capacities = edge weights).  Requires s and t connected.
-MaxflowResult approx_max_flow(std::uint32_t n, const EdgeList& capacities,
-                              std::uint32_t s, std::uint32_t t,
-                              const MaxflowOptions& opts = {});
+/// InvalidArgument when s == t or either terminal is out of range.
+StatusOr<MaxflowResult> approx_max_flow(std::uint32_t n,
+                                        const EdgeList& capacities,
+                                        std::uint32_t s, std::uint32_t t,
+                                        const MaxflowOptions& opts = {});
 
 /// Exact max flow (Edmonds–Karp on the undirected graph); oracle for tests
 /// and the E9 bench.  O(V·E²) — small graphs only.

@@ -7,7 +7,7 @@
 
 namespace parsdd {
 
-SpectralSparsifyResult spectral_sparsify(
+StatusOr<SpectralSparsifyResult> spectral_sparsify(
     std::uint32_t n, const EdgeList& edges, const SddSolver& solver,
     const SpectralSparsifyOptions& opts) {
   SpectralSparsifyResult out;
@@ -16,7 +16,10 @@ SpectralSparsifyResult spectral_sparsify(
   ResistanceSketchOptions ropts;
   ropts.probes = opts.probes;
   ropts.seed = opts.seed;
-  std::vector<double> reff = approx_edge_resistances(solver, n, edges, ropts);
+  StatusOr<std::vector<double>> reff_or =
+      approx_edge_resistances(solver, n, edges, ropts);
+  if (!reff_or.ok()) return reff_or.status();
+  std::vector<double> reff = std::move(*reff_or);
 
   const double ln_n = std::log(std::max<double>(n, 2.0));
   const double rate =

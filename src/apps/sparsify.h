@@ -29,8 +29,9 @@ struct SpectralSparsifyResult {
 };
 
 /// Sparsifies the connected graph (V=[0,n), edges) using `solver` (built
-/// for the same graph) for the resistance estimates.
-SpectralSparsifyResult spectral_sparsify(
+/// for the same graph) for the resistance estimates.  InvalidArgument when
+/// the solver/edges mismatch n.
+StatusOr<SpectralSparsifyResult> spectral_sparsify(
     std::uint32_t n, const EdgeList& edges, const SddSolver& solver,
     const SpectralSparsifyOptions& opts = {});
 

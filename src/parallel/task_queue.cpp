@@ -1,0 +1,69 @@
+#include "parallel/task_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace parsdd {
+
+TaskQueue::TaskQueue(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(num_threads, 1);
+  executors_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+TaskQueue::~TaskQueue() { stop(); }
+
+bool TaskQueue::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+  return true;
+}
+
+std::size_t TaskQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+void TaskQueue::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] { return tasks_.empty() && running_ == 0; });
+}
+
+void TaskQueue::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ && executors_.empty()) return;
+    stopped_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : executors_) t.join();
+  executors_.clear();
+}
+
+void TaskQueue::executor_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stopped_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopped_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+}  // namespace parsdd

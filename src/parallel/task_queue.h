@@ -1,0 +1,62 @@
+// TaskQueue: the asynchronous-task extension of the parallel layer.
+//
+// ThreadPool (thread_pool.h) is a fork-join pool: run_blocks() is a
+// synchronous barrier, which is the right shape for the paper's flat
+// parallel loops but not for a serving dispatcher that must keep accepting
+// work while solves are in flight.  TaskQueue is the complementary
+// primitive: a small FIFO of opaque tasks drained by dedicated executor
+// threads, so a producer (the SolverService dispatcher) can hand off a
+// coalesced batch and immediately go back to collecting the next one.
+//
+// The two layers compose: a task may itself call parallel_for, which
+// routes through the process-wide fork-join pool exactly as a caller
+// thread would.  TaskQueue threads are deliberately NOT ThreadPool
+// workers — a task blocking on a solve must never starve the flat loops
+// the solve itself issues.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parsdd {
+
+class TaskQueue {
+ public:
+  /// Starts `num_threads` executor threads (at least 1).
+  explicit TaskQueue(std::size_t num_threads = 1);
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+  /// Drains remaining tasks, then joins the executors.
+  ~TaskQueue();
+
+  /// Enqueues a task; returns false (and drops it) after stop().
+  bool post(std::function<void()> task);
+
+  /// Tasks enqueued but not yet started.
+  std::size_t pending() const;
+
+  /// Blocks until the queue is empty and every executor is idle.
+  void drain();
+
+  /// Stops accepting tasks, finishes what is queued, joins the executors.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+ private:
+  void executor_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // signalled on post/stop
+  std::condition_variable cv_idle_;   // signalled when a task finishes
+  std::deque<std::function<void()>> tasks_;
+  std::size_t running_ = 0;  // tasks currently executing
+  bool stopped_ = false;
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace parsdd

@@ -1,0 +1,427 @@
+#include "service/solver_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "parallel/task_queue.h"
+
+namespace parsdd {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+struct SolverService::Impl {
+  // One client's queued single-RHS request.  The setup pointer is
+  // snapshotted at submit time, so unregister() can never invalidate a
+  // request that was already accepted.
+  struct PendingSingle {
+    std::shared_ptr<const SolverSetup> setup;
+    Vec b;
+    std::promise<StatusOr<SolveResult>> promise;
+    Clock::time_point arrival;
+  };
+  struct PendingBatch {
+    std::shared_ptr<const SolverSetup> setup;
+    MultiVec b;
+    std::promise<StatusOr<BatchSolveResult>> promise;
+  };
+  struct HandleQueues {
+    std::deque<PendingSingle> singles;
+    std::deque<PendingBatch> batches;
+  };
+  // Arrival-order dispatch ticket.  Tickets may go stale when coalescing
+  // consumes several singles at once; the dispatcher skips tickets whose
+  // queue is already empty.  Invariant: a handle never holds more queued
+  // requests than live tickets, so nothing starves.
+  struct Token {
+    std::uint64_t id;
+    bool is_batch;
+  };
+  // A coalesced block in flight: k requests answered by one solve_batch.
+  struct SingleBlockJob {
+    std::shared_ptr<const SolverSetup> setup;
+    std::vector<PendingSingle> reqs;
+  };
+
+  ServiceOptions opts;
+
+  mutable std::mutex mu;
+  std::condition_variable cv_dispatch;  // work for the dispatcher
+  std::condition_variable cv_idle;      // a request finished (for drain)
+  std::unordered_map<std::uint64_t, std::shared_ptr<const SolverSetup>>
+      registry;
+  std::uint64_t next_id = 1;
+  std::unordered_map<std::uint64_t, HandleQueues> queues;
+  std::deque<Token> tokens;
+  std::size_t queued = 0;     // accepted requests not yet dispatched
+  std::size_t in_flight = 0;  // dispatched requests not yet answered
+  bool stopping = false;
+  ServiceStats counters;
+
+  std::unique_ptr<TaskQueue> exec;
+  std::thread dispatcher;
+
+  StatusOr<SetupHandle> add_setup(std::shared_ptr<const SolverSetup> setup);
+  void dispatcher_loop();
+  void dispatch_singles(std::unique_lock<std::mutex>& lock, std::uint64_t id,
+                        std::deque<PendingSingle>& singles);
+  void dispatch_batch(std::unique_lock<std::mutex>& lock,
+                      std::deque<PendingBatch>& batches);
+  void execute_single_block(SingleBlockJob& job);
+  void finish(std::size_t count);
+
+  /// Backpressure measures the whole pipeline: accepted-but-undispatched
+  /// PLUS dispatched-but-unanswered.  Counting only the former would let
+  /// the executor queue grow without bound whenever solves are the
+  /// bottleneck (the dispatcher drains `queued` faster than solves finish).
+  bool at_capacity() const { return queued + in_flight >= opts.max_pending; }
+
+  /// Frees the per-handle queue slot once the handle is unregistered and
+  /// nothing is pending against it; ids are never reused, so without this
+  /// a register/serve/unregister churn pattern would leak one map node per
+  /// handle for the process lifetime.
+  void gc_queues(std::uint64_t id) {
+    auto it = queues.find(id);
+    if (it != queues.end() && it->second.singles.empty() &&
+        it->second.batches.empty() && registry.find(id) == registry.end()) {
+      queues.erase(it);
+    }
+  }
+};
+
+SolverService::SolverService(const ServiceOptions& opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->opts = opts;
+  impl_->opts.max_batch = std::max<std::uint32_t>(impl_->opts.max_batch, 1);
+  impl_->exec =
+      std::make_unique<TaskQueue>(std::max<std::uint32_t>(opts.workers, 1));
+  impl_->dispatcher = std::thread([this] { impl_->dispatcher_loop(); });
+}
+
+SolverService::~SolverService() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv_dispatch.notify_all();
+  impl_->dispatcher.join();  // dispatches everything still queued
+  impl_->exec->stop();       // runs every dispatched block to completion
+}
+
+StatusOr<SetupHandle> SolverService::Impl::add_setup(
+    std::shared_ptr<const SolverSetup> setup) {
+  if (!setup) {
+    return InvalidArgumentError("SolverService: null setup");
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  if (stopping) {
+    return UnavailableError("SolverService: shutting down");
+  }
+  std::uint64_t id = next_id++;
+  registry.emplace(id, std::move(setup));
+  return SetupHandle{id};
+}
+
+StatusOr<SetupHandle> SolverService::register_laplacian(
+    std::uint32_t n, const EdgeList& edges, const SddSolverOptions& opts) {
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      return InvalidArgumentError(
+          "register_laplacian: edge endpoint out of range");
+    }
+  }
+  try {
+    return impl_->add_setup(std::make_shared<const SolverSetup>(
+        SolverSetup::for_laplacian(n, edges, opts)));
+  } catch (const std::exception& e) {
+    // The setup phase still speaks exceptions for construction-time
+    // failures; the service boundary translates them.
+    return InvalidArgumentError(std::string("register_laplacian: ") +
+                                e.what());
+  }
+}
+
+StatusOr<SetupHandle> SolverService::register_sdd(
+    const CsrMatrix& a, const SddSolverOptions& opts) {
+  try {
+    return impl_->add_setup(
+        std::make_shared<const SolverSetup>(SolverSetup::for_sdd(a, opts)));
+  } catch (const std::exception& e) {
+    return InvalidArgumentError(std::string("register_sdd: ") + e.what());
+  }
+}
+
+StatusOr<SetupHandle> SolverService::register_setup(
+    std::shared_ptr<const SolverSetup> setup) {
+  return impl_->add_setup(std::move(setup));
+}
+
+Status SolverService::unregister(SetupHandle handle) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->registry.erase(handle.id) == 0) {
+    return NotFoundError("unregister: unknown handle " +
+                         std::to_string(handle.id));
+  }
+  // Still-pending requests keep the queue slot alive; the dispatcher GCs
+  // it after draining them.
+  impl_->gc_queues(handle.id);
+  return OkStatus();
+}
+
+StatusOr<SetupInfo> SolverService::info(SetupHandle handle) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->registry.find(handle.id);
+  if (it == impl_->registry.end()) {
+    return NotFoundError("info: unknown handle " + std::to_string(handle.id));
+  }
+  SetupInfo out;
+  out.dimension = it->second->dimension();
+  out.components = it->second->num_components();
+  out.chain_levels = it->second->chain_levels();
+  out.chain_edges = it->second->chain_edges();
+  return out;
+}
+
+std::future<StatusOr<SolveResult>> SolverService::submit(SetupHandle handle,
+                                                         Vec b) {
+  std::promise<StatusOr<SolveResult>> promise;
+  std::future<StatusOr<SolveResult>> future = promise.get_future();
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->stopping) {
+      promise.set_value(UnavailableError("submit: shutting down"));
+      return future;
+    }
+    auto it = impl_->registry.find(handle.id);
+    if (it == impl_->registry.end()) {
+      promise.set_value(
+          NotFoundError("submit: unknown handle " + std::to_string(handle.id)));
+      return future;
+    }
+    if (b.size() != it->second->dimension()) {
+      promise.set_value(InvalidArgumentError(
+          "submit: rhs has size " + std::to_string(b.size()) +
+          ", setup has dimension " + std::to_string(it->second->dimension())));
+      return future;
+    }
+    if (impl_->at_capacity()) {
+      ++impl_->counters.rejected;
+      promise.set_value(
+          ResourceExhaustedError("submit: queue full (max_pending=" +
+                                 std::to_string(impl_->opts.max_pending) +
+                                 "), retry later"));
+      return future;
+    }
+    impl_->queues[handle.id].singles.push_back(Impl::PendingSingle{
+        it->second, std::move(b), std::move(promise), Clock::now()});
+    impl_->tokens.push_back(Impl::Token{handle.id, /*is_batch=*/false});
+    ++impl_->queued;
+    ++impl_->counters.submitted;
+    notify = true;
+  }
+  if (notify) impl_->cv_dispatch.notify_all();
+  return future;
+}
+
+std::future<StatusOr<BatchSolveResult>> SolverService::submit_batch(
+    SetupHandle handle, MultiVec b) {
+  std::promise<StatusOr<BatchSolveResult>> promise;
+  std::future<StatusOr<BatchSolveResult>> future = promise.get_future();
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->stopping) {
+      promise.set_value(UnavailableError("submit_batch: shutting down"));
+      return future;
+    }
+    auto it = impl_->registry.find(handle.id);
+    if (it == impl_->registry.end()) {
+      promise.set_value(NotFoundError("submit_batch: unknown handle " +
+                                      std::to_string(handle.id)));
+      return future;
+    }
+    if (b.cols() == 0) {
+      promise.set_value(
+          InvalidArgumentError("submit_batch: empty batch (k=0)"));
+      return future;
+    }
+    if (b.rows() != it->second->dimension()) {
+      promise.set_value(InvalidArgumentError(
+          "submit_batch: block has " + std::to_string(b.rows()) +
+          " rows, setup has dimension " +
+          std::to_string(it->second->dimension())));
+      return future;
+    }
+    if (impl_->at_capacity()) {
+      ++impl_->counters.rejected;
+      promise.set_value(
+          ResourceExhaustedError("submit_batch: queue full, retry later"));
+      return future;
+    }
+    impl_->queues[handle.id].batches.push_back(
+        Impl::PendingBatch{it->second, std::move(b), std::move(promise)});
+    impl_->tokens.push_back(Impl::Token{handle.id, /*is_batch=*/true});
+    ++impl_->queued;
+    ++impl_->counters.submitted;
+    notify = true;
+  }
+  if (notify) impl_->cv_dispatch.notify_all();
+  return future;
+}
+
+void SolverService::drain() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv_idle.wait(
+      lock, [&] { return impl_->queued == 0 && impl_->in_flight == 0; });
+}
+
+ServiceStats SolverService::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->counters;
+}
+
+void SolverService::Impl::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mu);
+  for (;;) {
+    cv_dispatch.wait(lock, [&] { return stopping || !tokens.empty(); });
+    if (tokens.empty()) {
+      if (stopping) return;  // fully drained
+      continue;
+    }
+    Token token = tokens.front();
+    tokens.pop_front();
+    auto qit = queues.find(token.id);
+    if (qit == queues.end()) continue;
+    if (token.is_batch) {
+      dispatch_batch(lock, qit->second.batches);
+    } else {
+      dispatch_singles(lock, token.id, qit->second.singles);
+    }
+    gc_queues(token.id);
+  }
+}
+
+void SolverService::Impl::dispatch_singles(std::unique_lock<std::mutex>& lock,
+                                           std::uint64_t id,
+                                           std::deque<PendingSingle>& singles) {
+  if (singles.empty()) return;  // stale ticket: already coalesced away
+  if (opts.coalesce && opts.max_linger_us > 0) {
+    // Let the block fill: wait (lock released) until max_batch columns are
+    // pending or the oldest request has lingered its budget.  Shutdown cuts
+    // the linger short so teardown never waits on the clock, and pending
+    // work for ANY OTHER handle cuts it short too — the single dispatcher
+    // must not head-of-line block handle B behind handle A's linger window
+    // (requests for the same handle only push same-id tickets, so the hot
+    // single-handle burst still coalesces fully).
+    auto other_handle_waiting = [&] {
+      for (const Token& t : tokens) {
+        if (t.id != id) return true;
+      }
+      return false;
+    };
+    Clock::time_point deadline =
+        singles.front().arrival + std::chrono::microseconds(opts.max_linger_us);
+    while (!stopping && singles.size() < opts.max_batch &&
+           Clock::now() < deadline && !other_handle_waiting()) {
+      cv_dispatch.wait_until(lock, deadline);
+    }
+  }
+  std::size_t take =
+      opts.coalesce ? std::min<std::size_t>(singles.size(), opts.max_batch)
+                    : 1;
+  auto job = std::make_shared<SingleBlockJob>();
+  job->setup = singles.front().setup;
+  job->reqs.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    job->reqs.push_back(std::move(singles.front()));
+    singles.pop_front();
+  }
+  queued -= take;
+  in_flight += take;
+  ++counters.dispatched_blocks;
+  counters.dispatched_cols += take;
+  lock.unlock();
+  // Hand the block to the executors; the dispatcher goes straight back to
+  // collecting the next one while this solve runs.
+  bool posted = exec->post([this, job] {
+    execute_single_block(*job);
+    finish(job->reqs.size());
+  });
+  if (!posted) {
+    for (PendingSingle& r : job->reqs) {
+      r.promise.set_value(UnavailableError("service stopped"));
+    }
+    finish(job->reqs.size());
+  }
+  lock.lock();
+}
+
+void SolverService::Impl::dispatch_batch(std::unique_lock<std::mutex>& lock,
+                                         std::deque<PendingBatch>& batches) {
+  if (batches.empty()) return;
+  auto job = std::make_shared<PendingBatch>(std::move(batches.front()));
+  batches.pop_front();
+  --queued;
+  ++in_flight;
+  ++counters.dispatched_blocks;
+  counters.dispatched_cols += job->b.cols();
+  lock.unlock();
+  bool posted = exec->post([this, job] {
+    BatchSolveReport report;
+    StatusOr<MultiVec> x = job->setup->solve_batch(job->b, &report);
+    if (x.ok()) {
+      job->promise.set_value(BatchSolveResult{std::move(*x), std::move(report)});
+    } else {
+      job->promise.set_value(x.status());
+    }
+    finish(1);
+  });
+  if (!posted) {
+    job->promise.set_value(UnavailableError("service stopped"));
+    finish(1);
+  }
+  lock.lock();
+}
+
+void SolverService::Impl::execute_single_block(SingleBlockJob& job) {
+  std::size_t k = job.reqs.size();
+  std::uint32_t n = job.setup->dimension();
+  MultiVec b(n, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    b.set_column(c, job.reqs[c].b);
+  }
+  BatchSolveReport report;
+  StatusOr<MultiVec> x = job.setup->solve_batch(b, &report);
+  if (!x.ok()) {
+    // Cannot happen for requests validated at submit; surface it anyway.
+    for (PendingSingle& r : job.reqs) r.promise.set_value(x.status());
+    return;
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    SolveResult res;
+    res.x = x->column(c);
+    res.stats = report.column_stats[c];
+    res.coalesced_cols = static_cast<std::uint32_t>(k);
+    job.reqs[c].promise.set_value(std::move(res));
+  }
+}
+
+void SolverService::Impl::finish(std::size_t count) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    in_flight -= count;
+    counters.completed += count;
+  }
+  cv_idle.notify_all();
+}
+
+}  // namespace parsdd

@@ -1,0 +1,153 @@
+// SolverService: the asynchronous serving front door.
+//
+// PR 1 made batching the fast path — solve_batch amortizes each chain
+// traversal (Definition 6.3) across k right-hand sides — but only callers
+// who hand-assemble a MultiVec block get the win.  A serving workload is
+// the opposite shape: many independent clients, each asking for ONE solve.
+// SolverService closes that gap with dynamic micro-batching:
+//
+//   1. register_*() builds a SolverSetup once and returns an opaque
+//      SetupHandle; the registry owns the setup, clients own the handle.
+//   2. submit(handle, b) enqueues a single-RHS request from any thread and
+//      returns a std::future immediately.
+//   3. A dispatcher thread coalesces the single-RHS requests pending
+//      against the same handle into one solve_batch block (bounded by
+//      max_batch columns and max_linger_us of waiting), then hands the
+//      block to executor threads (parallel/task_queue.h) so it can keep
+//      collecting the next block while the solve runs.
+//
+// Because column c of a solve_batch performs the exact arithmetic sequence
+// of an independent solve (multivec.h determinism contract), coalescing is
+// invisible to clients: every future resolves to the bitwise-identical
+// vector an isolated solve() would have produced — only sooner.
+//
+// All failures are typed Status values delivered through the future (or
+// returned directly from registration): InvalidArgument for malformed
+// requests, NotFound for stale handles, ResourceExhausted for queue
+// backpressure, Unavailable once shutdown has begun.  The service never
+// throws and never aborts on client input.  See DESIGN.md, "Service
+// dispatch" for the queueing model.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/multivec.h"
+#include "solver/solver_setup.h"
+#include "util/status.h"
+
+namespace parsdd {
+
+class TaskQueue;
+
+/// Opaque ticket for a registered SolverSetup.  Copyable, trivially
+/// shareable between threads; id 0 is never issued.
+struct SetupHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+struct ServiceOptions {
+  /// Most columns a dispatched block may carry.
+  std::uint32_t max_batch = 64;
+  /// How long the dispatcher lets a non-full block linger, measured from
+  /// the arrival of its oldest request, waiting for co-batchable requests.
+  /// 0 dispatches immediately with whatever is pending.
+  std::uint32_t max_linger_us = 200;
+  /// Queued-request cap across all handles; beyond it submits are rejected
+  /// with ResourceExhausted (shed load at the door, not in the kernels).
+  std::size_t max_pending = 4096;
+  /// Executor threads running the dispatched solve_batch blocks.
+  std::uint32_t workers = 1;
+  /// When false every request is dispatched as its own 1-column block —
+  /// the "no micro-batching" baseline bench_service measures against.
+  bool coalesce = true;
+};
+
+/// One client's answer: the solution column plus its iteration stats and
+/// how many columns shared the dispatched block (1 = rode alone).
+struct SolveResult {
+  Vec x;
+  IterStats stats;
+  std::uint32_t coalesced_cols = 1;
+};
+
+/// Answer for an explicit submit_batch request.
+struct BatchSolveResult {
+  MultiVec x;
+  BatchSolveReport report;
+};
+
+/// Monotone counters; read with stats() at any time.
+struct ServiceStats {
+  std::uint64_t submitted = 0;          // accepted requests (single + batch)
+  std::uint64_t rejected = 0;           // backpressure rejections
+  std::uint64_t completed = 0;          // requests answered (incl. errors)
+  std::uint64_t dispatched_blocks = 0;  // solve_batch calls issued
+  std::uint64_t dispatched_cols = 0;    // columns across those blocks
+};
+
+/// Shape summary of a registered setup.
+struct SetupInfo {
+  std::uint32_t dimension = 0;
+  std::uint32_t components = 0;
+  std::uint32_t chain_levels = 0;
+  std::size_t chain_edges = 0;
+};
+
+class SolverService {
+ public:
+  explicit SolverService(const ServiceOptions& opts = {});
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+  /// Stops intake, answers every queued request, joins all threads.
+  ~SolverService();
+
+  /// Builds a SolverSetup for the Laplacian of (V=[0,n), edges) and
+  /// registers it.  InvalidArgument on out-of-range edge endpoints.
+  StatusOr<SetupHandle> register_laplacian(std::uint32_t n,
+                                           const EdgeList& edges,
+                                           const SddSolverOptions& opts = {});
+
+  /// Builds a SolverSetup for a general SDD matrix and registers it.
+  StatusOr<SetupHandle> register_sdd(const CsrMatrix& a,
+                                     const SddSolverOptions& opts = {});
+
+  /// Adopts an existing setup (e.g. from SddSolver::shared_setup()).
+  StatusOr<SetupHandle> register_setup(
+      std::shared_ptr<const SolverSetup> setup);
+
+  /// Drops the handle.  In-flight and queued requests against it still
+  /// complete (they hold their own reference to the setup); new submits
+  /// get NotFound.
+  Status unregister(SetupHandle handle);
+
+  /// Shape of a registered setup; NotFound for stale handles.
+  StatusOr<SetupInfo> info(SetupHandle handle) const;
+
+  /// Enqueues one right-hand side.  The future resolves to the solution
+  /// (bitwise identical to an isolated solve of b) or to a Status error.
+  /// Never blocks on the solve; may briefly take the service mutex.
+  std::future<StatusOr<SolveResult>> submit(SetupHandle handle, Vec b);
+
+  /// Enqueues a pre-assembled k-column block; dispatched as its own
+  /// solve_batch (already amortized — no re-coalescing).
+  std::future<StatusOr<BatchSolveResult>> submit_batch(SetupHandle handle,
+                                                       MultiVec b);
+
+  /// Blocks until every accepted request has been answered.
+  void drain();
+
+  ServiceStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace parsdd

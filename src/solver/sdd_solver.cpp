@@ -14,12 +14,12 @@ SddSolver SddSolver::for_sdd(const CsrMatrix& a,
       std::make_shared<const SolverSetup>(SolverSetup::for_sdd(a, opts)));
 }
 
-Vec SddSolver::solve(const Vec& b, SddSolveReport* report) const {
+StatusOr<Vec> SddSolver::solve(const Vec& b, SddSolveReport* report) const {
   return setup_->solve(b, report);
 }
 
-MultiVec SddSolver::solve_batch(const MultiVec& b,
-                                BatchSolveReport* report) const {
+StatusOr<MultiVec> SddSolver::solve_batch(const MultiVec& b,
+                                          BatchSolveReport* report) const {
   return setup_->solve_batch(b, report);
 }
 

@@ -21,6 +21,10 @@
 // For singular Laplacian blocks the right-hand side must be consistent
 // (mean-zero per connected component); solve() projects it and returns the
 // mean-zero (pseudo-inverse) solution.
+//
+// Malformed requests come back as StatusOr errors (util/status.h), never
+// exceptions — the serving front door (service/solver_service.h) forwards
+// them to clients as typed rejections.
 #pragma once
 
 #include <cstdint>
@@ -47,15 +51,23 @@ class SddSolver {
                            const SddSolverOptions& opts = {});
 
   /// Solves A x = b.  For Laplacian blocks b is projected per component.
-  Vec solve(const Vec& b, SddSolveReport* report = nullptr) const;
+  /// InvalidArgument when b has the wrong dimension.
+  StatusOr<Vec> solve(const Vec& b, SddSolveReport* report = nullptr) const;
 
   /// Solves A X = B for k right-hand sides at once; column c equals
-  /// solve(B[:,c]) but the whole block shares each matrix traversal.
-  MultiVec solve_batch(const MultiVec& b,
-                       BatchSolveReport* report = nullptr) const;
+  /// solve(B[:,c]) bitwise but the whole block shares each matrix
+  /// traversal.  InvalidArgument when B is empty or wrongly sized.
+  StatusOr<MultiVec> solve_batch(const MultiVec& b,
+                                 BatchSolveReport* report = nullptr) const;
 
   /// The shared setup phase (chains, components, Gremban state).
   const SolverSetup& setup() const { return *setup_; }
+
+  /// The setup as a shareable ref — how SolverService adopts a solver
+  /// built here into its registry without copying the chain.
+  const std::shared_ptr<const SolverSetup>& shared_setup() const {
+    return setup_;
+  }
 
  private:
   explicit SddSolver(std::shared_ptr<const SolverSetup> setup)

@@ -1,7 +1,7 @@
 #include "solver/solver_setup.h"
 
 #include <algorithm>
-#include <stdexcept>
+#include <string>
 
 #include "graph/connectivity.h"
 #include "linalg/cg.h"
@@ -74,9 +74,8 @@ void SolverSetup::Impl::build(std::uint32_t num_vertices,
 
 MultiVec SolverSetup::Impl::solve_batch_laplacian(
     const MultiVec& b, BatchSolveReport* report) const {
-  if (b.rows() != n) {
-    throw std::invalid_argument("SolverSetup::solve_batch: dimension mismatch");
-  }
+  // Shape is validated by SolverSetup::solve_batch before any Gremban lift;
+  // by the time we are here b is n x k with k >= 1.
   std::size_t k = b.cols();
   MultiVec x(n, k, 0.0);
   if (report) {
@@ -214,29 +213,36 @@ std::size_t SolverSetup::chain_edges() const {
   return edges;
 }
 
-MultiVec SolverSetup::solve_batch(const MultiVec& b,
-                                  BatchSolveReport* report) const {
+StatusOr<MultiVec> SolverSetup::solve_batch(const MultiVec& b,
+                                            BatchSolveReport* report) const {
+  if (b.cols() == 0) {
+    return InvalidArgumentError("SolverSetup::solve_batch: empty batch (k=0)");
+  }
+  // Validate against the ORIGINAL dimension before any Gremban lift: the
+  // lifted block is always 2n rows, so a downstream check could not catch a
+  // wrong-sized input.
+  if (b.rows() != dimension()) {
+    return InvalidArgumentError(
+        "SolverSetup::solve_batch: dimension mismatch (got " +
+        std::to_string(b.rows()) + " rows, setup has dimension " +
+        std::to_string(dimension()) + ")");
+  }
   if (!impl_->gremban) {
     return impl_->solve_batch_laplacian(b, report);
-  }
-  // Validate against the ORIGINAL dimension before lifting: the lifted
-  // block is always 2n rows, so the downstream check cannot catch a
-  // wrong-sized input.
-  if (b.rows() != impl_->gremban->n) {
-    throw std::invalid_argument("SolverSetup::solve_batch: dimension mismatch");
   }
   MultiVec lifted = impl_->gremban->lift_rhs_block(b);
   MultiVec y = impl_->solve_batch_laplacian(lifted, report);
   return impl_->gremban->project_solution_block(y);
 }
 
-Vec SolverSetup::solve(const Vec& b, SddSolveReport* report) const {
+StatusOr<Vec> SolverSetup::solve(const Vec& b, SddSolveReport* report) const {
   // A single solve is a 1-column batch: both entry points share one code
   // path, so batched and single solves are arithmetically identical.
   MultiVec bb(b.size(), 1);
   bb.set_column(0, b);
   BatchSolveReport batch_report;
-  MultiVec xx = solve_batch(bb, report ? &batch_report : nullptr);
+  StatusOr<MultiVec> xx = solve_batch(bb, report ? &batch_report : nullptr);
+  if (!xx.ok()) return xx.status();
   if (report) {
     *report = SddSolveReport{};
     if (!batch_report.column_stats.empty()) {
@@ -247,7 +253,7 @@ Vec SolverSetup::solve(const Vec& b, SddSolveReport* report) const {
     report->bottom_visits = batch_report.bottom_visits;
     report->components = batch_report.components;
   }
-  return xx.column(0);
+  return xx->column(0);
 }
 
 }  // namespace parsdd

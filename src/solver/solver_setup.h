@@ -14,7 +14,10 @@
 //                       whole block (SpMM-style amortization).
 //
 // Both are const and allocate per-call workspaces, so any number of threads
-// may solve concurrently against one shared SolverSetup.
+// may solve concurrently against one shared SolverSetup.  Both return
+// StatusOr (util/status.h): a malformed request (dimension mismatch, empty
+// batch) is an InvalidArgument result, not a crash — the contract the
+// serving front door (service/solver_service.h) relies on.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +32,7 @@
 #include "linalg/multivec.h"
 #include "solver/chain.h"
 #include "solver/recursive_solver.h"
+#include "util/status.h"
 
 namespace parsdd {
 
@@ -90,12 +94,14 @@ class SolverSetup {
 
   /// Solves A x = b.  For Laplacian blocks b is projected per component.
   /// Thread-safe: concurrent calls share the setup, never the scratch.
-  Vec solve(const Vec& b, SddSolveReport* report = nullptr) const;
+  /// InvalidArgument when b.size() != dimension().
+  StatusOr<Vec> solve(const Vec& b, SddSolveReport* report = nullptr) const;
 
-  /// Solves A X = B column-wise; column c equals solve(B[:,c]).  One chain
-  /// pass serves the whole block, amortizing setup traversals over k RHS.
-  MultiVec solve_batch(const MultiVec& b,
-                       BatchSolveReport* report = nullptr) const;
+  /// Solves A X = B column-wise; column c equals solve(B[:,c]) bitwise.  One
+  /// chain pass serves the whole block, amortizing setup traversals over k
+  /// RHS.  InvalidArgument when B has zero columns or the wrong row count.
+  StatusOr<MultiVec> solve_batch(const MultiVec& b,
+                                 BatchSolveReport* report = nullptr) const;
 
  private:
   SolverSetup();

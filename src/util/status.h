@@ -1,0 +1,176 @@
+// Status / StatusOr: recoverable-error results for the public API.
+//
+// The solver grew up as a research library where a bad input was a
+// programmer error worth an assert or a throw.  A serving system cannot
+// afford that: a malformed request from one client must become a clean,
+// typed rejection, never a crash or an exception unwinding through the
+// dispatcher.  Every public entry point of SolverSetup/SddSolver, the
+// query apps, and SolverService therefore reports failure as a Status:
+//
+//   kInvalidArgument    — the request itself is malformed (dimension
+//                         mismatch, empty batch, out-of-range vertex id);
+//   kNotFound           — a stale/unknown SetupHandle;
+//   kResourceExhausted  — queue backpressure: the service is full and the
+//                         caller should retry or shed load;
+//   kUnavailable        — the service is shutting down;
+//   kInternal           — a bug (never expected from valid inputs).
+//
+// StatusOr<T> carries either a value or a non-OK Status.  value() on an
+// error aborts with the status printed — the moral equivalent of the old
+// assert, but opt-in at the call site instead of buried in the kernel.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <string>
+#include <utility>
+
+namespace parsdd {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kResourceExhausted = 3,
+  kUnavailable = 4,
+  kInternal = 5,
+};
+
+/// Human-readable name of a code ("OK", "INVALID_ARGUMENT", ...).
+const char* status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Default is OK: `return Status();` and `return OkStatus();` agree.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: dimension mismatch (...)".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // messages are diagnostics, not identity
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+
+namespace internal_status {
+/// Prints the status and aborts; the only non-returning path in the API.
+[[noreturn]] void die_on_bad_access(const Status& status);
+}  // namespace internal_status
+
+/// A value or the Status explaining its absence.  Deliberately small: the
+/// accessors the library needs, nothing speculative.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from Status so call sites write `return InvalidArgumentError(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed from OK Status");
+    }
+  }
+  /// Implicit from T so call sites write `return value;`.
+  StatusOr(T value) : status_(OkStatus()) {
+    ::new (static_cast<void*>(&storage_)) T(std::move(value));
+  }
+
+  StatusOr(const StatusOr& other) : status_(other.status_) {
+    if (status_.ok()) {
+      ::new (static_cast<void*>(&storage_)) T(*other.ptr());
+    }
+  }
+  StatusOr(StatusOr&& other) noexcept : status_(std::move(other.status_)) {
+    if (status_.ok()) {
+      ::new (static_cast<void*>(&storage_)) T(std::move(*other.ptr()));
+    }
+  }
+  StatusOr& operator=(const StatusOr& other) {
+    if (this != &other) {
+      destroy();
+      // Hold an error status while the value is under construction: if T's
+      // copy constructor throws, this object must not claim to hold a value
+      // (the destructor would tear down raw storage).
+      status_ = InternalError("StatusOr assignment interrupted");
+      if (other.status_.ok()) {
+        ::new (static_cast<void*>(&storage_)) T(*other.ptr());
+      }
+      status_ = other.status_;
+    }
+    return *this;
+  }
+  StatusOr& operator=(StatusOr&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      status_ = InternalError("StatusOr assignment interrupted");
+      if (other.status_.ok()) {
+        ::new (static_cast<void*>(&storage_)) T(std::move(*other.ptr()));
+      }
+      status_ = std::move(other.status_);
+    }
+    return *this;
+  }
+  ~StatusOr() { destroy(); }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Aborts (with the status printed) when not ok.
+  const T& value() const& {
+    check_ok();
+    return *ptr();
+  }
+  T& value() & {
+    check_ok();
+    return *ptr();
+  }
+  T&& value() && {
+    check_ok();
+    return std::move(*ptr());
+  }
+
+  /// Unchecked access; only after ok() has been tested.
+  const T& operator*() const& { return *ptr(); }
+  T& operator*() & { return *ptr(); }
+  const T* operator->() const { return ptr(); }
+  T* operator->() { return ptr(); }
+
+ private:
+  void check_ok() const {
+    if (!status_.ok()) internal_status::die_on_bad_access(status_);
+  }
+  T* ptr() { return std::launder(reinterpret_cast<T*>(&storage_)); }
+  const T* ptr() const {
+    return std::launder(reinterpret_cast<const T*>(&storage_));
+  }
+  void destroy() {
+    if (status_.ok()) ptr()->~T();
+  }
+
+  Status status_;
+  alignas(T) unsigned char storage_[sizeof(T)];
+};
+
+/// Propagates a non-OK Status out of a function returning Status/StatusOr.
+#define PARSDD_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::parsdd::Status parsdd_status_tmp = (expr);     \
+    if (!parsdd_status_tmp.ok()) return parsdd_status_tmp; \
+  } while (0)
+
+}  // namespace parsdd

@@ -43,7 +43,7 @@ TEST(BatchSolve, MatchesIndependentSingleSolves) {
   }
   MultiVec b = MultiVec::from_columns(cols);
   BatchSolveReport report;
-  MultiVec x = solver.solve_batch(b, &report);
+  MultiVec x = solver.solve_batch(b, &report).value();
   ASSERT_EQ(report.column_stats.size(), k);
   // Independent oracle (solve() itself routes through the batch path, so a
   // same-path comparison alone would be circular): a dense pseudo-inverse
@@ -52,7 +52,7 @@ TEST(BatchSolve, MatchesIndependentSingleSolves) {
   DenseLdlt ref = DenseLdlt::factor_laplacian(lap);
   for (std::size_t c = 0; c < k; ++c) {
     EXPECT_TRUE(report.column_stats[c].converged);
-    Vec xs = solver.solve(cols[c]);
+    Vec xs = solver.solve(cols[c]).value();
     EXPECT_LT(max_col_diff(x, c, xs), 1e-10) << "column " << c;
     Vec x_ref = ref.solve(cols[c]);
     Vec diff = subtract(x.column(c), x_ref);
@@ -75,9 +75,9 @@ TEST_P(BatchMethods, EveryMethodBatchesExactly) {
   for (std::size_t c = 0; c < k; ++c) {
     cols.push_back(random_unit_like(g.n, 7 + 3 * c));
   }
-  MultiVec x = solver.solve_batch(MultiVec::from_columns(cols));
+  MultiVec x = solver.solve_batch(MultiVec::from_columns(cols)).value();
   for (std::size_t c = 0; c < k; ++c) {
-    Vec xs = solver.solve(cols[c]);
+    Vec xs = solver.solve(cols[c]).value();
     EXPECT_LT(max_col_diff(x, c, xs), 1e-10) << "column " << c;
   }
 }
@@ -100,13 +100,16 @@ TEST(BatchSolve, GrembanSddBatchMatchesSingle) {
   opts.tolerance = 1e-10;
   SddSolver solver = SddSolver::for_sdd(a, opts);
   std::vector<Vec> cols = {{1.0, 0.0, -1.0}, {0.5, -2.0, 1.5}, {0.0, 1.0, 0.0}};
-  MultiVec x = solver.solve_batch(MultiVec::from_columns(cols));
+  MultiVec x = solver.solve_batch(MultiVec::from_columns(cols)).value();
   for (std::size_t c = 0; c < cols.size(); ++c) {
-    Vec xs = solver.solve(cols[c]);
+    Vec xs = solver.solve(cols[c]).value();
     EXPECT_LT(max_col_diff(x, c, xs), 1e-10) << "column " << c;
   }
-  // Wrong-sized batch must throw before the Gremban lift reads past it.
-  EXPECT_THROW(solver.solve_batch(MultiVec(2, 1)), std::invalid_argument);
+  // Wrong-sized batch must be rejected before the Gremban lift reads past
+  // it: the lifted block is always 2n rows, so only a pre-lift check can
+  // catch this.
+  EXPECT_EQ(solver.solve_batch(MultiVec(2, 1)).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(BatchSolve, DisconnectedGraphBatch) {
@@ -125,10 +128,11 @@ TEST(BatchSolve, DisconnectedGraphBatch) {
   cols[2][3] = 1.0;
   cols[2][6] = -1.0;
   BatchSolveReport report;
-  MultiVec x = solver.solve_batch(MultiVec::from_columns(cols), &report);
+  MultiVec x =
+      solver.solve_batch(MultiVec::from_columns(cols), &report).value();
   EXPECT_EQ(report.components, 3u);
   for (std::size_t c = 0; c < cols.size(); ++c) {
-    Vec xs = solver.solve(cols[c]);
+    Vec xs = solver.solve(cols[c]).value();
     EXPECT_LT(max_col_diff(x, c, xs), 1e-10) << "column " << c;
     EXPECT_DOUBLE_EQ(x.at(20, c), 0.0);  // isolated vertex grounded
   }
@@ -150,12 +154,12 @@ TEST(BatchSolve, ConcurrentSolvesAgainstSharedSetup) {
       for (std::size_t c = 0; c < 4; ++c) {
         cols.push_back(random_unit_like(g.n, 1000 * (t + 1) + c));
       }
-      MultiVec x = solver.solve_batch(MultiVec::from_columns(cols));
+      MultiVec x = solver.solve_batch(MultiVec::from_columns(cols)).value();
       double worst_res = 0.0, worst_diff = 0.0;
       for (std::size_t c = 0; c < cols.size(); ++c) {
         Vec xc = x.column(c);
         worst_res = std::max(worst_res, rel_residual(lap, xc, cols[c]));
-        Vec xs = solver.solve(cols[c]);
+        Vec xs = solver.solve(cols[c]).value();
         worst_diff = std::max(worst_diff, max_col_diff(x, c, xs));
       }
       residuals[t] = worst_res;
@@ -181,7 +185,7 @@ TEST(BatchSolve, AgreesWithLegacySingleVectorPath) {
   ASSERT_TRUE(legacy.converged);
 
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges);
-  MultiVec x = solver.solve_batch(MultiVec::from_columns({b}));
+  MultiVec x = solver.solve_batch(MultiVec::from_columns({b})).value();
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   Vec diff = subtract(x.column(0), x_legacy);
   EXPECT_LT(a_norm(lap, diff) / std::max(a_norm(lap, x_legacy), 1e-30), 1e-6);
@@ -196,10 +200,64 @@ TEST(SolverSetup, DirectApiReportsSetupShape) {
   EXPECT_GT(setup.chain_edges(), 0u);
   Vec b = random_unit_like(g.n, 5);
   SddSolveReport report;
-  Vec x = setup.solve(b, &report);
+  Vec x = setup.solve(b, &report).value();
   EXPECT_TRUE(report.stats.converged);
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   EXPECT_LT(rel_residual(lap, x, b), 1e-6);
+}
+
+TEST(BatchSolve, DegenerateInputsReturnInvalidArgument) {
+  // Regression: k=0 blocks and wrong-dimension blocks used to fall through
+  // to the kernels (assert/UB territory); they must come back as clean
+  // InvalidArgument results on every entry point.
+  GeneratedGraph g = grid2d(6, 6);
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges);
+
+  StatusOr<MultiVec> empty = solver.solve_batch(MultiVec(g.n, 0));
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<MultiVec> zero = solver.solve_batch(MultiVec());
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<MultiVec> short_rows = solver.solve_batch(MultiVec(g.n - 1, 3));
+  ASSERT_FALSE(short_rows.ok());
+  EXPECT_EQ(short_rows.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<MultiVec> long_rows = solver.solve_batch(MultiVec(g.n + 5, 3));
+  ASSERT_FALSE(long_rows.ok());
+  EXPECT_EQ(long_rows.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<Vec> wrong_vec = solver.solve(Vec(g.n + 1, 0.0));
+  ASSERT_FALSE(wrong_vec.ok());
+  EXPECT_EQ(wrong_vec.status().code(), StatusCode::kInvalidArgument);
+
+  // The error message should name both dimensions so a serving log is
+  // actionable.
+  EXPECT_NE(short_rows.status().message().find("dimension"), std::string::npos);
+
+  // The same setup still answers well-formed requests afterwards: a
+  // rejected request must not poison shared state.
+  Vec b = random_unit_like(g.n, 3);
+  StatusOr<Vec> ok = solver.solve(b);
+  ASSERT_TRUE(ok.ok());
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  EXPECT_LT(rel_residual(lap, *ok, b), 1e-6);
+}
+
+TEST(BatchSolve, GrembanDegenerateInputsRejected) {
+  // k=0 through the SDD (double cover) path as well.
+  std::vector<Triplet> ts = {
+      {0, 0, 3.0},  {0, 1, 1.0},  {1, 0, 1.0},  {1, 1, 4.0},
+      {1, 2, -2.0}, {2, 1, -2.0}, {2, 2, 3.0},
+  };
+  CsrMatrix a = CsrMatrix::from_triplets(3, std::move(ts));
+  SddSolver solver = SddSolver::for_sdd(a);
+  EXPECT_EQ(solver.solve_batch(MultiVec(3, 0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(solver.solve_batch(MultiVec(6, 1)).status().code(),
+            StatusCode::kInvalidArgument);  // lifted size must not be accepted
 }
 
 TEST(BatchSolve, PairResistancesMatchSingleQueries) {
@@ -209,10 +267,11 @@ TEST(BatchSolve, PairResistancesMatchSingleQueries) {
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs = {
       {0, 1}, {0, 63}, {10, 53}, {7, 56}};
-  std::vector<double> batched = pair_resistances(solver, g.n, pairs);
+  std::vector<double> batched = pair_resistances(solver, g.n, pairs).value();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    double single = effective_resistance(solver, pairs[i].first,
-                                         pairs[i].second, g.n);
+    double single =
+        effective_resistance(solver, pairs[i].first, pairs[i].second, g.n)
+            .value();
     EXPECT_NEAR(batched[i], single, 1e-10) << "pair " << i;
   }
 }
@@ -223,10 +282,11 @@ TEST(BatchSolve, MultiChannelHarmonicMatchesPerChannel) {
   std::vector<std::vector<double>> channels = {
       {1.0, 0.0, 0.0, 1.0}, {0.0, 2.0, -1.0, 0.5}, {3.0, 3.0, 3.0, 3.0}};
   std::vector<Vec> multi =
-      harmonic_extension_multi(g.n, g.edges, boundary, channels);
+      harmonic_extension_multi(g.n, g.edges, boundary, channels).value();
   ASSERT_EQ(multi.size(), channels.size());
   for (std::size_t c = 0; c < channels.size(); ++c) {
-    Vec single = harmonic_extension(g.n, g.edges, boundary, channels[c]);
+    Vec single =
+        harmonic_extension(g.n, g.edges, boundary, channels[c]).value();
     double worst = 0.0;
     for (std::size_t i = 0; i < single.size(); ++i) {
       worst = std::max(worst, std::fabs(multi[c][i] - single[i]));

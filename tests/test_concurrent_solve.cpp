@@ -1,0 +1,173 @@
+// Concurrency stress for the serving path, meant to run under the ASan and
+// TSan configurations (-DPARSDD_SANITIZE=ON / -DPARSDD_SANITIZE_THREAD=ON).
+//
+// Shape: N client threads x M submits each, all against ONE registered
+// setup, racing the dispatcher's coalescing and the executor pool.  Every
+// returned column must match the reference serial solve of the same
+// right-hand side bitwise — the determinism contract means data races or
+// cross-column contamination show up as hard mismatches, not tolerance
+// noise.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "service/solver_service.h"
+#include "solver/sdd_solver.h"
+
+namespace parsdd {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kSubmitsPerThread = 6;
+
+bool bitwise_equal(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// Deterministic per-(thread, submit) right-hand side.
+Vec rhs_for(std::uint32_t n, int t, int i) {
+  return random_unit_like(n, 10000 + 100 * t + i);
+}
+
+TEST(ConcurrentSolve, ServiceStressMatchesSerialReference) {
+  GeneratedGraph g = grid2d(14, 14);
+
+  // Reference answers, computed serially before any concurrency starts.
+  SddSolver reference = SddSolver::for_laplacian(g.n, g.edges);
+  std::vector<std::vector<Vec>> expected(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kSubmitsPerThread; ++i) {
+      expected[t].push_back(reference.solve(rhs_for(g.n, t, i)).value());
+    }
+  }
+
+  ServiceOptions opts;
+  opts.max_batch = 8;
+  opts.max_linger_us = 500;
+  opts.workers = 2;
+  SolverService service(opts);
+  SetupHandle h = service.register_laplacian(g.n, g.edges).value();
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      // Keep several requests in flight per client to force interleaving.
+      std::vector<std::future<StatusOr<SolveResult>>> futures;
+      for (int i = 0; i < kSubmitsPerThread; ++i) {
+        futures.push_back(service.submit(h, rhs_for(g.n, t, i)));
+      }
+      for (int i = 0; i < kSubmitsPerThread; ++i) {
+        StatusOr<SolveResult> res = futures[i].get();
+        if (!res.ok()) {
+          ++failures;
+          continue;
+        }
+        if (!bitwise_equal(res->x, expected[t][i])) ++mismatches;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  // Futures resolve before the accounting is final; drain() waits for it.
+  service.drain();
+  ServiceStats st = service.stats();
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kThreads) *
+                              kSubmitsPerThread);
+  EXPECT_EQ(st.completed, st.submitted);
+  EXPECT_EQ(st.dispatched_cols, st.submitted);
+}
+
+TEST(ConcurrentSolve, MixedSinglesAndBatchesOneHandle) {
+  GeneratedGraph g = grid2d(12, 12);
+  SddSolver reference = SddSolver::for_laplacian(g.n, g.edges);
+
+  ServiceOptions opts;
+  opts.max_batch = 4;
+  opts.max_linger_us = 200;
+  opts.workers = 2;
+  SolverService service(opts);
+  SetupHandle h = service.register_laplacian(g.n, g.edges).value();
+
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      if (t % 2 == 0) {
+        for (int i = 0; i < kSubmitsPerThread; ++i) {
+          Vec b = rhs_for(g.n, t, i);
+          StatusOr<SolveResult> res = service.submit(h, b).get();
+          if (!res.ok() || !bitwise_equal(res->x, reference.solve(b).value()))
+            ++bad;
+        }
+      } else {
+        std::vector<Vec> cols;
+        for (int i = 0; i < 3; ++i) cols.push_back(rhs_for(g.n, t, i));
+        StatusOr<BatchSolveResult> res =
+            service.submit_batch(h, MultiVec::from_columns(cols)).get();
+        if (!res.ok()) {
+          ++bad;
+          return;
+        }
+        for (int i = 0; i < 3; ++i) {
+          if (!bitwise_equal(res->x.column(i),
+                             reference.solve(cols[i]).value()))
+            ++bad;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ConcurrentSolve, RegistrationRacesSubmissions) {
+  // Clients hammering one handle while another thread registers and
+  // unregisters fresh setups: the registry lock must keep handles
+  // coherent, and unregister must never strand an accepted request.
+  GeneratedGraph g = grid2d(10, 10);
+  SolverService service;
+  SetupHandle stable = service.register_laplacian(g.n, g.edges).value();
+  SddSolver reference = SddSolver::for_laplacian(g.n, g.edges);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread churn([&] {
+    GeneratedGraph small = grid2d(4, 4);
+    while (!stop.load()) {
+      StatusOr<SetupHandle> h = service.register_laplacian(small.n, small.edges);
+      if (!h.ok() || !service.unregister(*h).ok()) {
+        ++bad;
+        return;
+      }
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kSubmitsPerThread; ++i) {
+        Vec b = rhs_for(g.n, t, i);
+        StatusOr<SolveResult> res = service.submit(stable, b).get();
+        if (!res.ok() || !bitwise_equal(res->x, reference.solve(b).value()))
+          ++bad;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  stop = true;
+  churn.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace
+}  // namespace parsdd

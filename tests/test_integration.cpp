@@ -60,7 +60,7 @@ TEST_P(EndToEnd, ANormErrorMeetsEpsilon) {
   opts.tolerance = 1e-10;
   opts.chain.seed = seed + 1;
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
-  Vec x = solver.solve(b);
+  Vec x = solver.solve(b).value();
 
   Vec diff = subtract(x, x_ref);
   double denom = a_norm(lap, x_ref);
@@ -84,7 +84,7 @@ TEST(EndToEnd, EpsilonSweepIterationsGrowLogarithmically) {
     SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
     Vec b = random_unit_like(g.n, 5);
     SddSolveReport report;
-    solver.solve(b, &report);
+    ASSERT_TRUE(solver.solve(b, &report).ok());
     EXPECT_TRUE(report.stats.converged);
     its.push_back(report.stats.iterations);
   }
@@ -103,7 +103,7 @@ TEST(EndToEnd, HighContrastWeightsStillConverge) {
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
   Vec b = random_unit_like(g.n, 6);
   SddSolveReport report;
-  Vec x = solver.solve(b, &report);
+  Vec x = solver.solve(b, &report).value();
   EXPECT_TRUE(report.stats.converged);
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);

@@ -13,7 +13,7 @@ TEST(Smoke, GridSolve) {
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges);
   Vec b = random_unit_like(g.n, 42);
   SddSolveReport report;
-  Vec x = solver.solve(b, &report);
+  Vec x = solver.solve(b, &report).value();
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   Vec ax = lap.apply(x);
   double err = norm2(subtract(ax, b)) / norm2(b);

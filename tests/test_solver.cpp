@@ -209,7 +209,7 @@ TEST(SddSolver, LaplacianGridMatchesDenseReference) {
   SddSolverOptions opts;
   opts.tolerance = 1e-10;
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
-  Vec x = solver.solve(b);
+  Vec x = solver.solve(b).value();
   // A-norm error (Theorem 1.1's metric).
   Vec diff = subtract(x, x_ref);
   double err = a_norm(lap, diff) / std::max(a_norm(lap, x_ref), 1e-30);
@@ -230,7 +230,7 @@ TEST(SddSolver, DisconnectedComponentsSolvedIndependently) {
   b[10] = 2.0;
   b[19] = -2.0;
   SddSolveReport report;
-  Vec x = solver.solve(b, &report);
+  Vec x = solver.solve(b, &report).value();
   EXPECT_EQ(report.components, 3u);
   EXPECT_DOUBLE_EQ(x[20], 0.0);
   CsrMatrix lap = laplacian_from_edges(n, e);
@@ -249,7 +249,7 @@ TEST(SddSolver, GrembanSddSolve) {
   opts.tolerance = 1e-10;
   SddSolver solver = SddSolver::for_sdd(a, opts);
   Vec b = {1.0, 0.0, -1.0};
-  Vec x = solver.solve(b);
+  Vec x = solver.solve(b).value();
   Vec ax = a.apply(x);
   EXPECT_LT(norm2(subtract(ax, b)) / norm2(b), 1e-7);
 }
@@ -259,7 +259,7 @@ TEST(SddSolver, SddLaplacianInputSkipsGremban) {
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   SddSolver solver = SddSolver::for_sdd(lap);
   Vec b = random_unit_like(g.n, 15);
-  Vec x = solver.solve(b);
+  Vec x = solver.solve(b).value();
   EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
 }
 
@@ -275,7 +275,7 @@ TEST_P(SddMethods, AllMethodsConvergeOnWeightedGrid) {
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
   Vec b = random_unit_like(g.n, 16);
   SddSolveReport report;
-  Vec x = solver.solve(b, &report);
+  Vec x = solver.solve(b, &report).value();
   EXPECT_TRUE(report.stats.converged);
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
@@ -292,7 +292,7 @@ TEST(SddSolver, ReportFieldsPopulated) {
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges);
   Vec b = random_unit_like(g.n, 17);
   SddSolveReport report;
-  solver.solve(b, &report);
+  ASSERT_TRUE(solver.solve(b, &report).ok());
   EXPECT_GE(report.chain_levels, 2u);
   EXPECT_GT(report.chain_edges, 0u);
   EXPECT_EQ(report.components, 1u);
@@ -302,7 +302,9 @@ TEST(SddSolver, DimensionMismatchThrows) {
   GeneratedGraph g = grid2d(4, 4);
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges);
   Vec b(5, 1.0);
-  EXPECT_THROW(solver.solve(b), std::invalid_argument);
+  StatusOr<Vec> x = solver.solve(b);
+  ASSERT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace
