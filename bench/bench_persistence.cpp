@@ -1,0 +1,101 @@
+// E13 — setup persistence: cold chain build vs snapshot save/load.
+//
+// The warm-start claim: a server restart should pay snapshot-load time, not
+// chain-build time.  For each grid we build the setup cold, Save() it,
+// Load() it back, verify the loaded setup solves bitwise-identically, and
+// report the cold/load ratio (the acceptance bar is >= 10x on grid
+// 500x500).  Results land in BENCH_persistence.json.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "solver/solver_setup.h"
+
+int main() {
+  using namespace parsdd;
+  using parsdd_bench::Timer;
+  parsdd_bench::header(
+      "E13: setup persistence (cold build vs snapshot load)",
+      "A versioned binary snapshot (SolverSetup::Save/Load) should make a "
+      "service restart pay I/O time, not chain-build time, with "
+      "bitwise-identical solves.");
+
+  parsdd_bench::BenchJson json("persistence");
+  std::printf("%12s %10s %10s %10s %10s %8s %10s %8s\n", "grid", "n", "m",
+              "setup_ms", "save_ms", "load_ms", "snap_MB", "speedup");
+
+  bool all_bitwise = true;
+  double final_speedup = 0.0;
+  for (std::uint32_t side : {100u, 300u, 500u}) {
+    GeneratedGraph g = grid2d(side, side);
+    const std::string snap =
+        "bench_persistence_" + std::to_string(side) + ".snap";
+
+    Timer t_setup;
+    SolverSetup cold = SolverSetup::for_laplacian(g.n, g.edges);
+    double setup_s = t_setup.seconds();
+
+    Timer t_save;
+    Status saved = cold.Save(snap);
+    double save_s = t_save.seconds();
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.to_string().c_str());
+      return 1;
+    }
+
+    Timer t_load;
+    StatusOr<SolverSetup> warm = SolverSetup::Load(snap);
+    double load_s = t_load.seconds();
+    if (!warm.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   warm.status().to_string().c_str());
+      return 1;
+    }
+
+    std::size_t snap_bytes = 0;
+    if (std::FILE* f = std::fopen(snap.c_str(), "rb")) {
+      std::fseek(f, 0, SEEK_END);
+      snap_bytes = static_cast<std::size_t>(std::ftell(f));
+      std::fclose(f);
+    }
+
+    Vec b = random_unit_like(g.n, 1);
+    StatusOr<Vec> x_cold = cold.solve(b);
+    StatusOr<Vec> x_warm = warm->solve(b);
+    bool bitwise = x_cold.ok() && x_warm.ok() &&
+                   x_cold->size() == x_warm->size() &&
+                   std::memcmp(x_cold->data(), x_warm->data(),
+                               x_cold->size() * sizeof(double)) == 0;
+    all_bitwise = all_bitwise && bitwise;
+
+    double speedup = load_s > 0 ? setup_s / load_s : 0.0;
+    final_speedup = speedup;
+    std::printf("%8ux%-4u %10u %10zu %10.1f %10.1f %10.1f %8.1f %7.1fx %s\n",
+                side, side, g.n, g.edges.size(), setup_s * 1e3, save_s * 1e3,
+                load_s * 1e3, snap_bytes / 1048576.0, speedup,
+                bitwise ? "" : "NOT-BITWISE");
+    json.record()
+        .str("experiment", "E13-persistence")
+        .num("grid_side", side)
+        .num("n", g.n)
+        .num("m", static_cast<double>(g.edges.size()))
+        .num("setup_s", setup_s)
+        .num("save_s", save_s)
+        .num("load_s", load_s)
+        .num("snapshot_bytes", static_cast<double>(snap_bytes))
+        .num("load_speedup_vs_setup", speedup)
+        .num("bitwise_equal", bitwise ? 1 : 0);
+    std::remove(snap.c_str());
+  }
+
+  json.write();
+  std::printf("\nbitwise verification: %s\n",
+              all_bitwise ? "PASS (loaded setup solves == cold setup solves)"
+                          : "FAIL");
+  std::printf("grid 500x500 load speedup: %.1fx (target >= 10x): %s\n",
+              final_speedup, final_speedup >= 10.0 ? "PASS" : "FAIL");
+  return all_bitwise && final_speedup >= 10.0 ? 0 : 1;
+}

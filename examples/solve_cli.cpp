@@ -1,30 +1,58 @@
 // Command-line SDD/Laplacian solver: the tool a downstream user would run.
 //
-//   $ ./solve_cli <graph-file> [tolerance] [method]
+//   $ ./solve_cli [graph-file] [tolerance] [method] [flags]
 //
 //   graph-file : plain edge list (`u v w` lines, optional `n m` header) or
 //                MatrixMarket .mtx (symmetric coordinate)
 //   tolerance  : relative residual target (default 1e-8)
 //   method     : chain | rpch | cg | jacobi (default chain)
 //
+// Setup persistence flags (see DESIGN.md, "Snapshot format"):
+//   --save-setup=PATH : after building the setup, persist it as a
+//                       versioned binary snapshot
+//   --load-setup=PATH : skip the build and load the snapshot instead (the
+//                       graph is still read to verify the residual)
+//
+// Typical warm-start flow:
+//   $ ./solve_cli mesh.txt 1e-8 chain --save-setup=mesh.snap   # build once
+//   $ ./solve_cli mesh.txt 1e-8 chain --load-setup=mesh.snap   # restarts
+//
 // Solves L x = b for a deterministic random consistent b, printing chain
-// telemetry and the verified residual.  With no arguments, runs a built-in
-// demo grid instead.
+// telemetry and the verified residual.  With no graph argument, runs a
+// built-in demo grid instead.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "linalg/laplacian.h"
-#include "solver/sdd_solver.h"
+#include "solver/solver_setup.h"
 
 int main(int argc, char** argv) {
   using namespace parsdd;
+  std::string save_path, load_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--save-setup=", 0) == 0) {
+      save_path = arg.substr(std::strlen("--save-setup="));
+    } else if (arg.rfind("--load-setup=", 0) == 0) {
+      load_path = arg.substr(std::strlen("--load-setup="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
   GeneratedGraph g;
-  if (argc > 1) {
+  if (!positional.empty()) {
     try {
-      g = load_graph(argv[1]);
+      g = load_graph(positional[0].c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
@@ -33,10 +61,10 @@ int main(int argc, char** argv) {
     std::printf("no input file; using demo 64x64 grid\n");
     g = grid2d(64, 64);
   }
-  double tol = argc > 2 ? std::atof(argv[2]) : 1e-8;
+  double tol = positional.size() > 1 ? std::atof(positional[1].c_str()) : 1e-8;
   SolveMethod method = SolveMethod::kChainPcg;
-  if (argc > 3) {
-    std::string m = argv[3];
+  if (positional.size() > 2) {
+    const std::string& m = positional[2];
     if (m == "rpch") method = SolveMethod::kChainRpch;
     else if (m == "cg") method = SolveMethod::kCg;
     else if (m == "jacobi") method = SolveMethod::kJacobiPcg;
@@ -47,14 +75,49 @@ int main(int argc, char** argv) {
   }
 
   std::printf("graph: n=%u m=%zu\n", g.n, g.edges.size());
-  SddSolverOptions opts;
-  opts.tolerance = tol;
-  opts.method = method;
-  opts.max_iterations = 50000;
-  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
+  SolverSetup setup = [&] {
+    if (!load_path.empty()) {
+      if (positional.size() > 1) {
+        // A snapshot embeds the full option set it was built with; solving
+        // with anything else would not be the saved setup anymore.
+        std::fprintf(stderr,
+                     "note: --load-setup uses the tolerance/method embedded "
+                     "in the snapshot; command-line values are ignored\n");
+      }
+      StatusOr<SolverSetup> loaded = SolverSetup::Load(load_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "cannot load setup snapshot: %s\n",
+                     loaded.status().to_string().c_str());
+        std::exit(2);
+      }
+      std::printf("loaded setup snapshot %s\n", load_path.c_str());
+      return std::move(*loaded);
+    }
+    SddSolverOptions opts;
+    opts.tolerance = tol;
+    opts.method = method;
+    opts.max_iterations = 50000;
+    return SolverSetup::for_laplacian(g.n, g.edges, opts);
+  }();
+  if (setup.dimension() != g.n) {
+    std::fprintf(stderr,
+                 "snapshot dimension %u does not match graph n=%u\n",
+                 setup.dimension(), g.n);
+    return 2;
+  }
+  if (!save_path.empty()) {
+    Status saved = setup.Save(save_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cannot save setup snapshot: %s\n",
+                   saved.to_string().c_str());
+      return 2;
+    }
+    std::printf("saved setup snapshot to %s\n", save_path.c_str());
+  }
+
   Vec b = random_unit_like(g.n, 1);
   SddSolveReport rep;
-  Vec x = solver.solve(b, &rep).value();
+  Vec x = setup.solve(b, &rep).value();
 
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   double rel = norm2(subtract(lap.apply(x), b)) / norm2(b);

@@ -5,6 +5,7 @@
 #include "graph/union_find.h"
 #include "parallel/primitives.h"
 #include "parallel/rng.h"
+#include "util/serialize.h"
 
 namespace parsdd {
 
@@ -78,6 +79,41 @@ std::size_t ensure_connected(std::uint32_t n, EdgeList& edges,
     ++added;
   }
   return added;
+}
+
+void pack_edges(const EdgeList& edges, std::vector<std::uint32_t>& endpoints,
+                std::vector<double>& weights) {
+  endpoints.resize(2 * edges.size());
+  weights.resize(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    endpoints[2 * i] = edges[i].u;
+    endpoints[2 * i + 1] = edges[i].v;
+    weights[i] = edges[i].w;
+  }
+}
+
+void save_edges(serialize::Writer& w, const EdgeList& edges) {
+  std::vector<std::uint32_t> endpoints;
+  std::vector<double> weights;
+  pack_edges(edges, endpoints, weights);
+  w.pod_vec(endpoints);
+  w.pod_vec(weights);
+}
+
+EdgeList load_edges(serialize::Reader& r) {
+  std::vector<std::uint32_t> endpoints = r.pod_vec<std::uint32_t>();
+  std::vector<double> weights = r.pod_vec<double>();
+  EdgeList edges;
+  if (!r.status().ok()) return edges;
+  if (endpoints.size() != 2 * weights.size()) {
+    r.fail("edge endpoint/weight arrays disagree on length");
+    return edges;
+  }
+  edges.resize(weights.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    edges[i] = Edge{endpoints[2 * i], endpoints[2 * i + 1], weights[i]};
+  }
+  return edges;
 }
 
 }  // namespace parsdd

@@ -11,6 +11,11 @@
 
 namespace parsdd {
 
+namespace serialize {
+class Writer;
+class Reader;
+}  // namespace serialize
+
 /// An undirected weighted edge.  Self-loops (u == v) are disallowed in
 /// normalized lists; parallel edges are allowed unless combined explicitly.
 struct Edge {
@@ -52,5 +57,16 @@ bool is_connected(std::uint32_t n, const EdgeList& edges);
 /// is connected (deterministic given `seed`); returns the number added.
 std::size_t ensure_connected(std::uint32_t n, EdgeList& edges,
                              std::uint64_t seed);
+
+/// Splits edges into padding-free parallel arrays ({u0,v0,u1,v1,...} and
+/// {w0,w1,...}) — the one packing shared by the snapshot encoding and the
+/// service's setup fingerprints, so the two can never silently diverge.
+void pack_edges(const EdgeList& edges, std::vector<std::uint32_t>& endpoints,
+                std::vector<double>& weights);
+
+/// Snapshot encoding (util/serialize.h): endpoints and weights as parallel
+/// POD spans, so Edge's struct padding never reaches the byte stream.
+void save_edges(serialize::Writer& w, const EdgeList& edges);
+EdgeList load_edges(serialize::Reader& r);
 
 }  // namespace parsdd

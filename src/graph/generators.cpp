@@ -84,6 +84,57 @@ GeneratedGraph complete(std::uint32_t n) {
   return g;
 }
 
+GeneratedGraph barbell(std::uint32_t clique, std::uint32_t bridge) {
+  GeneratedGraph g;
+  g.n = 2 * clique + (bridge > 0 ? bridge - 1 : 0);
+  // Clique A on [0, clique), clique B on [clique, 2*clique), bridge path
+  // from vertex 0 to vertex `clique` through fresh path vertices.
+  for (std::uint32_t side = 0; side < 2; ++side) {
+    std::uint32_t base = side * clique;
+    for (std::uint32_t u = 0; u < clique; ++u)
+      for (std::uint32_t v = u + 1; v < clique; ++v)
+        g.edges.push_back(Edge{base + u, base + v, 1.0});
+  }
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i + 1 < bridge; ++i) {
+    std::uint32_t mid = 2 * clique + i;
+    g.edges.push_back(Edge{prev, mid, 1.0});
+    prev = mid;
+  }
+  if (bridge > 0) g.edges.push_back(Edge{prev, clique, 1.0});
+  return g;
+}
+
+GeneratedGraph random_regular(std::uint32_t n, std::uint32_t d,
+                              std::uint64_t seed) {
+  assert(n >= 2 && d >= 1);
+  GeneratedGraph g;
+  g.n = n;
+  // Configuration model: a Fisher-Yates shuffle of the n*d stubs, paired
+  // consecutively.  Self-loops vanish and parallel pairs merge to unit
+  // weight below, so the result is only approximately d-regular — which is
+  // all the test harness asks of the family.
+  std::vector<std::uint32_t> stubs(static_cast<std::size_t>(n) * d);
+  for (std::size_t i = 0; i < stubs.size(); ++i) {
+    stubs[i] = static_cast<std::uint32_t>(i / d);
+  }
+  Rng rng(seed);
+  for (std::size_t i = stubs.size() - 1; i > 0; --i) {
+    std::swap(stubs[i], stubs[rng.below(i, i + 1)]);
+  }
+  EdgeList raw;
+  raw.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) {
+      raw.push_back(Edge{stubs[i], stubs[i + 1], 1.0});
+    }
+  }
+  g.edges = combine_parallel_edges(raw);
+  for (Edge& e : g.edges) e.w = 1.0;
+  ensure_connected(g.n, g.edges, seed + 1);
+  return g;
+}
+
 GeneratedGraph erdos_renyi(std::uint32_t n, std::size_t m,
                            std::uint64_t seed) {
   assert(n >= 2);

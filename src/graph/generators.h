@@ -39,6 +39,18 @@ GeneratedGraph star(std::uint32_t n);
 /// Complete graph on n vertices (dense extreme; keep n small).
 GeneratedGraph complete(std::uint32_t n);
 
+/// Barbell: two K_clique cliques joined by a path of `bridge` edges — a
+/// classical bottleneck graph (tiny conductance, so unpreconditioned
+/// iterations stall on the bridge).
+GeneratedGraph barbell(std::uint32_t clique, std::uint32_t bridge);
+
+/// Approximately d-regular random graph via the configuration model: d
+/// stubs per vertex are paired uniformly, then self-loops are dropped and
+/// parallel pairs merged, and the result is patched to be connected.
+/// Deterministic given `seed`.
+GeneratedGraph random_regular(std::uint32_t n, std::uint32_t d,
+                              std::uint64_t seed);
+
 /// Erdős–Rényi G(n, m): m distinct uniform edges, patched to be connected.
 GeneratedGraph erdos_renyi(std::uint32_t n, std::size_t m, std::uint64_t seed);
 

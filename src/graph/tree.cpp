@@ -5,6 +5,7 @@
 
 #include "graph/bfs.h"
 #include "parallel/primitives.h"
+#include "util/serialize.h"
 
 namespace parsdd {
 
@@ -75,6 +76,51 @@ double RootedTree::distance(std::uint32_t u, std::uint32_t v) const {
 std::uint32_t RootedTree::hop_distance(std::uint32_t u, std::uint32_t v) const {
   std::uint32_t a = lca(u, v);
   return depth_[u] + depth_[v] - 2 * depth_[a];
+}
+
+void RootedTree::save(serialize::Writer& w) const {
+  w.u32(n_);
+  w.u32(root_);
+  w.pod_vec(parent_);
+  w.pod_vec(depth_);
+  w.pod_vec(wdepth_);
+  w.varint(up_.size());
+  for (const std::vector<std::uint32_t>& level : up_) w.pod_vec(level);
+}
+
+RootedTree RootedTree::load(serialize::Reader& r) {
+  RootedTree t;
+  t.n_ = r.u32();
+  t.root_ = r.u32();
+  t.parent_ = r.pod_vec<std::uint32_t>();
+  t.depth_ = r.pod_vec<std::uint32_t>();
+  t.wdepth_ = r.pod_vec<double>();
+  std::uint64_t levels = r.varint();
+  for (std::uint64_t k = 0; k < levels && r.status().ok(); ++k) {
+    t.up_.push_back(r.pod_vec<std::uint32_t>());
+  }
+  if (r.status().ok() &&
+      (t.parent_.size() != t.n_ || t.depth_.size() != t.n_ ||
+       t.wdepth_.size() != t.n_ || (t.n_ > 0 && t.root_ >= t.n_))) {
+    r.fail("RootedTree arrays disagree with vertex count");
+    return t;
+  }
+  // lca() chases parent_/up_ entries as indexes into n_-sized arrays; a
+  // short level or out-of-range vertex id must fail here, not there.
+  bool ok = true;
+  for (std::size_t v = 0; ok && v < t.parent_.size(); ++v) {
+    ok = t.parent_[v] < t.n_;
+  }
+  for (const std::vector<std::uint32_t>& level : t.up_) {
+    ok = ok && level.size() == t.n_;
+    for (std::size_t v = 0; ok && v < level.size(); ++v) {
+      ok = level[v] < t.n_;
+    }
+  }
+  if (r.status().ok() && !ok) {
+    r.fail("RootedTree ancestor tables index out of bounds");
+  }
+  return t;
 }
 
 }  // namespace parsdd

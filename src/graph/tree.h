@@ -38,6 +38,12 @@ class RootedTree {
   /// Hop-count tree-path distance between u and v.
   std::uint32_t hop_distance(std::uint32_t u, std::uint32_t v) const;
 
+  /// Snapshot encoding (util/serialize.h): parents, depths, and the binary
+  /// lifting table verbatim, so a loaded tree answers lca/distance queries
+  /// bitwise-identically without re-running the rooting BFS.
+  void save(serialize::Writer& w) const;
+  static RootedTree load(serialize::Reader& r);
+
  private:
   std::uint32_t n_ = 0;
   std::uint32_t root_ = 0;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "parallel/primitives.h"
+#include "util/serialize.h"
 
 namespace parsdd {
 
@@ -162,6 +163,44 @@ std::vector<double> CsrMatrix::to_dense() const {
     }
   }
   return d;
+}
+
+void CsrMatrix::save(serialize::Writer& w) const {
+  w.u32(n_);
+  w.size_vec(off_);
+  w.pod_vec(col_);
+  w.pod_vec(val_);
+}
+
+CsrMatrix CsrMatrix::load(serialize::Reader& r) {
+  CsrMatrix m;
+  m.n_ = r.u32();
+  m.off_ = r.size_vec();
+  m.col_ = r.pod_vec<std::uint32_t>();
+  m.val_ = r.pod_vec<double>();
+  if (!r.status().ok()) return CsrMatrix();
+  if (m.n_ == 0 && m.off_.empty()) {
+    // A default-constructed (never built) matrix round-trips as-is.
+    if (!m.col_.empty() || !m.val_.empty()) {
+      r.fail("CsrMatrix snapshot violates CSR invariants");
+      return CsrMatrix();
+    }
+    return m;
+  }
+  bool ok = m.off_.size() == static_cast<std::size_t>(m.n_) + 1 &&
+            m.col_.size() == m.val_.size() && m.off_.front() == 0 &&
+            m.off_.back() == m.col_.size();
+  for (std::size_t i = 0; ok && i < m.n_; ++i) {
+    ok = m.off_[i] <= m.off_[i + 1];
+  }
+  for (std::size_t i = 0; ok && i < m.col_.size(); ++i) {
+    ok = m.col_[i] < m.n_;
+  }
+  if (!ok) {
+    r.fail("CsrMatrix snapshot violates CSR invariants");
+    return CsrMatrix();
+  }
+  return m;
 }
 
 }  // namespace parsdd

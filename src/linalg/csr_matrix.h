@@ -59,6 +59,14 @@ class CsrMatrix {
   /// Dense row-major copy (for the bottom-level factorization; small n only).
   std::vector<double> to_dense() const;
 
+  /// Snapshot encoding (util/serialize.h): the CSR arrays verbatim, so a
+  /// loaded matrix multiplies bitwise-identically to the saved one (no
+  /// re-sorting or duplicate merging on the load path).  load() validates
+  /// the structural invariants (monotone offsets, in-range columns) so a
+  /// corrupt snapshot fails the Reader instead of crashing a later SpMV.
+  void save(serialize::Writer& w) const;
+  static CsrMatrix load(serialize::Reader& r);
+
   /// Row access for algorithms that need to walk the structure.
   std::span<const std::uint32_t> row_cols(std::uint32_t i) const {
     return {col_.data() + off_[i], off_[i + 1] - off_[i]};

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "parallel/primitives.h"
+#include "util/serialize.h"
 
 namespace parsdd {
 
@@ -141,6 +142,25 @@ void DenseLdlt::solve_block(const MultiVec& b, MultiVec& x) const {
     // Row n is the grounded vertex (zero), already in place from assign().
     project_out_constant_cols(x);
   }
+}
+
+void DenseLdlt::save(serialize::Writer& w) const {
+  w.u32(n_);
+  w.boolean(grounded_);
+  w.pod_vec(lf_);
+}
+
+DenseLdlt DenseLdlt::load(serialize::Reader& r) {
+  DenseLdlt f;
+  f.n_ = r.u32();
+  f.grounded_ = r.boolean();
+  f.lf_ = r.pod_vec<double>();
+  if (r.status().ok() &&
+      f.lf_.size() != static_cast<std::size_t>(f.n_) * f.n_) {
+    r.fail("DenseLdlt factor has wrong element count");
+    return DenseLdlt();
+  }
+  return f;
 }
 
 }  // namespace parsdd

@@ -37,6 +37,11 @@ class DenseLdlt {
 
   std::uint32_t dimension() const { return grounded_ ? n_ + 1 : n_; }
 
+  /// Snapshot encoding (util/serialize.h): the factored triangle verbatim,
+  /// so a loaded factor substitutes bitwise-identically without refactoring.
+  void save(serialize::Writer& w) const;
+  static DenseLdlt load(serialize::Reader& r);
+
  private:
   std::uint32_t n_ = 0;     // factored dimension
   bool grounded_ = false;   // true if built from a Laplacian

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "parallel/primitives.h"
+#include "util/serialize.h"
 
 namespace parsdd {
 
@@ -88,6 +89,20 @@ GrembanReduction gremban_reduce(const CsrMatrix& a) {
     }
   }
   return r;
+}
+
+void GrembanReduction::save(serialize::Writer& w) const {
+  w.u32(n);
+  save_edges(w, edges);
+  w.boolean(was_laplacian);
+}
+
+GrembanReduction GrembanReduction::load(serialize::Reader& r) {
+  GrembanReduction red;
+  red.n = r.u32();
+  red.edges = load_edges(r);
+  red.was_laplacian = r.boolean();
+  return red;
 }
 
 }  // namespace parsdd

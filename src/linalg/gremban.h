@@ -36,6 +36,10 @@ struct GrembanReduction {
   /// Column-wise [B; -B] / (Y_head - Y_tail)/2 for batched solves.
   MultiVec lift_rhs_block(const MultiVec& b) const;
   MultiVec project_solution_block(const MultiVec& y) const;
+
+  /// Snapshot encoding (util/serialize.h).
+  void save(serialize::Writer& w) const;
+  static GrembanReduction load(serialize::Reader& r);
 };
 
 /// Builds the double cover for a symmetric SDD matrix.  Throws

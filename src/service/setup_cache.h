@@ -1,0 +1,92 @@
+// SetupCache: fingerprint-keyed LRU reuse of built SolverSetups.
+//
+// Registering a graph with SolverService pays the full chain build — the
+// expensive half of the setup/solve split.  Serving workloads re-register
+// the same graph constantly (a client reconnects, a shard restarts, two
+// tenants query the same mesh), so the service keys every built setup by a
+// fingerprint of exactly the inputs that determine the build — the edge
+// list (or SDD matrix) and the complete option set, every field of which
+// feeds the deterministic chain construction — and answers a repeat
+// registration from the cache instead of rebuilding.  Handles stay
+// per-registration; only the immutable SolverSetup behind them is shared,
+// which is safe because setups are read-only after construction (the
+// concurrency contract solver_setup.h already guarantees).
+//
+// The cache holds shared_ptrs, so eviction or service shutdown never
+// invalidates a handle that is still registered: the registry's reference
+// keeps the setup alive.  Not internally synchronized — SolverService calls
+// it under its own mutex.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "graph/edge_list.h"
+#include "linalg/csr_matrix.h"
+#include "solver/solver_setup.h"
+
+namespace parsdd {
+
+/// A 128-bit build-input digest: two independently seeded FNV-1a-style
+/// lanes over the same field stream.  A cache hit requires both lanes to
+/// match, so serving a setup for the *wrong* graph needs a simultaneous
+/// collision in two independent 64-bit hashes (~2^-128 for accidental
+/// inputs).  The hash is not cryptographic: a deliberately adversarial
+/// client could still construct collisions, so deployments serving
+/// mutually untrusted tenants should run them against separate services
+/// (or set setup_cache_capacity = 0).
+struct SetupFingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const SetupFingerprint& a,
+                         const SetupFingerprint& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const SetupFingerprint& a,
+                         const SetupFingerprint& b) {
+    return !(a == b);
+  }
+};
+
+/// Build-input fingerprints over the graph (or matrix) content and every
+/// SddSolverOptions field — exactly the inputs that determine the
+/// deterministic chain build.
+SetupFingerprint fingerprint_laplacian_setup(std::uint32_t n,
+                                             const EdgeList& edges,
+                                             const SddSolverOptions& opts);
+SetupFingerprint fingerprint_sdd_setup(const CsrMatrix& a,
+                                       const SddSolverOptions& opts);
+
+class SetupCache {
+ public:
+  /// capacity 0 disables caching (get always misses, put is a no-op).
+  explicit SetupCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached setup and marks it most-recently-used, or nullptr.
+  /// Both fingerprint lanes must match; a same-slot entry with a different
+  /// full fingerprint is a miss, never a false hit.
+  std::shared_ptr<const SolverSetup> get(const SetupFingerprint& key);
+
+  /// Inserts (or refreshes) the mapping, evicting the least-recently-used
+  /// entry beyond capacity.
+  void put(const SetupFingerprint& key,
+           std::shared_ptr<const SolverSetup> setup);
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry =
+      std::pair<SetupFingerprint, std::shared_ptr<const SolverSetup>>;
+  static std::uint64_t slot(const SetupFingerprint& key) {
+    return key.lo ^ (key.hi * 0x9e3779b97f4a7c15ull);
+  }
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace parsdd

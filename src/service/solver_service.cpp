@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "parallel/task_queue.h"
+#include "service/setup_cache.h"
 
 namespace parsdd {
 
@@ -68,8 +69,24 @@ struct SolverService::Impl {
 
   std::unique_ptr<TaskQueue> exec;
   std::thread dispatcher;
+  std::unique_ptr<SetupCache> setup_cache;  // guarded by mu
 
   StatusOr<SetupHandle> add_setup(std::shared_ptr<const SolverSetup> setup);
+  /// Registry insertion shared by every registration path; `mu` must be
+  /// held.  One definition of handle allocation, so the cache-hit and
+  /// build paths cannot diverge.
+  StatusOr<SetupHandle> add_setup_locked(
+      std::shared_ptr<const SolverSetup> setup);
+  /// Cache-aware build-and-register shared by register_laplacian and
+  /// register_sdd: `fp` keys the cache, `build` runs the chain
+  /// construction on a miss.  The build runs outside the service mutex, so
+  /// two concurrent first registrations of the same graph may both build —
+  /// the second put simply refreshes the entry (correct either way, since
+  /// equal fingerprints mean deterministically identical setups).
+  template <typename BuildFn>
+  StatusOr<SetupHandle> register_built(const SetupFingerprint& fp,
+                                       const char* what,
+                                       BuildFn&& build);
   void dispatcher_loop();
   void dispatch_singles(std::unique_lock<std::mutex>& lock, std::uint64_t id,
                         std::deque<PendingSingle>& singles);
@@ -101,6 +118,7 @@ SolverService::SolverService(const ServiceOptions& opts)
     : impl_(std::make_unique<Impl>()) {
   impl_->opts = opts;
   impl_->opts.max_batch = std::max<std::uint32_t>(impl_->opts.max_batch, 1);
+  impl_->setup_cache = std::make_unique<SetupCache>(opts.setup_cache_capacity);
   impl_->exec =
       std::make_unique<TaskQueue>(std::max<std::uint32_t>(opts.workers, 1));
   impl_->dispatcher = std::thread([this] { impl_->dispatcher_loop(); });
@@ -116,18 +134,50 @@ SolverService::~SolverService() {
   impl_->exec->stop();       // runs every dispatched block to completion
 }
 
-StatusOr<SetupHandle> SolverService::Impl::add_setup(
+StatusOr<SetupHandle> SolverService::Impl::add_setup_locked(
     std::shared_ptr<const SolverSetup> setup) {
-  if (!setup) {
-    return InvalidArgumentError("SolverService: null setup");
-  }
-  std::lock_guard<std::mutex> lock(mu);
   if (stopping) {
     return UnavailableError("SolverService: shutting down");
   }
   std::uint64_t id = next_id++;
   registry.emplace(id, std::move(setup));
   return SetupHandle{id};
+}
+
+StatusOr<SetupHandle> SolverService::Impl::add_setup(
+    std::shared_ptr<const SolverSetup> setup) {
+  if (!setup) {
+    return InvalidArgumentError("SolverService: null setup");
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  return add_setup_locked(std::move(setup));
+}
+
+template <typename BuildFn>
+StatusOr<SetupHandle> SolverService::Impl::register_built(
+    const SetupFingerprint& fp, const char* what, BuildFn&& build) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (stopping) {
+      return UnavailableError("SolverService: shutting down");
+    }
+    if (std::shared_ptr<const SolverSetup> cached = setup_cache->get(fp)) {
+      ++counters.setup_cache_hits;
+      return add_setup_locked(std::move(cached));
+    }
+    ++counters.setup_cache_misses;
+  }
+  std::shared_ptr<const SolverSetup> setup;
+  try {
+    setup = std::make_shared<const SolverSetup>(build());
+  } catch (const std::exception& e) {
+    // The setup phase still speaks exceptions for construction-time
+    // failures; the service boundary translates them.
+    return InvalidArgumentError(std::string(what) + ": " + e.what());
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  setup_cache->put(fp, setup);
+  return add_setup_locked(std::move(setup));
 }
 
 StatusOr<SetupHandle> SolverService::register_laplacian(
@@ -138,25 +188,40 @@ StatusOr<SetupHandle> SolverService::register_laplacian(
           "register_laplacian: edge endpoint out of range");
     }
   }
-  try {
-    return impl_->add_setup(std::make_shared<const SolverSetup>(
-        SolverSetup::for_laplacian(n, edges, opts)));
-  } catch (const std::exception& e) {
-    // The setup phase still speaks exceptions for construction-time
-    // failures; the service boundary translates them.
-    return InvalidArgumentError(std::string("register_laplacian: ") +
-                                e.what());
-  }
+  return impl_->register_built(
+      fingerprint_laplacian_setup(n, edges, opts), "register_laplacian",
+      [&] { return SolverSetup::for_laplacian(n, edges, opts); });
 }
 
 StatusOr<SetupHandle> SolverService::register_sdd(
     const CsrMatrix& a, const SddSolverOptions& opts) {
-  try {
-    return impl_->add_setup(
-        std::make_shared<const SolverSetup>(SolverSetup::for_sdd(a, opts)));
-  } catch (const std::exception& e) {
-    return InvalidArgumentError(std::string("register_sdd: ") + e.what());
+  return impl_->register_built(fingerprint_sdd_setup(a, opts), "register_sdd",
+                               [&] { return SolverSetup::for_sdd(a, opts); });
+}
+
+StatusOr<SetupHandle> SolverService::register_from_snapshot(
+    const std::string& path) {
+  StatusOr<SolverSetup> setup = SolverSetup::Load(path);
+  if (!setup.ok()) return setup.status();
+  return impl_->add_setup(
+      std::make_shared<const SolverSetup>(std::move(*setup)));
+}
+
+Status SolverService::snapshot(SetupHandle handle,
+                               const std::string& path) const {
+  std::shared_ptr<const SolverSetup> setup;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->registry.find(handle.id);
+    if (it == impl_->registry.end()) {
+      return NotFoundError("snapshot: unknown handle " +
+                           std::to_string(handle.id));
+    }
+    setup = it->second;
   }
+  // Serialization runs outside the service mutex: the setup is immutable
+  // and the local shared_ptr keeps it alive even across an unregister.
+  return setup->Save(path);
 }
 
 StatusOr<SetupHandle> SolverService::register_setup(

@@ -16,6 +16,18 @@
 //      block to executor threads (parallel/task_queue.h) so it can keep
 //      collecting the next block while the solve runs.
 //
+// Setup builds themselves are amortized two further ways (PR 5):
+//
+//   * an LRU SetupCache (service/setup_cache.h) keyed by a fingerprint of
+//     the graph + build options answers repeat register_laplacian /
+//     register_sdd calls with the already-built setup — each registration
+//     still gets its own handle, but the chain is built once;
+//   * snapshot(handle, path) persists a registered setup as a versioned
+//     binary snapshot (SolverSetup::Save), and register_from_snapshot(path)
+//     warm-starts a fresh process from it, skipping the build entirely
+//     while answering bitwise-identically (the persistence contract
+//     test_persistence locks in).
+//
 // Because column c of a solve_batch performs the exact arithmetic sequence
 // of an independent solve (multivec.h determinism contract), coalescing is
 // invisible to clients: every future resolves to the bitwise-identical
@@ -32,6 +44,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -67,6 +80,10 @@ struct ServiceOptions {
   /// When false every request is dispatched as its own 1-column block —
   /// the "no micro-batching" baseline bench_service measures against.
   bool coalesce = true;
+  /// Built setups kept for fingerprint-matched reuse across registrations
+  /// (service/setup_cache.h); 0 disables the cache.  Snapshot-loaded
+  /// setups bypass it (their build inputs are not known to the service).
+  std::size_t setup_cache_capacity = 8;
 };
 
 /// One client's answer: the solution column plus its iteration stats and
@@ -90,6 +107,8 @@ struct ServiceStats {
   std::uint64_t completed = 0;          // requests answered (incl. errors)
   std::uint64_t dispatched_blocks = 0;  // solve_batch calls issued
   std::uint64_t dispatched_cols = 0;    // columns across those blocks
+  std::uint64_t setup_cache_hits = 0;   // registrations served from cache
+  std::uint64_t setup_cache_misses = 0;  // registrations that built a setup
 };
 
 /// Shape summary of a registered setup.
@@ -121,6 +140,17 @@ class SolverService {
   /// Adopts an existing setup (e.g. from SddSolver::shared_setup()).
   StatusOr<SetupHandle> register_setup(
       std::shared_ptr<const SolverSetup> setup);
+
+  /// Warm-start: loads a SolverSetup snapshot (SolverSetup::Load) and
+  /// registers it — a restarted server resumes serving a graph without
+  /// rebuilding its chain.  NotFound for a missing file, InvalidArgument
+  /// for a corrupt/mismatched one.
+  StatusOr<SetupHandle> register_from_snapshot(const std::string& path);
+
+  /// Persists a registered setup as a snapshot a later
+  /// register_from_snapshot (any process) can load.  NotFound for stale
+  /// handles.
+  Status snapshot(SetupHandle handle, const std::string& path) const;
 
   /// Drops the handle.  In-flight and queued requests against it still
   /// complete (they hold their own reference to the setup); new submits

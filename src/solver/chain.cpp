@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/laplacian.h"
+#include "util/serialize.h"
 
 namespace parsdd {
 
@@ -105,6 +106,89 @@ SolverChain build_chain(std::uint32_t n, const EdgeList& edges,
   const ChainLevel& last = chain.levels.back();
   if (!last.has_preconditioner && last.n >= 2 && !last.edges.empty()) {
     chain.bottom = DenseLdlt::factor_laplacian(last.laplacian);
+  }
+  return chain;
+}
+
+void save_chain(serialize::Writer& w, const SolverChain& chain) {
+  w.varint(chain.levels.size());
+  for (const ChainLevel& lvl : chain.levels) {
+    w.u32(lvl.n);
+    save_edges(w, lvl.edges);
+    lvl.laplacian.save(w);
+    w.boolean(lvl.has_preconditioner);
+    save_edges(w, lvl.b_edges);
+    lvl.elimination.save(w);
+    w.f64(lvl.kappa);
+    w.f64(lvl.avg_stretch);
+  }
+  w.boolean(chain.bottom.has_value());
+  if (chain.bottom) chain.bottom->save(w);
+}
+
+namespace {
+
+bool edges_in_bounds(const EdgeList& edges, std::uint32_t n) {
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SolverChain load_chain(serialize::Reader& r) {
+  SolverChain chain;
+  std::uint64_t depth = r.varint();
+  for (std::uint64_t i = 0; i < depth && r.status().ok(); ++i) {
+    ChainLevel lvl;
+    lvl.n = r.u32();
+    lvl.edges = load_edges(r);
+    lvl.laplacian = CsrMatrix::load(r);
+    lvl.has_preconditioner = r.boolean();
+    lvl.b_edges = load_edges(r);
+    lvl.elimination = GreedyEliminationResult::load(r, lvl.n);
+    lvl.kappa = r.f64();
+    lvl.avg_stretch = r.f64();
+    if (!r.status().ok()) break;
+    // The solve path trusts these invariants without rechecking: the
+    // level's Laplacian multiplies lvl.n-sized vectors, and each level's
+    // input is the previous elimination's reduced graph.
+    if (!edges_in_bounds(lvl.edges, lvl.n) ||
+        !edges_in_bounds(lvl.b_edges, lvl.n) ||
+        lvl.laplacian.dimension() != lvl.n) {
+      r.fail("chain level " + std::to_string(i) +
+             " indexes out of bounds for its vertex count");
+      break;
+    }
+    if (!chain.levels.empty() &&
+        chain.levels.back().elimination.reduced_n != lvl.n) {
+      r.fail("chain level " + std::to_string(i) +
+             " does not continue the previous elimination");
+      break;
+    }
+    chain.levels.push_back(std::move(lvl));
+  }
+  if (r.status().ok() && !chain.levels.empty()) {
+    // The recursion descends exactly while has_preconditioner holds, so
+    // every level but the last must recurse, and a preconditioned last
+    // level is legal only when its elimination emptied the graph (the
+    // tree-like case) — anything else would step past the level array.
+    for (std::size_t i = 0; i + 1 < chain.levels.size(); ++i) {
+      if (!chain.levels[i].has_preconditioner) {
+        r.fail("chain level " + std::to_string(i) +
+               " is a non-terminal bottom level");
+      }
+    }
+    const ChainLevel& last = chain.levels.back();
+    if (last.has_preconditioner && last.elimination.reduced_n != 0) {
+      r.fail("last chain level recurses past the end of the chain");
+    }
+  }
+  if (r.boolean()) chain.bottom = DenseLdlt::load(r);
+  if (r.status().ok() && chain.bottom && !chain.levels.empty() &&
+      chain.bottom->dimension() != chain.levels.back().n) {
+    r.fail("bottom factor dimension disagrees with the last chain level");
   }
   return chain;
 }

@@ -95,4 +95,11 @@ struct SolverChain {
 SolverChain build_chain(std::uint32_t n, const EdgeList& edges,
                         const ChainOptions& opts = {});
 
+/// Snapshot encoding (util/serialize.h): every level's graphs, assembled
+/// Laplacian, elimination record, and the dense bottom factor verbatim —
+/// the complete RHS-independent state, so a loaded chain drives the
+/// recursive solver bitwise-identically to the chain that was saved.
+void save_chain(serialize::Writer& w, const SolverChain& chain);
+SolverChain load_chain(serialize::Reader& r);
+
 }  // namespace parsdd

@@ -7,6 +7,7 @@
 
 #include "parallel/primitives.h"
 #include "parallel/rng.h"
+#include "util/serialize.h"
 
 namespace parsdd {
 
@@ -226,6 +227,81 @@ void GreedyEliminationResult::back_substitute_block(const MultiVec& folded_b,
       }
     }
   }
+}
+
+void GreedyEliminationResult::save(serialize::Writer& w) const {
+  std::vector<std::uint32_t> ids(4 * steps.size());
+  std::vector<double> weights(3 * steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    ids[4 * i] = steps[i].v;
+    ids[4 * i + 1] = steps[i].degree;
+    ids[4 * i + 2] = steps[i].u1;
+    ids[4 * i + 3] = steps[i].u2;
+    weights[3 * i] = steps[i].w1;
+    weights[3 * i + 1] = steps[i].w2;
+    weights[3 * i + 2] = steps[i].pivot;
+  }
+  w.pod_vec(ids);
+  w.pod_vec(weights);
+  w.u32(rounds);
+  w.u32(reduced_n);
+  save_edges(w, reduced_edges);
+  w.pod_vec(orig_of_reduced);
+  w.pod_vec(reduced_of_orig);
+}
+
+GreedyEliminationResult GreedyEliminationResult::load(serialize::Reader& r,
+                                                      std::uint32_t n) {
+  GreedyEliminationResult e;
+  std::vector<std::uint32_t> ids = r.pod_vec<std::uint32_t>();
+  std::vector<double> weights = r.pod_vec<double>();
+  if (r.status().ok() &&
+      (ids.size() % 4 != 0 || weights.size() != ids.size() / 4 * 3)) {
+    r.fail("elimination step arrays disagree on length");
+  }
+  if (r.status().ok()) {
+    e.steps.resize(ids.size() / 4);
+    for (std::size_t i = 0; i < e.steps.size(); ++i) {
+      e.steps[i] = EliminationStep{ids[4 * i],     ids[4 * i + 1],
+                                   ids[4 * i + 2], ids[4 * i + 3],
+                                   weights[3 * i], weights[3 * i + 1],
+                                   weights[3 * i + 2]};
+    }
+  }
+  e.rounds = r.u32();
+  e.reduced_n = r.u32();
+  e.reduced_edges = load_edges(r);
+  e.orig_of_reduced = r.pod_vec<std::uint32_t>();
+  e.reduced_of_orig = r.pod_vec<std::uint32_t>();
+  if (!r.status().ok()) return e;
+  // A chain's bottom level carries a default-constructed result (the build
+  // never eliminates there); it round-trips as all-empty.
+  if (e.steps.empty() && e.rounds == 0 && e.reduced_n == 0 &&
+      e.reduced_edges.empty() && e.orig_of_reduced.empty() &&
+      e.reduced_of_orig.empty()) {
+    return e;
+  }
+  // Every stored index feeds unchecked array accesses in fold_rhs /
+  // back_substitute; validate all of them against the caller's n before the
+  // result can reach a solve.
+  bool ok = e.reduced_n <= n && e.orig_of_reduced.size() == e.reduced_n &&
+            e.reduced_of_orig.size() == n;
+  for (std::size_t i = 0; ok && i < e.steps.size(); ++i) {
+    const EliminationStep& s = e.steps[i];
+    ok = s.v < n && s.degree <= 2 && (s.degree < 1 || s.u1 < n) &&
+         (s.degree < 2 || s.u2 < n);
+  }
+  for (std::size_t i = 0; ok && i < e.reduced_edges.size(); ++i) {
+    ok = e.reduced_edges[i].u < e.reduced_n && e.reduced_edges[i].v < e.reduced_n;
+  }
+  for (std::size_t i = 0; ok && i < e.orig_of_reduced.size(); ++i) {
+    ok = e.orig_of_reduced[i] < n;
+  }
+  for (std::size_t i = 0; ok && i < e.reduced_of_orig.size(); ++i) {
+    ok = e.reduced_of_orig[i] < e.reduced_n || e.reduced_of_orig[i] == kGone;
+  }
+  if (!ok) r.fail("elimination schedule indexes out of bounds");
+  return e;
 }
 
 }  // namespace parsdd

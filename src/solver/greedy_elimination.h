@@ -71,6 +71,15 @@ class GreedyEliminationResult {
   /// column.
   void back_substitute_block(const MultiVec& folded_b,
                              const MultiVec& x_reduced, MultiVec& x) const;
+
+  /// Snapshot encoding (util/serialize.h): the step record as parallel
+  /// field arrays (EliminationStep has padding), plus the reduced graph and
+  /// both relabeling maps, so fold/back-substitute replay bitwise.  `n` is
+  /// the caller's vertex count for the eliminated graph; load bounds-checks
+  /// every stored index against it so a checksum-valid but forged snapshot
+  /// cannot drive fold/back-substitute out of bounds.
+  void save(serialize::Writer& w) const;
+  static GreedyEliminationResult load(serialize::Reader& r, std::uint32_t n);
 };
 
 /// Eliminates all degree-<=2 vertices of the Laplacian graph (V=[0,n),

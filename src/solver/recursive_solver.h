@@ -17,6 +17,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "linalg/iterative.h"
 #include "solver/chain.h"
@@ -59,6 +61,16 @@ class RecursiveSolver {
  public:
   RecursiveSolver(const SolverChain& chain,
                   const RecursiveSolverOptions& opts = {});
+
+  /// Restores a solver from snapshot state: adopts the spectral bounds
+  /// measured when the chain was first built instead of re-running the
+  /// per-level power iteration, so a loaded setup is both cheap to
+  /// reconstruct and bitwise-faithful to the saved one (the bounds feed the
+  /// Chebyshev coefficients directly).  `bounds` must be level_bounds()
+  /// from the solver being restored — empty in flexible-CG mode.
+  RecursiveSolver(const SolverChain& chain, const RecursiveSolverOptions& opts,
+                  std::vector<std::pair<double, double>> bounds)
+      : chain_(chain), opts_(opts), level_bounds_(std::move(bounds)) {}
 
   /// Per-call scratch for the batched solvers: one slot per chain level,
   /// reused across outer iterations so a steady-state solve allocates

@@ -7,6 +7,7 @@
 #include "linalg/cg.h"
 #include "linalg/jacobi.h"
 #include "linalg/laplacian.h"
+#include "util/serialize.h"
 
 namespace parsdd {
 
@@ -233,6 +234,231 @@ StatusOr<MultiVec> SolverSetup::solve_batch(const MultiVec& b,
   MultiVec lifted = impl_->gremban->lift_rhs_block(b);
   MultiVec y = impl_->solve_batch_laplacian(lifted, report);
   return impl_->gremban->project_solution_block(y);
+}
+
+namespace {
+
+// Byte tag opening every serialized SolverSetup body, so a setup embedded
+// in a larger snapshot (e.g. the golden regression file) stays
+// self-identifying.
+constexpr std::uint8_t kSetupTag = 0x53;  // 'S'
+
+// Options are serialized field by field (never as raw struct bytes): the
+// encoding survives reordering/padding changes in the C++ structs, and a
+// loaded setup reports exactly the options it was built with.
+void save_options(serialize::Writer& w, const SddSolverOptions& o) {
+  w.f64(o.tolerance);
+  w.u32(o.max_iterations);
+  w.u32(static_cast<std::uint32_t>(o.method));
+  const ChainOptions& c = o.chain;
+  w.u64(c.seed);
+  w.u32(static_cast<std::uint32_t>(c.mode));
+  w.f64(c.kappa);
+  w.f64(c.kappa_growth);
+  w.u32(c.bottom_size);
+  w.u32(c.max_levels);
+  w.f64(c.oversample);
+  w.f64(c.p_floor);
+  w.f64(c.subgraph_scale);
+  w.u32(c.lambda);
+  w.f64(c.theta);
+  w.f64(c.subgraph_y);
+  w.f64(c.subgraph_z);
+  const RecursiveSolverOptions& rs = o.recursion;
+  w.u32(static_cast<std::uint32_t>(rs.inner));
+  w.f64(rs.inner_tolerance);
+  w.u32(rs.inner_max_iterations);
+  w.u32(rs.inner_iterations);
+  w.f64(rs.kappa_cap);
+  w.u32(rs.power_iterations);
+  w.f64(rs.lambda_max_margin);
+  w.u64(rs.seed);
+}
+
+SddSolverOptions load_options(serialize::Reader& r) {
+  SddSolverOptions o;
+  o.tolerance = r.f64();
+  o.max_iterations = r.u32();
+  std::uint32_t method = r.u32();
+  if (method > static_cast<std::uint32_t>(SolveMethod::kJacobiPcg)) {
+    r.fail("unknown SolveMethod value " + std::to_string(method));
+  } else {
+    o.method = static_cast<SolveMethod>(method);
+  }
+  ChainOptions& c = o.chain;
+  c.seed = r.u64();
+  std::uint32_t mode = r.u32();
+  if (mode > static_cast<std::uint32_t>(ChainMode::kSampled)) {
+    r.fail("unknown ChainMode value " + std::to_string(mode));
+  } else {
+    c.mode = static_cast<ChainMode>(mode);
+  }
+  c.kappa = r.f64();
+  c.kappa_growth = r.f64();
+  c.bottom_size = r.u32();
+  c.max_levels = r.u32();
+  c.oversample = r.f64();
+  c.p_floor = r.f64();
+  c.subgraph_scale = r.f64();
+  c.lambda = r.u32();
+  c.theta = r.f64();
+  c.subgraph_y = r.f64();
+  c.subgraph_z = r.f64();
+  RecursiveSolverOptions& rs = o.recursion;
+  std::uint32_t inner = r.u32();
+  if (inner > static_cast<std::uint32_t>(InnerMethod::kFlexibleCg)) {
+    r.fail("unknown InnerMethod value " + std::to_string(inner));
+  } else {
+    rs.inner = static_cast<InnerMethod>(inner);
+  }
+  rs.inner_tolerance = r.f64();
+  rs.inner_max_iterations = r.u32();
+  rs.inner_iterations = r.u32();
+  rs.kappa_cap = r.f64();
+  rs.power_iterations = r.u32();
+  rs.lambda_max_margin = r.f64();
+  rs.seed = r.u64();
+  return o;
+}
+
+}  // namespace
+
+void SolverSetup::save_to(serialize::Writer& w) const {
+  w.u8(kSetupTag);
+  save_options(w, impl_->opts);
+  w.u32(impl_->n);
+  w.boolean(impl_->gremban.has_value());
+  if (impl_->gremban) impl_->gremban->save(w);
+  w.varint(impl_->components.size());
+  for (const ComponentSetup& cs : impl_->components) {
+    w.pod_vec(cs.vertices);
+    save_edges(w, cs.local_edges);
+    cs.laplacian.save(w);
+    w.boolean(cs.chain != nullptr);
+    if (cs.chain) {
+      save_chain(w, *cs.chain);
+      // The spectral bounds the recursive solver measured at build time
+      // (Chebyshev mode; empty in flexible-CG mode).  Persisting them keeps
+      // the loaded solver bitwise-faithful without re-running the power
+      // iteration on load.
+      const auto& bounds = cs.recursive->level_bounds();
+      w.varint(bounds.size());
+      for (const auto& [lo, hi] : bounds) {
+        w.f64(lo);
+        w.f64(hi);
+      }
+    }
+  }
+}
+
+StatusOr<SolverSetup> SolverSetup::load_from(serialize::Reader& r) {
+  if (std::uint8_t tag = r.u8(); r.status().ok() && tag != kSetupTag) {
+    r.fail("payload is not a SolverSetup (tag " + std::to_string(tag) + ")");
+  }
+  SolverSetup s;
+  s.impl_->opts = load_options(r);
+  s.impl_->n = r.u32();
+  if (r.boolean()) {
+    s.impl_->gremban = GrembanReduction::load(r);
+    if (r.status().ok() &&
+        static_cast<std::uint64_t>(s.impl_->n) !=
+            2 * static_cast<std::uint64_t>(s.impl_->gremban->n)) {
+      r.fail("Gremban lift dimension disagrees with the system size");
+    }
+  }
+  std::uint64_t count = r.varint();
+  for (std::uint64_t i = 0; i < count && r.status().ok(); ++i) {
+    ComponentSetup cs;
+    cs.vertices = r.pod_vec<std::uint32_t>();
+    cs.local_edges = load_edges(r);
+    cs.laplacian = CsrMatrix::load(r);
+    if (!r.status().ok()) break;
+    // The solve gathers b.row(vertices[i]) from an n-row block and scatters
+    // local edges over a vertices.size()-row component; both index spaces
+    // must be validated before a forged snapshot can reach them.
+    std::uint32_t cn = static_cast<std::uint32_t>(cs.vertices.size());
+    bool ok = cs.vertices.size() <= s.impl_->n;
+    for (std::size_t v = 0; ok && v < cs.vertices.size(); ++v) {
+      ok = cs.vertices[v] < s.impl_->n;
+    }
+    for (std::size_t e = 0; ok && e < cs.local_edges.size(); ++e) {
+      ok = cs.local_edges[e].u < cn && cs.local_edges[e].v < cn;
+    }
+    ok = ok && cs.laplacian.dimension() == (cn >= 2 ? cn : 0);
+    if (!ok) {
+      r.fail("component " + std::to_string(i) +
+             " indexes out of bounds for the system size");
+      break;
+    }
+    if (r.boolean()) {
+      cs.chain = std::make_unique<SolverChain>(load_chain(r));
+      if (r.status().ok() &&
+          (cs.chain->levels.empty() || cs.chain->levels.front().n != cn)) {
+        r.fail("component " + std::to_string(i) +
+               " chain does not start at the component size");
+        break;
+      }
+      std::uint64_t num_bounds = r.varint();
+      if (num_bounds > r.remaining() / (2 * sizeof(double))) {
+        r.fail("level-bound count exceeds remaining bytes");
+        break;
+      }
+      std::vector<std::pair<double, double>> bounds(
+          static_cast<std::size_t>(num_bounds));
+      for (auto& [lo, hi] : bounds) {
+        lo = r.f64();
+        hi = r.f64();
+      }
+      if (!r.status().ok()) break;
+      // The Chebyshev inner solver reads level_bounds_[i] per level; any
+      // other count would index past the vector at solve time.
+      if (num_bounds != 0 && num_bounds != cs.chain->levels.size()) {
+        r.fail("level-bound count disagrees with the chain depth");
+        break;
+      }
+      if (s.impl_->opts.recursion.inner == InnerMethod::kChebyshev &&
+          num_bounds == 0) {
+        r.fail("Chebyshev recursion requires saved spectral bounds");
+        break;
+      }
+      cs.recursive = std::make_unique<RecursiveSolver>(
+          *cs.chain, s.impl_->opts.recursion, std::move(bounds));
+    }
+    // The chain-method solve dereferences cs.recursive unconditionally for
+    // every non-trivial component; a forged snapshot must not be able to
+    // clear the chain flag out from under it.
+    if ((s.impl_->opts.method == SolveMethod::kChainPcg ||
+         s.impl_->opts.method == SolveMethod::kChainRpch) &&
+        cs.vertices.size() >= 2 && !cs.recursive) {
+      r.fail("component " + std::to_string(i) +
+             " is missing the chain its solve method requires");
+      break;
+    }
+    s.impl_->components.push_back(std::move(cs));
+  }
+  if (!r.status().ok()) return r.status();
+  return s;
+}
+
+Status SolverSetup::Save(const std::string& path) const {
+  serialize::Writer w;
+  w.header();
+  save_to(w);
+  return w.to_file(path);
+}
+
+StatusOr<SolverSetup> SolverSetup::Load(const std::string& path) {
+  StatusOr<serialize::Reader> r = serialize::Reader::from_file(path);
+  if (!r.ok()) return r.status();
+  PARSDD_RETURN_IF_ERROR(r->check_header());
+  StatusOr<SolverSetup> setup = load_from(*r);
+  if (!setup.ok()) return setup;
+  if (!r->exhausted()) {
+    return InvalidArgumentError("SolverSetup::Load: " +
+                                std::to_string(r->remaining()) +
+                                " trailing bytes after payload in " + path);
+  }
+  return setup;
 }
 
 StatusOr<Vec> SolverSetup::solve(const Vec& b, SddSolveReport* report) const {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "graph/edge_list.h"
@@ -102,6 +103,23 @@ class SolverSetup {
   /// RHS.  InvalidArgument when B has zero columns or the wrong row count.
   StatusOr<MultiVec> solve_batch(const MultiVec& b,
                                  BatchSolveReport* report = nullptr) const;
+
+  /// Persists the complete RHS-independent setup state — options, Gremban
+  /// lift, per-component graphs, chain levels, elimination records, dense
+  /// bottom factors, and measured spectral bounds — as a versioned,
+  /// checksummed binary snapshot (util/serialize.h).  A setup loaded in a
+  /// fresh process produces bitwise-identical solves to this one; see
+  /// DESIGN.md, "Snapshot format".
+  Status Save(const std::string& path) const;
+  /// NotFound for a missing file; InvalidArgument for truncated, corrupt,
+  /// endian-foreign, or version-mismatched snapshots.  Never throws.
+  static StatusOr<SolverSetup> Load(const std::string& path);
+
+  /// Body-only encode/decode, for embedding a setup inside a larger
+  /// snapshot (the golden regression file in tests/data does this);
+  /// Save/Load wrap these with the file header and checksum trailer.
+  void save_to(serialize::Writer& w) const;
+  static StatusOr<SolverSetup> load_from(serialize::Reader& r);
 
  private:
   SolverSetup();

@@ -1,0 +1,51 @@
+// Regenerates the golden regression vector tests/data/golden_grid16.bin:
+// a snapshot of the default-options SolverSetup for the 16x16 unit grid,
+// the fixed RHS, and the solution the current build produces for it.
+//
+//   $ ./make_golden [output-path]
+//
+// test_golden loads the file, re-solves with the embedded setup, and
+// memcmp-verifies against the stored solution — so ANY change to solver
+// arithmetic (kernel reordering, FP contraction, a chain tweak that leaks
+// into the solve path) fails loudly instead of drifting silently.  After an
+// INTENTIONAL numeric change, rerun this tool and commit the new file with
+// a line in the PR explaining the drift (see DESIGN.md, "Golden vectors").
+#include <cstdio>
+#include <string>
+
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "solver/solver_setup.h"
+#include "util/serialize.h"
+
+int main(int argc, char** argv) {
+  using namespace parsdd;
+  std::string path = argc > 1 ? argv[1] : "golden_grid16.bin";
+
+  GeneratedGraph g = grid2d(16, 16);
+  SolverSetup setup = SolverSetup::for_laplacian(g.n, g.edges);
+  Vec b = random_unit_like(g.n, 2024);
+  project_out_constant(b);
+  StatusOr<Vec> x = setup.solve(b);
+  if (!x.ok()) {
+    std::fprintf(stderr, "make_golden: solve failed: %s\n",
+                 x.status().to_string().c_str());
+    return 1;
+  }
+
+  serialize::Writer w;
+  w.header();
+  setup.save_to(w);
+  w.pod_vec(b);
+  w.pod_vec(*x);
+  Status st = w.to_file(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "make_golden: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  double rel = norm2(subtract(lap.apply(*x), b)) / norm2(b);
+  std::printf("wrote %s (n=%u, residual %.3e, %zu bytes)\n", path.c_str(),
+              g.n, rel, w.buffer().size() + 8);
+  return 0;
+}

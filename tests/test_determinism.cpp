@@ -1,0 +1,101 @@
+// Determinism across thread counts: setup + solve on a fixed seed must be
+// bitwise identical for pool sizes 1, 2, and 8.
+//
+// The claim everything downstream leans on (batch == single, service
+// coalescing invisibility, snapshot bitwise fidelity, the golden vector) is
+// that parallelism never changes arithmetic: every parallel kernel reduces
+// in a fixed order regardless of how blocks land on workers.  The pool size
+// is fixed at first use (PARSDD_THREADS is read once), so each pool size
+// gets a fresh subprocess: the parent re-executes this binary with
+// PARSDD_THREADS set, the child runs the pipeline and writes the raw
+// solution bytes, and the parent compares the files byte for byte.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "file_test_util.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "solver/solver_setup.h"
+
+namespace parsdd {
+namespace {
+
+// The fixed workload: one mesh and one expander, weighted, solved as a
+// 3-column batch through the full chain pipeline.
+MultiVec child_solve() {
+  GeneratedGraph g = grid2d(24, 17);
+  GeneratedGraph h = random_regular(120, 4, 7);
+  std::uint32_t base = g.n;
+  for (const Edge& e : h.edges) {
+    g.edges.push_back(Edge{base + e.u, base + e.v, e.w});
+  }
+  g.n = base + h.n;
+  randomize_weights_log_uniform(g.edges, 1e3, 11);
+  SolverSetup setup = SolverSetup::for_laplacian(g.n, g.edges);
+  MultiVec b(g.n, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    Vec col = random_unit_like(g.n, 13 + c);
+    project_out_constant(col);
+    b.set_column(c, col);
+  }
+  return setup.solve_batch(b).value();
+}
+
+std::string self_exe() {
+  char buf[4096];
+  ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  EXPECT_GT(len, 0);
+  buf[len > 0 ? len : 0] = '\0';
+  return buf;
+}
+
+using test_util::file_bytes;
+
+// Child mode: invoked by the parent test below with PARSDD_DET_OUT set.
+// Under a plain ctest run (no PARSDD_DET_OUT) it still executes the
+// workload once as a smoke test of the current pool size.
+TEST(DeterminismChild, SolveAndDump) {
+  MultiVec x = child_solve();
+  ASSERT_GT(x.rows(), 0u);
+  const char* out = std::getenv("PARSDD_DET_OUT");
+  if (!out) return;
+  std::FILE* f = std::fopen(out, "wb");
+  ASSERT_NE(f, nullptr) << out;
+  ASSERT_EQ(std::fwrite(x.data().data(), sizeof(double), x.data().size(), f),
+            x.data().size());
+  std::fclose(f);
+}
+
+TEST(Determinism, BitwiseIdenticalAcrossPoolSizes) {
+  std::string exe = self_exe();
+  ASSERT_FALSE(exe.empty());
+  std::string dir = ::testing::TempDir();
+  std::vector<std::vector<std::uint8_t>> results;
+  std::vector<std::string> paths;
+  for (int threads : {1, 2, 8}) {
+    std::string out = dir + "parsdd_det_" + std::to_string(::getpid()) + "_" +
+                      std::to_string(threads) + ".bin";
+    paths.push_back(out);
+    std::string cmd = "PARSDD_THREADS=" + std::to_string(threads) +
+                      " PARSDD_DET_OUT='" + out + "' '" + exe +
+                      "' --gtest_filter=DeterminismChild.SolveAndDump"
+                      " > /dev/null 2>&1";
+    int rc = std::system(cmd.c_str());
+    ASSERT_EQ(rc, 0) << "child with PARSDD_THREADS=" << threads << " failed";
+    results.push_back(file_bytes(out));
+    ASSERT_FALSE(results.back().empty());
+  }
+  EXPECT_EQ(results[0], results[1])
+      << "pool size 2 diverged bitwise from pool size 1";
+  EXPECT_EQ(results[0], results[2])
+      << "pool size 8 diverged bitwise from pool size 1";
+  for (const std::string& p : paths) std::remove(p.c_str());
+}
+
+}  // namespace
+}  // namespace parsdd

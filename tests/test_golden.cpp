@@ -1,0 +1,64 @@
+// Golden regression vector: loads the committed grid16 snapshot +
+// expected-solution file and memcmp-verifies that today's build reproduces
+// yesterday's bits exactly.
+//
+// This is the drift tripwire the persistence contract needs: round-trip
+// tests compare a build against itself, so a refactor that changes solver
+// arithmetic everywhere still passes them — but it cannot reproduce the
+// committed bytes.  The library builds with -ffp-contract=off precisely so
+// this comparison is meaningful across compilers (see DESIGN.md).
+//
+// Regenerate after an INTENTIONAL numeric change with the checked-in tool:
+//   ./make_golden tests/data/golden_grid16.bin
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "solver/solver_setup.h"
+#include "util/serialize.h"
+
+#ifndef PARSDD_TEST_DATA_DIR
+#define PARSDD_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace parsdd {
+namespace {
+
+TEST(Golden, Grid16SnapshotReproducesCommittedSolutionBitwise) {
+  const std::string path =
+      std::string(PARSDD_TEST_DATA_DIR) + "/golden_grid16.bin";
+  StatusOr<serialize::Reader> r = serialize::Reader::from_file(path);
+  ASSERT_TRUE(r.ok()) << r.status().to_string()
+                      << "\n  (regenerate with ./make_golden " << path << ")";
+  ASSERT_TRUE(r->check_header().ok()) << r->status().to_string();
+
+  StatusOr<SolverSetup> setup = SolverSetup::load_from(*r);
+  ASSERT_TRUE(setup.ok()) << setup.status().to_string();
+  Vec b = r->pod_vec<double>();
+  Vec expected = r->pod_vec<double>();
+  ASSERT_TRUE(r->status().ok()) << r->status().to_string();
+  ASSERT_TRUE(r->exhausted());
+  ASSERT_EQ(b.size(), setup->dimension());
+  ASSERT_EQ(expected.size(), setup->dimension());
+
+  StatusOr<Vec> x = setup->solve(b);
+  ASSERT_TRUE(x.ok()) << x.status().to_string();
+  ASSERT_EQ(x->size(), expected.size());
+  EXPECT_EQ(0, std::memcmp(x->data(), expected.data(),
+                           expected.size() * sizeof(double)))
+      << "solver arithmetic drifted from the committed golden vector; if "
+         "the change is intentional, regenerate with ./make_golden and "
+         "explain the drift in the PR";
+
+  // The committed solution must also still be a genuine solution.
+  GeneratedGraph g = grid2d(16, 16);
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  double rel = norm2(subtract(lap.apply(expected), b)) / norm2(b);
+  EXPECT_LE(rel, 1e-6);
+}
+
+}  // namespace
+}  // namespace parsdd

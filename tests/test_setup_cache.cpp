@@ -1,0 +1,188 @@
+// SetupCache + build-input fingerprints: the in-process half of setup
+// amortization (the cross-process half is snapshots, test_persistence).
+//
+// Contracts under test:
+//   * fingerprints separate every input that feeds the deterministic chain
+//     build — graph content, option fields, laplacian-vs-sdd registration —
+//     and agree for identical inputs;
+//   * SetupCache is an LRU: get refreshes recency, put evicts the least
+//     recently used entry beyond capacity, capacity 0 disables caching;
+//   * through SolverService, a repeat registration of the same graph is a
+//     cache hit (stats().setup_cache_hits) that shares the built setup,
+//     answers bitwise-identically, and survives unregister of the first
+//     handle; different options miss.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "service/setup_cache.h"
+#include "service/solver_service.h"
+
+namespace parsdd {
+namespace {
+
+// Distinct synthetic fingerprints for the LRU tests (both lanes differ).
+SetupFingerprint fp(std::uint64_t k) { return SetupFingerprint{k, ~k}; }
+
+TEST(Fingerprint, IdenticalInputsAgree) {
+  GeneratedGraph g = grid2d(5, 5);
+  SddSolverOptions opts;
+  EXPECT_EQ(fingerprint_laplacian_setup(g.n, g.edges, opts),
+            fingerprint_laplacian_setup(g.n, g.edges, opts));
+}
+
+TEST(Fingerprint, GraphContentSeparates) {
+  GeneratedGraph g = grid2d(5, 5);
+  SddSolverOptions opts;
+  SetupFingerprint base = fingerprint_laplacian_setup(g.n, g.edges, opts);
+
+  EdgeList reweighted = g.edges;
+  reweighted[0].w *= 2.0;
+  EXPECT_NE(base, fingerprint_laplacian_setup(g.n, reweighted, opts));
+
+  EdgeList fewer(g.edges.begin(), g.edges.end() - 1);
+  EXPECT_NE(base, fingerprint_laplacian_setup(g.n, fewer, opts));
+
+  EXPECT_NE(base, fingerprint_laplacian_setup(g.n + 1, g.edges, opts));
+}
+
+TEST(Fingerprint, OptionFieldsSeparate) {
+  GeneratedGraph g = grid2d(5, 5);
+  SddSolverOptions opts;
+  SetupFingerprint base = fingerprint_laplacian_setup(g.n, g.edges, opts);
+
+  SddSolverOptions tol = opts;
+  tol.tolerance *= 0.5;
+  EXPECT_NE(base, fingerprint_laplacian_setup(g.n, g.edges, tol));
+
+  SddSolverOptions seeded = opts;
+  seeded.chain.seed += 1;
+  EXPECT_NE(base, fingerprint_laplacian_setup(g.n, g.edges, seeded));
+}
+
+TEST(Fingerprint, LaplacianAndSddNeverAlias) {
+  // An SDD registration of the Laplacian matrix itself must not collide
+  // with the Laplacian registration of the generating graph: the builds
+  // differ (Gremban lift vs direct).
+  GeneratedGraph g = grid2d(5, 5);
+  SddSolverOptions opts;
+  CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
+  EXPECT_NE(fingerprint_laplacian_setup(g.n, g.edges, opts),
+            fingerprint_sdd_setup(lap, opts));
+}
+
+std::shared_ptr<const SolverSetup> make_setup(std::uint32_t side) {
+  GeneratedGraph g = grid2d(side, side);
+  return std::make_shared<const SolverSetup>(
+      SolverSetup::for_laplacian(g.n, g.edges));
+}
+
+TEST(SetupCache, GetReturnsCachedPointer) {
+  SetupCache cache(2);
+  auto a = make_setup(3);
+  cache.put(fp(1), a);
+  EXPECT_EQ(cache.get(fp(1)), a);
+  EXPECT_EQ(cache.get(fp(2)), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SetupCache, EvictsLeastRecentlyUsed) {
+  SetupCache cache(2);
+  auto a = make_setup(3), b = make_setup(4), c = make_setup(5);
+  cache.put(fp(1), a);
+  cache.put(fp(2), b);
+  EXPECT_EQ(cache.get(fp(1)), a);  // refresh 1: now 2 is least recent
+  cache.put(fp(3), c);
+  EXPECT_EQ(cache.get(fp(2)), nullptr);
+  EXPECT_EQ(cache.get(fp(1)), a);
+  EXPECT_EQ(cache.get(fp(3)), c);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SetupCache, PutExistingKeyRefreshesValueAndRecency) {
+  SetupCache cache(2);
+  auto a = make_setup(3), b = make_setup(4), c = make_setup(5);
+  cache.put(fp(1), a);
+  cache.put(fp(2), b);
+  cache.put(fp(1), c);  // overwrite key 1, making it most recent
+  EXPECT_EQ(cache.get(fp(1)), c);
+  cache.put(fp(3), a);  // evicts 2, not 1
+  EXPECT_EQ(cache.get(fp(2)), nullptr);
+  EXPECT_EQ(cache.get(fp(1)), c);
+}
+
+TEST(SetupCache, PartialFingerprintMatchIsAMiss) {
+  // Both lanes must match: a key agreeing in one 64-bit half only (the
+  // collision case the 128-bit fingerprint exists to rule out) never
+  // serves the cached setup.
+  SetupCache cache(2);
+  auto a = make_setup(3);
+  cache.put(SetupFingerprint{7, 11}, a);
+  EXPECT_EQ(cache.get(SetupFingerprint{7, 12}), nullptr);
+  EXPECT_EQ(cache.get(SetupFingerprint{8, 11}), nullptr);
+  EXPECT_EQ(cache.get(SetupFingerprint{7, 11}), a);
+}
+
+TEST(SetupCache, CapacityZeroDisables) {
+  SetupCache cache(0);
+  cache.put(fp(1), make_setup(3));
+  EXPECT_EQ(cache.get(fp(1)), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ServiceCache, RepeatRegistrationHitsAndSharesSolves) {
+  SolverService service;
+  GeneratedGraph g = grid2d(8, 8);
+  SetupHandle h1 = service.register_laplacian(g.n, g.edges).value();
+  SetupHandle h2 = service.register_laplacian(g.n, g.edges).value();
+  EXPECT_NE(h1.id, h2.id);  // handles stay per-registration
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.setup_cache_misses, 1u);
+  EXPECT_EQ(stats.setup_cache_hits, 1u);
+
+  Vec b = random_unit_like(g.n, 7);
+  Vec x1 = service.submit(h1, b).get().value().x;
+  Vec x2 = service.submit(h2, b).get().value().x;
+  ASSERT_EQ(x1.size(), x2.size());
+  EXPECT_EQ(std::memcmp(x1.data(), x2.data(), x1.size() * sizeof(double)), 0);
+}
+
+TEST(ServiceCache, DifferentOptionsMiss) {
+  SolverService service;
+  GeneratedGraph g = grid2d(8, 8);
+  SddSolverOptions tighter;
+  tighter.tolerance = 1e-10;
+  ASSERT_TRUE(service.register_laplacian(g.n, g.edges).ok());
+  ASSERT_TRUE(service.register_laplacian(g.n, g.edges, tighter).ok());
+  EXPECT_EQ(service.stats().setup_cache_hits, 0u);
+  EXPECT_EQ(service.stats().setup_cache_misses, 2u);
+}
+
+TEST(ServiceCache, HitSurvivesUnregisterOfFirstHandle) {
+  SolverService service;
+  GeneratedGraph g = grid2d(8, 8);
+  SetupHandle h1 = service.register_laplacian(g.n, g.edges).value();
+  ASSERT_TRUE(service.unregister(h1).ok());
+  SetupHandle h2 = service.register_laplacian(g.n, g.edges).value();
+  EXPECT_EQ(service.stats().setup_cache_hits, 1u);
+  Vec b = random_unit_like(g.n, 7);
+  EXPECT_TRUE(service.submit(h2, b).get().ok());
+}
+
+TEST(ServiceCache, CapacityZeroAlwaysRebuilds) {
+  ServiceOptions opts;
+  opts.setup_cache_capacity = 0;
+  SolverService service(opts);
+  GeneratedGraph g = grid2d(8, 8);
+  ASSERT_TRUE(service.register_laplacian(g.n, g.edges).ok());
+  ASSERT_TRUE(service.register_laplacian(g.n, g.edges).ok());
+  EXPECT_EQ(service.stats().setup_cache_hits, 0u);
+  EXPECT_EQ(service.stats().setup_cache_misses, 2u);
+}
+
+}  // namespace
+}  // namespace parsdd
