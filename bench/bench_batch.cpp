@@ -49,7 +49,6 @@ int main() {
       {"grid 100x100", 100, 64},
       {"grid 100x100 k=16", 100, 16},
   };
-  int threads = ThreadPool::instance().concurrency();
   BenchJson json("batch");
 
   std::printf("%-20s %8s %8s %4s %10s %14s %14s %9s\n", "graph", "n", "m", "k",
@@ -107,7 +106,6 @@ int main() {
         .num("single_per_rhs_ms", single_per)
         .num("batch_per_rhs_ms", batch_per)
         .num("speedup", speedup)
-        .num("threads", threads)
         .num("max_abs_diff", worst);
   }
   json.write();

@@ -1,0 +1,228 @@
+// E14 — thread scaling: setup and batched solve wall-clock at pool sizes
+// 1/2/4/8 on one fixed workload, reported as speedup_vs_1t.
+//
+// The pool size is fixed at first use (PARSDD_THREADS is read once per
+// process), so each point on the curve runs in a fresh subprocess: the
+// parent re-executes this binary with PARSDD_THREADS set and `--measure`,
+// the child prints its timings on stdout, and the parent assembles the
+// curve into BENCH_scaling.json.
+//
+// Modes:
+//   bench_scaling [--grid R C] [--k K]     full curve, write JSON
+//   bench_scaling --check FLOOR.json ...   curve + regression gate: fails
+//       (exit 1) when the 4-thread speedup_vs_1t drops below the floors in
+//       FLOOR.json; skipped on machines with fewer than 4 hardware threads
+//   bench_scaling --measure R C K          child mode (internal)
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "solver/sdd_solver.h"
+
+namespace {
+
+using namespace parsdd;
+using parsdd_bench::BenchJson;
+using parsdd_bench::Timer;
+
+struct Measurement {
+  double setup_ms = 0.0;
+  double solve_ms = 0.0;  // one solve_batch call, best of 3
+};
+
+int run_child(std::uint32_t rows, std::uint32_t cols, std::size_t k) {
+  GeneratedGraph g = grid2d(rows, cols);
+  randomize_weights_log_uniform(g.edges, 1e3, 11);
+
+  Timer t;
+  SddSolver solver = SddSolver::for_laplacian(g.n, g.edges);
+  double setup_ms = 1e3 * t.seconds();
+
+  MultiVec b(g.n, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    Vec col = random_unit_like(g.n, 13 + c);
+    project_out_constant(col);
+    b.set_column(c, col);
+  }
+  double solve_ms = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {  // rep 0 is warmup
+    t.reset();
+    StatusOr<MultiVec> x = solver.solve_batch(b);
+    double ms = 1e3 * t.seconds();
+    if (!x.ok()) {
+      std::fprintf(stderr, "bench_scaling: solve failed: %s\n",
+                   x.status().message().c_str());
+      return 1;
+    }
+    if (rep == 1 || (rep > 1 && ms < solve_ms)) solve_ms = ms;
+  }
+  std::printf("MEASURE setup_ms=%.17g solve_ms=%.17g\n", setup_ms, solve_ms);
+  return 0;
+}
+
+std::string self_exe() {
+  char buf[4096];
+  ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len <= 0) return std::string();
+  buf[len] = '\0';
+  return buf;
+}
+
+bool run_point(const std::string& exe, int threads, std::uint32_t rows,
+               std::uint32_t cols, std::size_t k, Measurement* out) {
+  std::string cmd = "PARSDD_THREADS=" + std::to_string(threads) + " '" + exe +
+                    "' --measure " + std::to_string(rows) + " " +
+                    std::to_string(cols) + " " + std::to_string(k);
+  std::FILE* p = ::popen(cmd.c_str(), "r");
+  if (!p) return false;
+  char line[256];
+  bool got = false;
+  while (std::fgets(line, sizeof(line), p)) {
+    if (std::sscanf(line, "MEASURE setup_ms=%lf solve_ms=%lf", &out->setup_ms,
+                    &out->solve_ms) == 2) {
+      got = true;
+    }
+  }
+  return ::pclose(p) == 0 && got;
+}
+
+/// Minimal scan for `"key": <number>` inside a flat JSON object — enough
+/// for the checked-in floor file, with no parser dependency.
+bool json_number(const std::string& text, const std::string& key,
+                 double* out) {
+  std::string needle = "\"" + key + "\"";
+  std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  at = text.find(':', at + needle.size());
+  if (at == std::string::npos) return false;
+  return std::sscanf(text.c_str() + at + 1, "%lf", out) == 1;
+}
+
+std::string read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) return std::string();
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t rows = 500, cols = 500;
+  std::size_t k = 16;
+  const char* floor_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--measure") && i + 3 < argc) {
+      return run_child(std::strtoul(argv[i + 1], nullptr, 10),
+                       std::strtoul(argv[i + 2], nullptr, 10),
+                       std::strtoul(argv[i + 3], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--grid") && i + 2 < argc) {
+      rows = std::strtoul(argv[++i], nullptr, 10);
+      cols = std::strtoul(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--k") && i + 1 < argc) {
+      k = std::strtoul(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--check") && i + 1 < argc) {
+      floor_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--grid R C] [--k K] [--check FLOOR.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  parsdd_bench::header(
+      "E14 thread scaling",
+      "Claim: setup and batched solve speed up with the pool size while "
+      "staying bitwise identical (see test_determinism).");
+
+  std::string exe = self_exe();
+  if (exe.empty()) {
+    std::fprintf(stderr, "bench_scaling: cannot resolve own path\n");
+    return 1;
+  }
+
+  const int curve[] = {1, 2, 4, 8};
+  std::vector<Measurement> ms;
+  std::printf("grid %ux%u, k=%zu, hw_concurrency=%u\n\n", rows, cols, k,
+              std::thread::hardware_concurrency());
+  std::printf("%8s %12s %12s %10s %10s\n", "threads", "setup ms", "solve ms",
+              "setup x", "solve x");
+  BenchJson json("scaling");
+  for (int t : curve) {
+    Measurement m;
+    if (!run_point(exe, t, rows, cols, k, &m)) {
+      std::fprintf(stderr, "bench_scaling: child PARSDD_THREADS=%d failed\n",
+                   t);
+      return 1;
+    }
+    ms.push_back(m);
+    double sx = ms[0].setup_ms / m.setup_ms;
+    double vx = ms[0].solve_ms / m.solve_ms;
+    std::printf("%8d %12.1f %12.1f %9.2fx %9.2fx\n", t, m.setup_ms,
+                m.solve_ms, sx, vx);
+    json.record()
+        .str("phase", "setup")
+        .num("pool_threads", t)
+        .num("n", static_cast<double>(rows) * cols)
+        .num("k", static_cast<double>(k))
+        .num("ms", m.setup_ms)
+        .num("speedup_vs_1t", sx);
+    json.record()
+        .str("phase", "solve_batch")
+        .num("pool_threads", t)
+        .num("n", static_cast<double>(rows) * cols)
+        .num("k", static_cast<double>(k))
+        .num("ms", m.solve_ms)
+        .num("speedup_vs_1t", vx);
+  }
+  json.write();
+
+  if (!floor_path) return 0;
+
+  // Regression gate: only meaningful where 4 real cores exist.
+  if (std::thread::hardware_concurrency() < 4) {
+    std::printf("\ncheck skipped: %u hardware threads < 4\n",
+                std::thread::hardware_concurrency());
+    return 0;
+  }
+  std::string floors = read_file(floor_path);
+  double setup_floor = 0.0, solve_floor = 0.0;
+  if (floors.empty() ||
+      !json_number(floors, "setup_speedup_4t_min", &setup_floor) ||
+      !json_number(floors, "solve_speedup_4t_min", &solve_floor)) {
+    std::fprintf(stderr, "bench_scaling: cannot parse floors from %s\n",
+                 floor_path);
+    return 1;
+  }
+  double setup_4t = ms[0].setup_ms / ms[2].setup_ms;
+  double solve_4t = ms[0].solve_ms / ms[2].solve_ms;
+  int rc = 0;
+  if (setup_4t < setup_floor) {
+    std::fprintf(stderr, "FAIL setup speedup at 4 threads %.2fx < %.2fx\n",
+                 setup_4t, setup_floor);
+    rc = 1;
+  }
+  if (solve_4t < solve_floor) {
+    std::fprintf(stderr, "FAIL solve speedup at 4 threads %.2fx < %.2fx\n",
+                 solve_4t, solve_floor);
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("\ncheck ok: setup %.2fx >= %.2fx, solve %.2fx >= %.2fx\n",
+                setup_4t, setup_floor, solve_4t, solve_floor);
+  }
+  return rc;
+}

@@ -105,7 +105,6 @@ int main() {
       {"grid 100x100", 100, 64},
   };
   const int rounds = 3;
-  int threads = ThreadPool::instance().concurrency();
   BenchJson json("service");
   int exit_code = 0;
 
@@ -150,8 +149,7 @@ int main() {
         .num("coalesced_throughput_rps", coal.throughput_rps)
         .num("speedup", speedup)
         .num("avg_block_cols", coal.avg_block_cols)
-        .num("bitwise_equal", (alone.bitwise_ok && coal.bitwise_ok) ? 1 : 0)
-        .num("threads", threads);
+        .num("bitwise_equal", (alone.bitwise_ok && coal.bitwise_ok) ? 1 : 0);
   }
   json.write();
   return exit_code;

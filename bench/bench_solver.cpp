@@ -59,8 +59,7 @@ void scaling_table(BenchJson& json) {
         .num("setup_ms", 1e3 * build)
         .num("solve_ms", 1e3 * solve)
         .num("iterations", rep.stats.iterations)
-        .num("chain_edges", static_cast<double>(rep.chain_edges))
-        .num("threads", ThreadPool::instance().concurrency());
+        .num("chain_edges", static_cast<double>(rep.chain_edges));
   }
 }
 

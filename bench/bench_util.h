@@ -10,7 +10,10 @@
 #include <cstdio>
 #include <deque>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "parallel/thread_pool.h"
 
 namespace parsdd_bench {
 
@@ -59,11 +62,15 @@ class BenchJson {
       fields_.push_back("\"" + key + "\": \"" + escape(value) + "\"");
       return *this;
     }
-    std::string json() const {
+    std::string json(const std::string& extra = std::string()) const {
       std::string out = "{";
       for (std::size_t i = 0; i < fields_.size(); ++i) {
         if (i) out += ", ";
         out += fields_[i];
+      }
+      if (!extra.empty()) {
+        if (!fields_.empty()) out += ", ";
+        out += extra;
       }
       return out + "}";
     }
@@ -101,9 +108,16 @@ class BenchJson {
       std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
       return false;
     }
+    // Every record carries the execution environment so curves from
+    // different pool sizes are distinguishable after the fact.
+    char env[96];
+    std::snprintf(env, sizeof(env),
+                  "\"threads\": %d, \"hw_concurrency\": %u",
+                  parsdd::ThreadPool::instance().concurrency(),
+                  std::thread::hardware_concurrency());
     std::fprintf(f, "[\n");
     for (std::size_t i = 0; i < records_.size(); ++i) {
-      std::fprintf(f, "  %s%s\n", records_[i].json().c_str(),
+      std::fprintf(f, "  %s%s\n", records_[i].json(env).c_str(),
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

@@ -8,17 +8,81 @@ namespace parsdd {
 
 namespace {
 
-// Expands `frontier` once: claims unvisited neighbors via CAS on dist and
-// returns them.  Claims are first-wins, so parent identity may depend on
-// scheduling, but distances are always exact.
+constexpr std::uint64_t kNoClaim = ~std::uint64_t{0};
+
+// Atomic min via CAS (fetch_min is C++26); relaxed is enough because each
+// level joins before claims are read back.
+void claim_min(std::uint64_t& slot, std::uint64_t key) {
+  std::atomic_ref<std::uint64_t> ref(slot);
+  std::uint64_t cur = ref.load(std::memory_order_relaxed);
+  while (key < cur &&
+         !ref.compare_exchange_weak(cur, key, std::memory_order_relaxed)) {
+  }
+}
+
+// Expands `frontier` once.  Deterministic by construction: every unvisited
+// neighbor v is claimed with key (frontier_index << 32 | adjacency_slot) and
+// the MINIMUM key wins, which is exactly the claim a sequential scan in
+// frontier order would make first.  Parents, parent edges, and the order of
+// the returned next frontier are therefore identical to the sequential
+// execution regardless of pool size or scheduling.  `cand` is the per-vertex
+// claim array, all-kNoClaim on entry and restored to all-kNoClaim on exit.
 std::vector<std::uint32_t> expand(const Graph& g,
                                   const std::vector<std::uint32_t>& frontier,
-                                  std::uint32_t next_dist, BfsResult& r) {
+                                  std::uint32_t next_dist, BfsResult& r,
+                                  std::vector<std::uint64_t>& cand) {
   std::size_t f = frontier.size();
+  static GranularitySite site("bfs.expand", /*init_ns_per_unit=*/4.0);
+  std::uint64_t degree_hint =
+      g.num_vertices() ? 2 * g.num_edges() / g.num_vertices() + 1 : 1;
+  if (!site.should_parallelize(f * degree_hint)) {
+    // Inline fast path: sequential first-touch claims coincide with the
+    // min-key winners above, and `cand` is never written, so the claim
+    // invariant holds trivially.
+    std::vector<std::uint32_t> next;
+    for (std::size_t i = 0; i < f; ++i) {
+      std::uint32_t u = frontier[i];
+      auto nbrs = g.neighbors(u);
+      auto eids = g.edge_ids(u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        std::uint32_t v = nbrs[k];
+        if (r.dist[v] == kUnreached) {
+          r.dist[v] = next_dist;
+          r.parent[v] = u;
+          if (!eids.empty()) r.parent_eid[v] = eids[k];
+          next.push_back(v);
+        }
+      }
+    }
+    return next;
+  }
+
   std::size_t nb = num_blocks_for(f, 64);
+  std::size_t block = (f + nb - 1) / nb;
+
+  // Phase 1: claim.  dist is read-only in this phase, so a plain load is
+  // race-free; contended vertices race only on cand via claim_min.
+  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+    std::size_t s = b * block, e = std::min(f, s + block);
+    for (std::size_t i = s; i < e; ++i) {
+      std::uint32_t u = frontier[i];
+      auto nbrs = g.neighbors(u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        std::uint32_t v = nbrs[k];
+        if (r.dist[v] != kUnreached) continue;
+        claim_min(cand[v], (static_cast<std::uint64_t>(i) << 32) | k);
+      }
+    }
+  });
+
+  // Phase 2: finalize winners and collect the next frontier.  Each claimed
+  // vertex has exactly one winning (i, k), so exactly one iteration
+  // finalizes it; losers observe either the winning key (≠ theirs) or the
+  // winner's kNoClaim reset, both of which make them skip.  Appending
+  // winners at their winning frontier index keeps the concatenated next
+  // frontier in sequential order.
   std::vector<std::vector<std::uint32_t>> local(nb);
-  auto process_block = [&](std::size_t b) {
-    std::size_t block = (f + nb - 1) / nb;
+  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
     std::size_t s = b * block, e = std::min(f, s + block);
     auto& out = local[b];
     for (std::size_t i = s; i < e; ++i) {
@@ -27,44 +91,21 @@ std::vector<std::uint32_t> expand(const Graph& g,
       auto eids = g.edge_ids(u);
       for (std::size_t k = 0; k < nbrs.size(); ++k) {
         std::uint32_t v = nbrs[k];
-        std::uint32_t expected = kUnreached;
+        std::atomic_ref<std::uint64_t> cv(cand[v]);
+        if (cv.load(std::memory_order_relaxed) !=
+            ((static_cast<std::uint64_t>(i) << 32) | k)) {
+          continue;
+        }
         std::atomic_ref<std::uint32_t> dv(r.dist[v]);
-        if (dv.load(std::memory_order_relaxed) == kUnreached &&
-            dv.compare_exchange_strong(expected, next_dist,
-                                       std::memory_order_relaxed)) {
-          r.parent[v] = u;
-          if (!eids.empty()) r.parent_eid[v] = eids[k];
-          out.push_back(v);
-        }
+        dv.store(next_dist, std::memory_order_relaxed);
+        r.parent[v] = u;
+        if (!eids.empty()) r.parent_eid[v] = eids[k];
+        cv.store(kNoClaim, std::memory_order_relaxed);
+        out.push_back(v);
       }
     }
-  };
-  if (f < 512 || ThreadPool::in_parallel()) {
-    nb = 1;
-    local.resize(1);
-    std::size_t saved = f;
-    (void)saved;
-    // Run as a single block.
-    {
-      auto& out = local[0];
-      for (std::size_t i = 0; i < f; ++i) {
-        std::uint32_t u = frontier[i];
-        auto nbrs = g.neighbors(u);
-        auto eids = g.edge_ids(u);
-        for (std::size_t k = 0; k < nbrs.size(); ++k) {
-          std::uint32_t v = nbrs[k];
-          if (r.dist[v] == kUnreached) {
-            r.dist[v] = next_dist;
-            r.parent[v] = u;
-            if (!eids.empty()) r.parent_eid[v] = eids[k];
-            out.push_back(v);
-          }
-        }
-      }
-    }
-  } else {
-    ThreadPool::instance().run_blocks(nb, process_block);
-  }
+  });
+
   std::size_t total = 0;
   for (auto& l : local) total += l.size();
   std::vector<std::uint32_t> next;
@@ -87,6 +128,7 @@ BfsResult bfs_multi(const Graph& g, std::span<const std::uint32_t> sources,
   r.dist.assign(n, kUnreached);
   r.parent.assign(n, kUnreached);
   r.parent_eid.assign(n, kUnreached);
+  std::vector<std::uint64_t> cand(n, kNoClaim);
   std::vector<std::uint32_t> frontier;
   frontier.reserve(sources.size());
   for (std::uint32_t s : sources) {
@@ -103,7 +145,7 @@ BfsResult bfs_multi(const Graph& g, std::span<const std::uint32_t> sources,
       --r.rounds;
       break;
     }
-    frontier = expand(g, frontier, ++d, r);
+    frontier = expand(g, frontier, ++d, r, cand);
   }
   return r;
 }

@@ -1,5 +1,6 @@
 #include "graph/graph.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <tuple>
@@ -62,6 +63,29 @@ CsrParts build_csr(std::uint32_t n, std::size_t m, bool track_eids,
     parts.adj[pv] = u;
     parts.wgt[pv] = w;
     if (track_eids) parts.eid[pv] = id;
+  });
+
+  // The atomic-cursor scatter lands arcs in scheduling-dependent order, and
+  // adjacency order is observable (BFS claim keys, neighbor iteration in
+  // ball growing), so canonicalize each vertex's slice: sorting by eid —
+  // unique within a slice since each edge contributes one arc per distinct
+  // endpoint — reproduces exactly the order a sequential scatter in input
+  // order would have produced, at any pool size.
+  parallel_for(0, n, [&](std::size_t v) {
+    std::size_t s = parts.off[v], e = parts.off[v + 1];
+    if (e - s < 2) return;
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, double>> slice;
+    slice.reserve(e - s);
+    for (std::size_t i = s; i < e; ++i) {
+      slice.emplace_back(track_eids ? parts.eid[i] : parts.adj[i],
+                         parts.adj[i], parts.wgt[i]);
+    }
+    std::sort(slice.begin(), slice.end());
+    for (std::size_t i = s; i < e; ++i) {
+      if (track_eids) parts.eid[i] = std::get<0>(slice[i - s]);
+      parts.adj[i] = std::get<1>(slice[i - s]);
+      parts.wgt[i] = std::get<2>(slice[i - s]);
+    }
   });
   return parts;
 }

@@ -1,5 +1,6 @@
 #include "graph/tree.h"
 
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 
@@ -21,23 +22,43 @@ RootedTree RootedTree::from_edges(std::uint32_t n, const EdgeList& tree_edges,
   t.root_ = root;
   t.parent_ = b.parent;
   t.depth_ = b.dist;
-  for (std::uint32_t v = 0; v < n; ++v) {
-    if (b.dist[v] == kUnreached) {
-      throw std::invalid_argument("RootedTree: edges do not span [0, n)");
-    }
+  bool spanned = parallel_reduce(
+      0, n, true, [&](std::size_t v) { return b.dist[v] != kUnreached; },
+      [](bool x, bool y) { return x && y; });
+  if (!spanned) {
+    throw std::invalid_argument("RootedTree: edges do not span [0, n)");
   }
   // Weighted depths: accumulate down BFS levels (children after parents in
-  // BFS distance order, so a per-level sweep is enough).
+  // BFS distance order, so a per-level sweep is enough).  Group vertices by
+  // depth with a parallel counting sort — order within a level is
+  // scheduling-dependent but irrelevant, since each vertex of level d only
+  // writes its own wdepth and reads its parent's from level d-1.
   t.wdepth_.assign(n, 0.0);
-  std::vector<std::uint32_t> order(n);
-  for (std::uint32_t v = 0; v < n; ++v) order[v] = v;
-  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b2) {
-    return t.depth_[a] < t.depth_[b2];
-  });
-  for (std::uint32_t v : order) {
-    if (v == root) continue;
-    const Edge& e = tree_edges[b.parent_eid[v]];
-    t.wdepth_[v] = t.wdepth_[t.parent_[v]] + e.w;
+  if (n > 0) {
+    std::uint32_t max_depth = parallel_reduce(
+        0, n, 0u, [&](std::size_t v) { return t.depth_[v]; },
+        [](std::uint32_t a, std::uint32_t b2) { return std::max(a, b2); });
+    std::vector<std::uint32_t> count(max_depth + 1, 0);
+    parallel_for(0, n, [&](std::size_t v) {
+      std::atomic_ref<std::uint32_t>(count[t.depth_[v]])
+          .fetch_add(1, std::memory_order_relaxed);
+    });
+    std::vector<std::uint32_t> start = count;
+    scan_exclusive(start);
+    std::vector<std::uint32_t> cursor = start;
+    std::vector<std::uint32_t> order(n);
+    parallel_for(0, n, [&](std::size_t v) {
+      std::uint32_t p = std::atomic_ref<std::uint32_t>(cursor[t.depth_[v]])
+                            .fetch_add(1, std::memory_order_relaxed);
+      order[p] = static_cast<std::uint32_t>(v);
+    });
+    for (std::uint32_t d = 1; d <= max_depth; ++d) {
+      parallel_for(start[d], start[d] + count[d], [&](std::size_t i) {
+        std::uint32_t v = order[i];
+        const Edge& e = tree_edges[b.parent_eid[v]];
+        t.wdepth_[v] = t.wdepth_[t.parent_[v]] + e.w;
+      });
+    }
   }
   // Binary lifting table.
   std::uint32_t levels = 1;

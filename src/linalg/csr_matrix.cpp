@@ -13,46 +13,64 @@ CsrMatrix CsrMatrix::from_triplets(std::uint32_t n, std::vector<Triplet> ts) {
   parallel_sort(ts, [](const Triplet& a, const Triplet& b) {
     return a.row != b.row ? a.row < b.row : a.col < b.col;
   });
-  // Merge duplicates sequentially (runs are short in practice).
-  std::size_t w = 0;
-  for (std::size_t i = 0; i < ts.size();) {
-    Triplet m = ts[i];
-    std::size_t j = i + 1;
-    while (j < ts.size() && ts[j].row == m.row && ts[j].col == m.col) {
-      m.value += ts[j].value;
-      ++j;
-    }
-    ts[w++] = m;
-    i = j;
-  }
-  ts.resize(w);
+  // Merge duplicates via head flags + scan: each run of equal (row, col)
+  // keys is folded left-to-right by the thread owning its head, so the sums
+  // match the old sequential merge exactly and no two threads touch the
+  // same output slot.
+  std::size_t m = ts.size();
+  std::vector<std::uint32_t> heads(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    assert(ts[i].row < n && ts[i].col < n);
+    heads[i] = (i == 0 || ts[i].row != ts[i - 1].row ||
+                ts[i].col != ts[i - 1].col)
+                   ? 1u
+                   : 0u;
+  });
+  std::vector<std::uint32_t> pos = heads;
+  std::uint32_t w = scan_exclusive(pos);
+  std::vector<Triplet> merged(w);
+  parallel_for(0, m, [&](std::size_t i) {
+    if (!heads[i]) return;
+    Triplet t = ts[i];
+    for (std::size_t j = i + 1; j < m && !heads[j]; ++j) t.value += ts[j].value;
+    merged[pos[i]] = t;
+  });
 
   CsrMatrix a;
   a.n_ = n;
   a.off_.assign(n + 1, 0);
-  for (const Triplet& t : ts) {
-    assert(t.row < n && t.col < n);
-    ++a.off_[t.row + 1];
-  }
-  for (std::uint32_t i = 0; i < n; ++i) a.off_[i + 1] += a.off_[i];
-  a.col_.resize(ts.size());
-  a.val_.resize(ts.size());
-  parallel_for(0, ts.size(), [&](std::size_t i) {
-    a.col_[i] = ts[i].col;
-    a.val_[i] = ts[i].value;
+  // Row offsets by binary search in the sorted merged triplets: off_[r] is
+  // the first entry with row >= r.
+  parallel_for(0, static_cast<std::size_t>(n) + 1, [&](std::size_t r) {
+    a.off_[r] = static_cast<std::size_t>(
+        std::lower_bound(merged.begin(), merged.end(), r,
+                         [](const Triplet& t, std::size_t row) {
+                           return t.row < row;
+                         }) -
+        merged.begin());
+  });
+  a.col_.resize(merged.size());
+  a.val_.resize(merged.size());
+  parallel_for(0, merged.size(), [&](std::size_t i) {
+    a.col_[i] = merged[i].col;
+    a.val_[i] = merged[i].value;
   });
   return a;
 }
 
 void CsrMatrix::multiply(const Vec& x, Vec& y) const {
   assert(x.size() == n_ && y.size() == n_);
-  parallel_for(0, n_, [&](std::size_t i) {
-    double acc = 0.0;
-    for (std::size_t k = off_[i]; k < off_[i + 1]; ++k) {
-      acc += val_[k] * x[col_[k]];
-    }
-    y[i] = acc;
-  });
+  static GranularitySite site("csr.spmv", /*init_ns_per_unit=*/2.0);
+  parallel_for(
+      site, 0, n_,
+      [&](std::size_t i) {
+        double acc = 0.0;
+        for (std::size_t k = off_[i]; k < off_[i + 1]; ++k) {
+          acc += val_[k] * x[col_[k]];
+        }
+        y[i] = acc;
+      },
+      /*grain=*/512, /*work=*/val_.size());
 }
 
 Vec CsrMatrix::apply(const Vec& x) const {
@@ -64,15 +82,19 @@ Vec CsrMatrix::apply(const Vec& x) const {
 void CsrMatrix::multiply(const MultiVec& x, MultiVec& y) const {
   assert(x.rows() == n_ && y.rows() == n_ && x.cols() == y.cols());
   std::size_t k = x.cols();
-  parallel_for(0, n_, [&](std::size_t i) {
-    double* yr = y.row(i);
-    for (std::size_t c = 0; c < k; ++c) yr[c] = 0.0;
-    for (std::size_t p = off_[i]; p < off_[i + 1]; ++p) {
-      double v = val_[p];
-      const double* xr = x.row(col_[p]);
-      for (std::size_t c = 0; c < k; ++c) yr[c] += v * xr[c];
-    }
-  });
+  static GranularitySite site("csr.spmm", /*init_ns_per_unit=*/2.0);
+  parallel_for(
+      site, 0, n_,
+      [&](std::size_t i) {
+        double* yr = y.row(i);
+        for (std::size_t c = 0; c < k; ++c) yr[c] = 0.0;
+        for (std::size_t p = off_[i]; p < off_[i + 1]; ++p) {
+          double v = val_[p];
+          const double* xr = x.row(col_[p]);
+          for (std::size_t c = 0; c < k; ++c) yr[c] += v * xr[c];
+        }
+      },
+      /*grain=*/512, /*work=*/val_.size() * k);
 }
 
 MultiVec CsrMatrix::apply_block(const MultiVec& x) const {

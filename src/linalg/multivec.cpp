@@ -14,30 +14,47 @@ inline bool active(const ColMask* mask, std::size_t c) {
   return mask == nullptr || (*mask)[c] != 0;
 }
 
-// Per-column reduction over rows.  Mirrors parallel_reduce's blocking, which
-// depends only on the row count — never on k — so each column accumulates in
-// an order independent of how many columns ride along (the determinism
-// contract in multivec.h).
+// Per-column reduction over rows on the CANONICAL block partition of the
+// row range, which depends only on the row count — never on k, the pool
+// size, or the seq/par decision — so each column accumulates in a fixed
+// order no matter how many columns ride along or how many workers run (the
+// determinism contract in multivec.h).
 template <typename RowAccum>
 ColScalars reduce_cols(std::size_t rows, std::size_t cols, RowAccum&& acc_row) {
+  static GranularitySite site("multivec.reduce_cols");
   ColScalars acc(cols, 0.0);
   if (cols == 0) return acc;
-  if (rows < kSeqCutoff || ThreadPool::in_parallel()) {
+  std::uint64_t work = static_cast<std::uint64_t>(rows) * cols;
+  std::size_t nb = canonical_blocks(rows, 0);
+  if (nb == 1) {
+    detail::SeqTimer timer(site, work);
     for (std::size_t i = 0; i < rows; ++i) acc_row(i, acc.data());
     return acc;
   }
-  std::size_t nb = num_blocks_for(rows, 0);
-  std::size_t block = (rows + nb - 1) / nb;
+  std::size_t g = kDefaultGrain;
   std::vector<ColScalars> partial(nb, ColScalars(cols, 0.0));
-  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
-    std::size_t s = b * block, e = std::min(rows, s + block);
+  auto block_fold = [&](std::size_t b) {
+    std::size_t s = b * g, e = std::min(rows, s + g);
     double* p = partial[b].data();
     for (std::size_t i = s; i < e; ++i) acc_row(i, p);
-  });
+  };
+  if (site.should_parallelize(work)) {
+    ThreadPool::instance().run_blocks(nb, block_fold);
+  } else {
+    detail::SeqTimer timer(site, work);
+    for (std::size_t b = 0; b < nb; ++b) block_fold(b);
+  }
   for (std::size_t b = 0; b < nb; ++b) {
     for (std::size_t c = 0; c < cols; ++c) acc[c] += partial[b][c];
   }
   return acc;
+}
+
+// Elementwise row kernels share one site: their cost per (row × col) entry
+// is near-identical (stream in, stream out).
+GranularitySite& rowwise_site() {
+  static GranularitySite site("multivec.rowwise");
+  return site;
 }
 
 }  // namespace
@@ -72,13 +89,13 @@ void axpy_cols(const ColScalars& a, const MultiVec& x, MultiVec& y,
   assert(x.rows() == y.rows() && x.cols() == y.cols());
   assert(a.size() == x.cols());
   std::size_t k = x.cols();
-  parallel_for(0, x.rows(), [&](std::size_t i) {
+  parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
     const double* xr = x.row(i);
     double* yr = y.row(i);
     for (std::size_t c = 0; c < k; ++c) {
       if (active(mask, c)) yr[c] += a[c] * xr[c];
     }
-  });
+  }, 0, static_cast<std::uint64_t>(x.rows()) * k);
 }
 
 void xpay_cols(const MultiVec& x, const ColScalars& a, MultiVec& y,
@@ -86,13 +103,13 @@ void xpay_cols(const MultiVec& x, const ColScalars& a, MultiVec& y,
   assert(x.rows() == y.rows() && x.cols() == y.cols());
   assert(a.size() == x.cols());
   std::size_t k = x.cols();
-  parallel_for(0, x.rows(), [&](std::size_t i) {
+  parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
     const double* xr = x.row(i);
     double* yr = y.row(i);
     for (std::size_t c = 0; c < k; ++c) {
       if (active(mask, c)) yr[c] = xr[c] + a[c] * yr[c];
     }
-  });
+  }, 0, static_cast<std::uint64_t>(x.rows()) * k);
 }
 
 ColScalars dot_cols(const MultiVec& x, const MultiVec& y) {
@@ -135,24 +152,24 @@ ColScalars sum_cols(const MultiVec& x) {
 void scale_cols(const ColScalars& a, MultiVec& x, const ColMask* mask) {
   assert(a.size() == x.cols());
   std::size_t k = x.cols();
-  parallel_for(0, x.rows(), [&](std::size_t i) {
+  parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
     double* xr = x.row(i);
     for (std::size_t c = 0; c < k; ++c) {
       if (active(mask, c)) xr[c] *= a[c];
     }
-  });
+  }, 0, static_cast<std::uint64_t>(x.rows()) * k);
 }
 
 void copy_cols(const MultiVec& src, MultiVec& dst, const ColMask* mask) {
   assert(src.rows() == dst.rows() && src.cols() == dst.cols());
   std::size_t k = src.cols();
-  parallel_for(0, src.rows(), [&](std::size_t i) {
+  parallel_for(rowwise_site(), 0, src.rows(), [&](std::size_t i) {
     const double* sr = src.row(i);
     double* dr = dst.row(i);
     for (std::size_t c = 0; c < k; ++c) {
       if (active(mask, c)) dr[c] = sr[c];
     }
-  });
+  }, 0, static_cast<std::uint64_t>(src.rows()) * k);
 }
 
 void project_out_constant_cols(MultiVec& x, const ColMask* mask) {
@@ -162,12 +179,12 @@ void project_out_constant_cols(MultiVec& x, const ColMask* mask) {
   // project_out_constant so batched and single solves stay in lockstep.
   for (double& m : mean) m /= static_cast<double>(x.rows());
   std::size_t k = x.cols();
-  parallel_for(0, x.rows(), [&](std::size_t i) {
+  parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
     double* xr = x.row(i);
     for (std::size_t c = 0; c < k; ++c) {
       if (active(mask, c)) xr[c] -= mean[c];
     }
-  });
+  }, 0, static_cast<std::uint64_t>(x.rows()) * k);
 }
 
 }  // namespace parsdd

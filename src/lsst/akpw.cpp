@@ -69,48 +69,85 @@ void akpw_practical_parameters(std::uint32_t n, double* y, double* z) {
 
 std::vector<std::uint32_t> component_bfs_parents(const Graph& g,
                                                  const Decomposition& d) {
+  // The parent edge chosen for each vertex becomes a tree edge of the AKPW
+  // forest, so claims must be deterministic: as in graph/bfs.cpp, claim with
+  // key (frontier_index << 32 | adjacency_slot) and let the minimum win —
+  // exactly the first touch of a sequential scan in frontier order — instead
+  // of first-CAS-wins, which hands the tree to the scheduler.
+  constexpr std::uint64_t kNoClaim = ~std::uint64_t{0};
   std::uint32_t n = g.num_vertices();
   std::vector<std::uint32_t> parent_eid(n, kNone);
   std::vector<std::uint32_t> visited(n, 0);
+  std::vector<std::uint64_t> cand(n, kNoClaim);
   std::vector<std::uint32_t> frontier = d.center;
   for (std::uint32_t c : frontier) visited[c] = 1;
   std::size_t total_seen = frontier.size();
+  static GranularitySite site("akpw.component_bfs", /*init_ns_per_unit=*/4.0);
+  std::uint64_t degree_hint = n ? 2 * g.num_edges() / n + 1 : 1;
   while (!frontier.empty()) {
     std::size_t f = frontier.size();
-    std::size_t nb = (f < 256 || ThreadPool::in_parallel())
-                         ? 1
-                         : num_blocks_for(f, 64);
-    std::vector<std::vector<std::uint32_t>> local(nb);
-    std::size_t block = (f + nb - 1) / nb;
-    auto expand = [&](std::size_t b) {
-      std::size_t s = b * block, e = std::min(f, s + block);
-      auto& loc = local[b];
-      for (std::size_t i = s; i < e; ++i) {
+    std::vector<std::uint32_t> next;
+    if (!site.should_parallelize(f * degree_hint)) {
+      for (std::size_t i = 0; i < f; ++i) {
         std::uint32_t u = frontier[i];
         auto nbrs = g.neighbors(u);
         auto eids = g.edge_ids(u);
         for (std::size_t k = 0; k < nbrs.size(); ++k) {
           std::uint32_t v = nbrs[k];
-          if (d.component[v] != d.component[u]) continue;
-          std::uint32_t expected = 0;
-          std::atomic_ref<std::uint32_t> vis(visited[v]);
-          if (vis.load(std::memory_order_relaxed) == 0 &&
-              vis.compare_exchange_strong(expected, 1,
-                                          std::memory_order_relaxed)) {
+          if (d.component[v] != d.component[u] || visited[v]) continue;
+          visited[v] = 1;
+          parent_eid[v] = eids[k];
+          next.push_back(v);
+        }
+      }
+    } else {
+      std::size_t nb = num_blocks_for(f, 64);
+      std::size_t block = (f + nb - 1) / nb;
+      // Phase 1: claim minimum (i, k) per unvisited same-component neighbor.
+      ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+        std::size_t s = b * block, e = std::min(f, s + block);
+        for (std::size_t i = s; i < e; ++i) {
+          std::uint32_t u = frontier[i];
+          auto nbrs = g.neighbors(u);
+          for (std::size_t k = 0; k < nbrs.size(); ++k) {
+            std::uint32_t v = nbrs[k];
+            if (d.component[v] != d.component[u] || visited[v]) continue;
+            std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | k;
+            std::atomic_ref<std::uint64_t> cv(cand[v]);
+            std::uint64_t cur = cv.load(std::memory_order_relaxed);
+            while (key < cur && !cv.compare_exchange_weak(
+                                    cur, key, std::memory_order_relaxed)) {
+            }
+          }
+        }
+      });
+      // Phase 2: the unique winner finalizes v and resets its claim slot.
+      std::vector<std::vector<std::uint32_t>> local(nb);
+      ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+        std::size_t s = b * block, e = std::min(f, s + block);
+        auto& loc = local[b];
+        for (std::size_t i = s; i < e; ++i) {
+          std::uint32_t u = frontier[i];
+          auto nbrs = g.neighbors(u);
+          auto eids = g.edge_ids(u);
+          for (std::size_t k = 0; k < nbrs.size(); ++k) {
+            std::uint32_t v = nbrs[k];
+            std::atomic_ref<std::uint64_t> cv(cand[v]);
+            if (cv.load(std::memory_order_relaxed) !=
+                ((static_cast<std::uint64_t>(i) << 32) | k)) {
+              continue;
+            }
+            std::atomic_ref<std::uint32_t>(visited[v])
+                .store(1, std::memory_order_relaxed);
             parent_eid[v] = eids[k];
+            cv.store(kNoClaim, std::memory_order_relaxed);
             loc.push_back(v);
           }
         }
+      });
+      for (auto& loc : local) {
+        next.insert(next.end(), loc.begin(), loc.end());
       }
-    };
-    if (nb == 1) {
-      expand(0);
-    } else {
-      ThreadPool::instance().run_blocks(nb, expand);
-    }
-    std::vector<std::uint32_t> next;
-    for (auto& loc : local) {
-      next.insert(next.end(), loc.begin(), loc.end());
     }
     total_seen += next.size();
     frontier.swap(next);

@@ -45,17 +45,18 @@ void run_segments(std::uint32_t n, const EdgeList& kept,
 
     // Segment edge list, relabeled; self-loops (inside earlier components)
     // are dropped — they would have been contracted by earlier iterations.
-    EdgeList seg_edges;
-    std::vector<std::uint32_t> seg_cls;
-    std::vector<std::uint32_t> seg_to_kept;
-    for (std::size_t i = 0; i < kept.size(); ++i) {
-      if (cls[i] < b0 || cls[i] >= b1) continue;
-      std::uint32_t u = label[kept[i].u], v = label[kept[i].v];
-      if (u == v) continue;
-      seg_edges.push_back(Edge{u, v, kept[i].w});
-      seg_cls.push_back(cls[i]);
-      seg_to_kept.push_back(static_cast<std::uint32_t>(i));
-    }
+    std::vector<std::uint32_t> seg_to_kept =
+        pack_index(kept.size(), [&](std::size_t i) {
+          if (cls[i] < b0 || cls[i] >= b1) return false;
+          return label[kept[i].u] != label[kept[i].v];
+        });
+    EdgeList seg_edges = tabulate<Edge>(seg_to_kept.size(), [&](std::size_t i) {
+      const Edge& e = kept[seg_to_kept[i]];
+      return Edge{label[e.u], label[e.v], e.w};
+    });
+    std::vector<std::uint32_t> seg_cls = tabulate<std::uint32_t>(
+        seg_to_kept.size(),
+        [&](std::size_t i) { return cls[seg_to_kept[i]]; });
     if (seg_edges.empty()) continue;
 
     SparseAkpwOptions sopts;
@@ -112,17 +113,12 @@ LsSubgraphResult ls_subgraph(std::uint32_t n, const EdgeList& edges,
   }
 
   // SparseAKPW on the remaining graph G' = G \ F.
-  EdgeList kept;
-  std::vector<std::uint32_t> kept_index;  // maps G' edge -> input index
-  std::vector<std::uint32_t> kept_cls;
-  kept.reserve(edges.size());
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    if (!removed[i]) {
-      kept.push_back(edges[i]);
-      kept_index.push_back(static_cast<std::uint32_t>(i));
-      kept_cls.push_back(cls[i]);
-    }
-  }
+  std::vector<std::uint32_t> kept_index =  // maps G' edge -> input index
+      pack_index(edges.size(), [&](std::size_t i) { return !removed[i]; });
+  EdgeList kept = tabulate<Edge>(
+      kept_index.size(), [&](std::size_t i) { return edges[kept_index[i]]; });
+  std::vector<std::uint32_t> kept_cls = tabulate<std::uint32_t>(
+      kept_index.size(), [&](std::size_t i) { return cls[kept_index[i]]; });
 
   if (opts.segmented && !special_classes.empty()) {
     // Lemma 5.8: independent per-segment runs.

@@ -2,6 +2,9 @@
 
 namespace parsdd {
 
+// Pool-size-dependent blocking — see the header for when this is legal
+// (partition-invariant outputs only).  Order-sensitive folds use
+// canonical_blocks (granularity.h) instead.
 std::size_t num_blocks_for(std::size_t n, std::size_t grain) {
   std::size_t p = static_cast<std::size_t>(ThreadPool::instance().concurrency());
   std::size_t nb = 4 * p;

@@ -3,9 +3,16 @@
 // These realize the standard PRAM building blocks used throughout the paper:
 // O(n) work / O(log n) depth reductions and prefix sums ([JaJ92, Lei92], cited
 // in Lemma 5.7's "standard techniques"), and parallel packing/filtering used
-// by contraction and sampling steps.  All primitives are deterministic: for a
-// fixed input they produce identical output regardless of thread count or
-// scheduling, which the test suite relies on.
+// by contraction and sampling steps.
+//
+// Determinism: every order-sensitive primitive (reduce, scan, sort) evaluates
+// on the CANONICAL block partition from canonical_blocks(n, grain) — a pure
+// function of the problem size, never of the pool size — and folds blocks in
+// index order.  The granularity controller (granularity.h) only picks the
+// execution strategy (pool vs. inline) for that fixed structure, so results
+// are bitwise identical across pool sizes and across estimator warm-up.
+// parallel_for bodies must be independent per index, so their partition is
+// unconstrained.
 #pragma once
 
 #include <algorithm>
@@ -15,72 +22,115 @@
 #include <utility>
 #include <vector>
 
+#include "parallel/granularity.h"
 #include "parallel/thread_pool.h"
 
 namespace parsdd {
 
-/// Number of iterations below which a parallel loop runs sequentially.
-inline constexpr std::size_t kSeqCutoff = 2048;
+/// Historic sequential cutoff, equal to the canonical grain: loops under
+/// this size are a single canonical block and always run inline.
+inline constexpr std::size_t kSeqCutoff = kDefaultGrain;
 
-/// Picks the number of blocks for a loop of n iterations: enough for load
-/// balancing (4 blocks per hardware context) without excessive scheduling
-/// overhead.
+/// Sorts below this size are a single block (plain std::sort), matching the
+/// pre-parallel behavior bit for bit.
+inline constexpr std::size_t kSortGrain = 4 * kDefaultGrain;
+
+/// Picks a POOL-SIZE-DEPENDENT block count for a loop of n iterations:
+/// enough blocks for load balancing (4 per hardware context) without
+/// excessive scheduling overhead.  Only legal for loops whose OUTPUT is
+/// invariant to the partition (per-block scratch lists that get length-
+/// concatenated, claim loops resolved by min, pure elementwise writes) —
+/// order-sensitive folds must use canonical_blocks instead.
 std::size_t num_blocks_for(std::size_t n, std::size_t grain);
 
-/// parallel_for(lo, hi, f): applies f(i) for i in [lo, hi).
-/// Work O(hi-lo), depth O(1) parallel rounds (modulo scheduling).
+/// parallel_for(site, lo, hi, f): applies f(i) for i in [lo, hi).
+/// `work` is the site's abstract cost of the whole loop (defaults to the
+/// iteration count); the site parallelizes only when the predicted time
+/// amortizes a pool dispatch.  Work O(hi-lo), depth O(1) parallel rounds.
+template <typename F>
+void parallel_for(GranularitySite& site, std::size_t lo, std::size_t hi,
+                  F&& f, std::size_t grain = 0, std::uint64_t work = 0) {
+  if (hi <= lo) return;
+  std::size_t n = hi - lo;
+  if (work == 0) work = n;
+  std::size_t nb = canonical_blocks(n, grain);
+  if (nb > 1 && site.should_parallelize(work)) {
+    std::size_t g = grain ? grain : kDefaultGrain;
+    ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+      std::size_t s = lo + b * g;
+      std::size_t e = std::min(hi, s + g);
+      for (std::size_t i = s; i < e; ++i) f(i);
+    });
+    return;
+  }
+  detail::SeqTimer timer(site, work);
+  for (std::size_t i = lo; i < hi; ++i) f(i);
+}
+
 template <typename F>
 void parallel_for(std::size_t lo, std::size_t hi, F&& f,
                   std::size_t grain = 0) {
-  if (hi <= lo) return;
-  std::size_t n = hi - lo;
-  if (n < kSeqCutoff || ThreadPool::in_parallel()) {
-    for (std::size_t i = lo; i < hi; ++i) f(i);
-    return;
-  }
-  std::size_t nb = num_blocks_for(n, grain);
-  std::size_t block = (n + nb - 1) / nb;
-  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
-    std::size_t s = lo + b * block;
-    std::size_t e = std::min(hi, s + block);
-    for (std::size_t i = s; i < e; ++i) f(i);
-  });
+  parallel_for(default_granularity_site(), lo, hi, std::forward<F>(f), grain);
 }
 
 /// parallel_reduce: returns combine-fold of map(i) over [lo, hi) with the
-/// given identity.  `combine` must be associative.
+/// given identity.  `combine` must be associative.  The fold ALWAYS follows
+/// the canonical block structure — per-block left fold, then blocks combined
+/// in index order — whether it executes on the pool or inline, so
+/// floating-point results are a pure function of (input, n, grain).
 template <typename T, typename Map, typename Combine>
-T parallel_reduce(std::size_t lo, std::size_t hi, T identity, Map&& map,
-                  Combine&& combine) {
+T parallel_reduce(GranularitySite& site, std::size_t lo, std::size_t hi,
+                  T identity, Map&& map, Combine&& combine,
+                  std::size_t grain = 0, std::uint64_t work = 0) {
   if (hi <= lo) return identity;
   std::size_t n = hi - lo;
-  if (n < kSeqCutoff || ThreadPool::in_parallel()) {
+  if (work == 0) work = n;
+  std::size_t nb = canonical_blocks(n, grain);
+  if (nb == 1) {
+    detail::SeqTimer timer(site, work);
     T acc = identity;
     for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
     return acc;
   }
-  std::size_t nb = num_blocks_for(n, 0);
-  std::size_t block = (n + nb - 1) / nb;
+  std::size_t g = grain ? grain : kDefaultGrain;
   std::vector<T> partial(nb, identity);
-  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
-    std::size_t s = lo + b * block;
-    std::size_t e = std::min(hi, s + block);
+  auto block_fold = [&](std::size_t b) {
+    std::size_t s = lo + b * g;
+    std::size_t e = std::min(hi, s + g);
     T acc = identity;
     for (std::size_t i = s; i < e; ++i) acc = combine(acc, map(i));
     partial[b] = acc;
-  });
+  };
+  if (site.should_parallelize(work)) {
+    ThreadPool::instance().run_blocks(nb, block_fold);
+  } else {
+    detail::SeqTimer timer(site, work);
+    for (std::size_t b = 0; b < nb; ++b) block_fold(b);
+  }
   T acc = identity;
   for (std::size_t b = 0; b < nb; ++b) acc = combine(acc, partial[b]);
   return acc;
 }
 
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t lo, std::size_t hi, T identity, Map&& map,
+                  Combine&& combine) {
+  return parallel_reduce(default_granularity_site(), lo, hi,
+                         std::move(identity), std::forward<Map>(map),
+                         std::forward<Combine>(combine));
+}
+
 /// Exclusive prefix sum of `values` in place; returns the total.
-/// Two-pass blocked scan: O(n) work, O(log n)-style depth.
+/// Two-pass blocked scan over the canonical partition: O(n) work,
+/// O(log n)-style depth; same fold structure inline and on the pool.
 template <typename T>
 T scan_exclusive(std::vector<T>& values) {
+  static GranularitySite site("primitives.scan");
   std::size_t n = values.size();
   if (n == 0) return T{};
-  if (n < kSeqCutoff || ThreadPool::in_parallel()) {
+  std::size_t nb = canonical_blocks(n, 0);
+  if (nb == 1) {
+    detail::SeqTimer timer(site, n);
     T acc{};
     for (std::size_t i = 0; i < n; ++i) {
       T v = values[i];
@@ -89,30 +139,42 @@ T scan_exclusive(std::vector<T>& values) {
     }
     return acc;
   }
-  std::size_t nb = num_blocks_for(n, 0);
-  std::size_t block = (n + nb - 1) / nb;
+  std::size_t g = kDefaultGrain;
   std::vector<T> sums(nb);
-  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
-    std::size_t s = b * block, e = std::min(n, s + block);
+  auto block_sum = [&](std::size_t b) {
+    std::size_t s = b * g, e = std::min(n, s + g);
     T acc{};
     for (std::size_t i = s; i < e; ++i) acc += values[i];
     sums[b] = acc;
-  });
-  T total{};
-  for (std::size_t b = 0; b < nb; ++b) {
-    T v = sums[b];
-    sums[b] = total;
-    total += v;
-  }
-  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
-    std::size_t s = b * block, e = std::min(n, s + block);
+  };
+  auto block_scan = [&](std::size_t b) {
+    std::size_t s = b * g, e = std::min(n, s + g);
     T acc = sums[b];
     for (std::size_t i = s; i < e; ++i) {
       T v = values[i];
       values[i] = acc;
       acc += v;
     }
-  });
+  };
+  // Decide once for both passes; the two-pass structure itself is fixed.
+  bool pool = site.should_parallelize(2 * n);
+  detail::SeqTimer timer(site, pool ? 0 : 2 * n);
+  if (pool) {
+    ThreadPool::instance().run_blocks(nb, block_sum);
+  } else {
+    for (std::size_t b = 0; b < nb; ++b) block_sum(b);
+  }
+  T total{};
+  for (std::size_t b = 0; b < nb; ++b) {
+    T v = sums[b];
+    sums[b] = total;
+    total += v;
+  }
+  if (pool) {
+    ThreadPool::instance().run_blocks(nb, block_scan);
+  } else {
+    for (std::size_t b = 0; b < nb; ++b) block_scan(b);
+  }
   return total;
 }
 
@@ -146,30 +208,43 @@ std::vector<T> pack(const std::vector<T>& items, Pred&& pred) {
   return out;
 }
 
-/// Parallel comparison sort: block-sort then pairwise parallel merges.
-/// O(n log n) work, polylog rounds of merging.
+/// Parallel comparison sort: block-sort then pairwise merges over a
+/// power-of-two block layout that depends only on n.  The comparators used
+/// at call sites need not be total orders (ties happen), so the element
+/// ORDER produced must not depend on scheduling either: std::sort and
+/// std::merge are deterministic algorithms, and the block layout is
+/// canonical, so the permutation is a pure function of the input whether
+/// the rounds run inline or on the pool.
 template <typename T, typename Cmp = std::less<T>>
 void parallel_sort(std::vector<T>& v, Cmp cmp = Cmp{}) {
+  static GranularitySite site("primitives.sort", /*init_ns_per_unit=*/10.0);
   std::size_t n = v.size();
-  if (n < 4 * kSeqCutoff || ThreadPool::in_parallel()) {
+  if (n < kSortGrain) {
     std::sort(v.begin(), v.end(), cmp);
     return;
   }
-  std::size_t nb = num_blocks_for(n, 0);
-  // Round nb up to a power of two so the merge tree is balanced.
-  std::size_t p2 = 1;
-  while (p2 < nb) p2 <<= 1;
-  nb = p2;
+  std::size_t nb = 1;
+  while (nb * kSortGrain < n) nb <<= 1;
   std::size_t block = (n + nb - 1) / nb;
   auto begin_of = [&](std::size_t b) { return std::min(n, b * block); };
 
-  ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+  bool pool = site.should_parallelize(n);
+  detail::SeqTimer timer(site, pool ? 0 : n);
+  auto run = [&](std::size_t count, auto&& fn) {
+    if (pool) {
+      ThreadPool::instance().run_blocks(count, fn);
+    } else {
+      for (std::size_t b = 0; b < count; ++b) fn(b);
+    }
+  };
+
+  run(nb, [&](std::size_t b) {
     std::sort(v.begin() + begin_of(b), v.begin() + begin_of(b + 1), cmp);
   });
   std::vector<T> buf(n);
   for (std::size_t width = 1; width < nb; width <<= 1) {
     std::size_t pairs = nb / (2 * width);
-    ThreadPool::instance().run_blocks(pairs, [&](std::size_t p) {
+    run(pairs, [&](std::size_t p) {
       std::size_t lo = begin_of(2 * p * width);
       std::size_t mid = begin_of(2 * p * width + width);
       std::size_t hi = begin_of(2 * p * width + 2 * width);

@@ -1,6 +1,7 @@
 #include "solver/greedy_elimination.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -21,13 +22,51 @@ GreedyEliminationResult greedy_eliminate(std::uint32_t n,
   GreedyEliminationResult out;
   // Mutable multigraph adjacency.  Entries referencing eliminated vertices
   // are cleaned lazily when a vertex becomes an elimination candidate.
+  // Built in parallel: count/scan/scatter into flat arc arrays, then sort
+  // each vertex's slice by edge id so every adj[v] lists arcs in input-edge
+  // order — exactly what the old sequential push_back loop produced — at
+  // any pool size.
   std::vector<std::vector<std::pair<std::uint32_t, double>>> adj(n);
   std::vector<std::uint32_t> deg(n, 0);  // live incident edge count
-  for (const Edge& e : edges) {
-    adj[e.u].push_back({e.v, e.w});
-    adj[e.v].push_back({e.u, e.w});
-    ++deg[e.u];
-    ++deg[e.v];
+  {
+    std::size_t m = edges.size();
+    parallel_for(0, m, [&](std::size_t i) {
+      std::atomic_ref<std::uint32_t>(deg[edges[i].u])
+          .fetch_add(1, std::memory_order_relaxed);
+      std::atomic_ref<std::uint32_t>(deg[edges[i].v])
+          .fetch_add(1, std::memory_order_relaxed);
+    });
+    std::vector<std::uint32_t> off(n);
+    parallel_for(0, n, [&](std::size_t v) { off[v] = deg[v]; });
+    std::uint32_t total = scan_exclusive(off);
+    assert(total == 2 * m);
+    std::vector<std::uint32_t> cursor = off;
+    struct Arc {
+      std::uint32_t eid;
+      std::uint32_t other;
+      double w;
+    };
+    std::vector<Arc> arcs(total);
+    parallel_for(0, m, [&](std::size_t i) {
+      const Edge& e = edges[i];
+      std::uint32_t id = static_cast<std::uint32_t>(i);
+      std::uint32_t pu = std::atomic_ref<std::uint32_t>(cursor[e.u])
+                             .fetch_add(1, std::memory_order_relaxed);
+      arcs[pu] = Arc{id, e.v, e.w};
+      std::uint32_t pv = std::atomic_ref<std::uint32_t>(cursor[e.v])
+                             .fetch_add(1, std::memory_order_relaxed);
+      arcs[pv] = Arc{id, e.u, e.w};
+    });
+    parallel_for(0, n, [&](std::size_t v) {
+      std::uint32_t s = off[v], e = off[v] + deg[v];
+      std::sort(arcs.begin() + s, arcs.begin() + e,
+                [](const Arc& a, const Arc& b) { return a.eid < b.eid; });
+      auto& av = adj[v];
+      av.resize(deg[v]);
+      for (std::uint32_t i = s; i < e; ++i) {
+        av[i - s] = {arcs[i].other, arcs[i].w};
+      }
+    });
   }
   std::vector<std::uint8_t> eliminated(n, 0);
   Rng rng(seed);
@@ -171,31 +210,50 @@ Vec GreedyEliminationResult::back_substitute(const Vec& folded_b,
   return x;
 }
 
+// Column-chunk width for batched fold/backsub.  Columns are arithmetically
+// independent (every step reads and writes single rows, mixing nothing
+// across columns), so parallelizing over column chunks cannot change any
+// bit of the result; a full cache line of doubles per chunk avoids false
+// sharing between workers on the same row.
+constexpr std::size_t kColChunk = 8;
+
 void GreedyEliminationResult::fold_rhs_block(const MultiVec& b,
                                              MultiVec& folded,
                                              MultiVec& reduced_rhs) const {
   std::size_t k = b.cols();
   ensure_shape(folded, b.rows(), k);
   copy_cols(b, folded);
-  for (const EliminationStep& s : steps) {
-    const double* fv = folded.row(s.v);
-    if (s.degree >= 1) {
-      double f = s.w1 / s.pivot;
-      double* fu = folded.row(s.u1);
-      for (std::size_t c = 0; c < k; ++c) fu[c] += f * fv[c];
-    }
-    if (s.degree == 2) {
-      double f = s.w2 / s.pivot;
-      double* fu = folded.row(s.u2);
-      for (std::size_t c = 0; c < k; ++c) fu[c] += f * fv[c];
-    }
-  }
+  static GranularitySite site("greedy.fold_block", /*init_ns_per_unit=*/3.0);
+  std::size_t nchunks = (k + kColChunk - 1) / kColChunk;
+  parallel_for(
+      site, 0, nchunks,
+      [&](std::size_t ch) {
+        std::size_t c0 = ch * kColChunk, c1 = std::min(k, c0 + kColChunk);
+        for (const EliminationStep& s : steps) {
+          const double* fv = folded.row(s.v);
+          if (s.degree >= 1) {
+            double f = s.w1 / s.pivot;
+            double* fu = folded.row(s.u1);
+            for (std::size_t c = c0; c < c1; ++c) fu[c] += f * fv[c];
+          }
+          if (s.degree == 2) {
+            double f = s.w2 / s.pivot;
+            double* fu = folded.row(s.u2);
+            for (std::size_t c = c0; c < c1; ++c) fu[c] += f * fv[c];
+          }
+        }
+      },
+      /*grain=*/1, /*work=*/steps.size() * k);
   ensure_shape(reduced_rhs, reduced_n, k);
-  for (std::uint32_t i = 0; i < reduced_n; ++i) {
-    const double* src = folded.row(orig_of_reduced[i]);
-    double* dst = reduced_rhs.row(i);
-    for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
-  }
+  static GranularitySite gather_site("greedy.gather");
+  parallel_for(
+      gather_site, 0, reduced_n,
+      [&](std::size_t i) {
+        const double* src = folded.row(orig_of_reduced[i]);
+        double* dst = reduced_rhs.row(i);
+        for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
+      },
+      0, static_cast<std::uint64_t>(reduced_n) * k);
 }
 
 void GreedyEliminationResult::back_substitute_block(const MultiVec& folded_b,
@@ -203,30 +261,43 @@ void GreedyEliminationResult::back_substitute_block(const MultiVec& folded_b,
                                                     MultiVec& x) const {
   std::size_t k = folded_b.cols();
   x.assign(folded_b.rows(), k, 0.0);
-  for (std::uint32_t i = 0; i < reduced_n; ++i) {
-    const double* src = x_reduced.row(i);
-    double* dst = x.row(orig_of_reduced[i]);
-    for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
-  }
-  for (std::size_t s_idx = steps.size(); s_idx-- > 0;) {
-    const EliminationStep& s = steps[s_idx];
-    double* xv = x.row(s.v);
-    const double* fb = folded_b.row(s.v);
-    if (s.degree == 0) {
-      for (std::size_t c = 0; c < k; ++c) xv[c] = 0.0;
-    } else if (s.degree == 1) {
-      const double* xu1 = x.row(s.u1);
-      for (std::size_t c = 0; c < k; ++c) {
-        xv[c] = fb[c] / s.pivot + xu1[c];
-      }
-    } else {
-      const double* xu1 = x.row(s.u1);
-      const double* xu2 = x.row(s.u2);
-      for (std::size_t c = 0; c < k; ++c) {
-        xv[c] = (fb[c] + s.w1 * xu1[c] + s.w2 * xu2[c]) / s.pivot;
-      }
-    }
-  }
+  static GranularitySite scatter_site("greedy.scatter");
+  parallel_for(
+      scatter_site, 0, reduced_n,
+      [&](std::size_t i) {
+        const double* src = x_reduced.row(i);
+        double* dst = x.row(orig_of_reduced[i]);
+        for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
+      },
+      0, static_cast<std::uint64_t>(reduced_n) * k);
+  static GranularitySite site("greedy.backsub_block",
+                              /*init_ns_per_unit=*/3.0);
+  std::size_t nchunks = (k + kColChunk - 1) / kColChunk;
+  parallel_for(
+      site, 0, nchunks,
+      [&](std::size_t ch) {
+        std::size_t c0 = ch * kColChunk, c1 = std::min(k, c0 + kColChunk);
+        for (std::size_t s_idx = steps.size(); s_idx-- > 0;) {
+          const EliminationStep& s = steps[s_idx];
+          double* xv = x.row(s.v);
+          const double* fb = folded_b.row(s.v);
+          if (s.degree == 0) {
+            for (std::size_t c = c0; c < c1; ++c) xv[c] = 0.0;
+          } else if (s.degree == 1) {
+            const double* xu1 = x.row(s.u1);
+            for (std::size_t c = c0; c < c1; ++c) {
+              xv[c] = fb[c] / s.pivot + xu1[c];
+            }
+          } else {
+            const double* xu1 = x.row(s.u1);
+            const double* xu2 = x.row(s.u2);
+            for (std::size_t c = c0; c < c1; ++c) {
+              xv[c] = (fb[c] + s.w1 * xu1[c] + s.w2 * xu2[c]) / s.pivot;
+            }
+          }
+        }
+      },
+      /*grain=*/1, /*work=*/steps.size() * k);
 }
 
 void GreedyEliminationResult::save(serialize::Writer& w) const {

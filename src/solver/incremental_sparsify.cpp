@@ -23,14 +23,16 @@ SparsifyResult incremental_sparsify(std::uint32_t n, const EdgeList& edges,
   LsSubgraphResult sub = ls_subgraph(n, edges, sub_opts);
 
   std::vector<std::uint8_t> in_subgraph(edges.size(), 0);
-  for (std::uint32_t idx : sub.subgraph_edges) in_subgraph[idx] = 1;
+  parallel_for(0, sub.subgraph_edges.size(), [&](std::size_t i) {
+    in_subgraph[sub.subgraph_edges[i]] = 1;
+  });
 
   // Stretch upper bound via a spanning tree of Ĝ (distances in a subgraph
   // are bounded by distances in any of its spanning trees, so sampling with
   // tree stretch only oversamples — which is safe).
-  EdgeList sub_edges;
-  sub_edges.reserve(sub.subgraph_edges.size());
-  for (std::uint32_t idx : sub.subgraph_edges) sub_edges.push_back(edges[idx]);
+  EdgeList sub_edges = tabulate<Edge>(
+      sub.subgraph_edges.size(),
+      [&](std::size_t i) { return edges[sub.subgraph_edges[i]]; });
   std::vector<std::uint32_t> tree_idx = mst_kruskal(n, sub_edges);
   if (tree_idx.size() + 1 != n) {
     throw std::invalid_argument("incremental_sparsify: graph not connected");
@@ -81,15 +83,17 @@ SparsifyResult incremental_sparsify(std::uint32_t n, const EdgeList& edges,
     }
   });
 
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    if (!keep[i]) continue;
-    result.h_edges.push_back(Edge{edges[i].u, edges[i].v, scaled_w[i]});
-    if (in_subgraph[i]) {
-      ++result.subgraph_count;
-    } else {
-      ++result.sampled_count;
-    }
-  }
+  std::vector<std::uint32_t> kept =
+      pack_index(edges.size(), [&](std::size_t i) { return keep[i] != 0; });
+  result.h_edges = tabulate<Edge>(kept.size(), [&](std::size_t i) {
+    std::uint32_t idx = kept[i];
+    return Edge{edges[idx].u, edges[idx].v, scaled_w[idx]};
+  });
+  result.subgraph_count = parallel_reduce(
+      0, kept.size(), std::size_t{0},
+      [&](std::size_t i) -> std::size_t { return in_subgraph[kept[i]] ? 1 : 0; },
+      [](std::size_t a, std::size_t b) { return a + b; });
+  result.sampled_count = kept.size() - result.subgraph_count;
   return result;
 }
 

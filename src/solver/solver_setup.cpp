@@ -7,11 +7,19 @@
 #include "linalg/cg.h"
 #include "linalg/jacobi.h"
 #include "linalg/laplacian.h"
+#include "parallel/granularity.h"
+#include "parallel/primitives.h"
 #include "util/serialize.h"
 
 namespace parsdd {
 
 namespace {
+
+// Component row gather/scatter kernels share a site (same streaming shape).
+GranularitySite& gather_site() {
+  static GranularitySite site("setup.gather");
+  return site;
+}
 
 // One connected component's RHS-independent state.
 struct ComponentSetup {
@@ -40,24 +48,32 @@ void SolverSetup::Impl::build(std::uint32_t num_vertices,
                               const EdgeList& edges) {
   n = num_vertices;
   Components comps = connected_components(n, edges);
-  std::vector<std::vector<std::uint32_t>> members(comps.count);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    members[comps.label[v]].push_back(v);
-  }
-  // Local index of each vertex inside its component.
-  std::vector<std::uint32_t> local(n);
-  for (auto& m : members) {
-    for (std::size_t i = 0; i < m.size(); ++i) {
-      local[m[i]] = static_cast<std::uint32_t>(i);
-    }
-  }
   components.resize(comps.count);
-  for (std::uint32_t c = 0; c < comps.count; ++c) {
-    components[c].vertices = std::move(members[c]);
-  }
-  for (const Edge& e : edges) {
-    std::uint32_t c = comps.label[e.u];
-    components[c].local_edges.push_back(Edge{local[e.u], local[e.v], e.w});
+  if (comps.count == 1) {
+    // Connected input (the common case): the local numbering is the
+    // identity, so membership and relabeling collapse to parallel copies.
+    components[0].vertices = tabulate<std::uint32_t>(
+        n, [](std::size_t v) { return static_cast<std::uint32_t>(v); });
+    components[0].local_edges = edges;
+  } else {
+    std::vector<std::vector<std::uint32_t>> members(comps.count);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      members[comps.label[v]].push_back(v);
+    }
+    // Local index of each vertex inside its component.
+    std::vector<std::uint32_t> local(n);
+    for (auto& m : members) {
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        local[m[i]] = static_cast<std::uint32_t>(i);
+      }
+    }
+    for (std::uint32_t c = 0; c < comps.count; ++c) {
+      components[c].vertices = std::move(members[c]);
+    }
+    for (const Edge& e : edges) {
+      std::uint32_t c = comps.label[e.u];
+      components[c].local_edges.push_back(Edge{local[e.u], local[e.v], e.w});
+    }
   }
   for (auto& cs : components) {
     std::uint32_t cn = static_cast<std::uint32_t>(cs.vertices.size());
@@ -88,11 +104,14 @@ MultiVec SolverSetup::Impl::solve_batch_laplacian(
     std::uint32_t cn = static_cast<std::uint32_t>(cs.vertices.size());
     if (cn < 2) continue;
     MultiVec cb(cn, k);
-    for (std::uint32_t i = 0; i < cn; ++i) {
-      const double* src = b.row(cs.vertices[i]);
-      double* dst = cb.row(i);
-      for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
-    }
+    parallel_for(
+        gather_site(), 0, cn,
+        [&](std::size_t i) {
+          const double* src = b.row(cs.vertices[i]);
+          double* dst = cb.row(i);
+          for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
+        },
+        0, static_cast<std::uint64_t>(cn) * k);
     project_out_constant_cols(cb);  // consistency for the singular Laplacian
     MultiVec cx(cn, k, 0.0);
     std::vector<IterStats> st;
@@ -138,11 +157,14 @@ MultiVec SolverSetup::Impl::solve_batch_laplacian(
       }
     }
     project_out_constant_cols(cx);
-    for (std::uint32_t i = 0; i < cn; ++i) {
-      const double* src = cx.row(i);
-      double* dst = x.row(cs.vertices[i]);
-      for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
-    }
+    parallel_for(
+        gather_site(), 0, cn,
+        [&](std::size_t i) {
+          const double* src = cx.row(i);
+          double* dst = x.row(cs.vertices[i]);
+          for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
+        },
+        0, static_cast<std::uint64_t>(cn) * k);
     if (report) {
       for (std::size_t c = 0; c < k; ++c) {
         if (st[c].iterations >= report->column_stats[c].iterations) {

@@ -1,0 +1,237 @@
+// Granularity controller + pool stress: estimator math, spawn decisions,
+// nested spawns, tiny-vs-huge mixed workloads, and the bitwise contract
+// under forced scheduling modes.
+//
+// PARSDD_PARALLEL / PARSDD_THREADS are read once per process, so the
+// forced-mode bitwise comparison re-executes this binary per configuration
+// (the same subprocess pattern as test_determinism): the child runs every
+// order-sensitive primitive on a fixed input and dumps the raw bytes; the
+// parent demands byte equality across {never x1, always x2, always x8,
+// auto x8}.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "file_test_util.h"
+#include "parallel/granularity.h"
+#include "parallel/primitives.h"
+#include "parallel/rng.h"
+
+namespace parsdd {
+namespace {
+
+TEST(CanonicalBlocks, PureCeilDivision) {
+  EXPECT_EQ(canonical_blocks(0, 0), 1u);  // floor: callers skip empty loops
+  EXPECT_EQ(canonical_blocks(1, 0), 1u);
+  EXPECT_EQ(canonical_blocks(kDefaultGrain, 0), 1u);
+  EXPECT_EQ(canonical_blocks(kDefaultGrain + 1, 0), 2u);
+  EXPECT_EQ(canonical_blocks(10 * kDefaultGrain, 0), 10u);
+  EXPECT_EQ(canonical_blocks(100, 10), 10u);
+  EXPECT_EQ(canonical_blocks(101, 10), 11u);
+  // Every index is covered: nb * grain >= n.
+  for (std::size_t n : {1u, 7u, 4096u, 99999u}) {
+    for (std::size_t g : {std::size_t{0}, std::size_t{64}, kDefaultGrain}) {
+      std::size_t eff = g ? g : kDefaultGrain;
+      EXPECT_GE(canonical_blocks(n, g) * eff, n) << n << "/" << g;
+    }
+  }
+}
+
+TEST(GranularitySite, FirstSampleReplacesSeed) {
+  GranularitySite site("test.replace", /*init_ns_per_unit=*/5.0);
+  EXPECT_DOUBLE_EQ(site.ns_per_unit(), 5.0);
+  EXPECT_EQ(site.samples(), 0u);
+  site.record_sequential(1000, 16000.0);
+  EXPECT_DOUBLE_EQ(site.ns_per_unit(), 16.0);
+  EXPECT_EQ(site.samples(), 1u);
+}
+
+TEST(GranularitySite, EwmaStepAndConvergence) {
+  GranularitySite site("test.ewma");
+  site.record_sequential(1000, 16000.0);  // replaces seed: 16
+  site.record_sequential(1000, 8000.0);   // 16 + (8-16)/4 = 14
+  EXPECT_DOUBLE_EQ(site.ns_per_unit(), 14.0);
+  // A long run of consistent measurements converges to the true constant.
+  for (int i = 0; i < 100; ++i) site.record_sequential(500, 1000.0);
+  EXPECT_NEAR(site.ns_per_unit(), 2.0, 0.02);
+  EXPECT_EQ(site.samples(), 102u);
+}
+
+TEST(GranularitySite, TinyWorkNeverSpawns) {
+  if (GranularitySite::mode() == GranularitySite::Mode::kAlways) {
+    GTEST_SKIP() << "PARSDD_PARALLEL=always overrides the prediction";
+  }
+  GranularitySite site("test.tiny");
+  // 1 work unit at any sane ns/unit predicts far below the spawn threshold.
+  EXPECT_FALSE(site.should_parallelize(1));
+  EXPECT_FALSE(site.should_parallelize(16));
+}
+
+TEST(GranularitySite, ExpensiveWorkSpawnsWhenPoolAvailable) {
+  if (GranularitySite::mode() != GranularitySite::Mode::kAuto) {
+    GTEST_SKIP() << "PARSDD_PARALLEL overrides the prediction";
+  }
+  if (ThreadPool::instance().concurrency() <= 1) {
+    GTEST_SKIP() << "single-lane pool never spawns";
+  }
+  GranularitySite site("test.huge");
+  site.record_sequential(1000, 100000.0);  // 100 ns/unit, measured
+  // Predicted 100ms >> any sane threshold.
+  EXPECT_TRUE(site.should_parallelize(1000000));
+}
+
+TEST(GranularitySite, ConcurrentRecordingIsSafe) {
+  // Relaxed-atomic estimator state: concurrent updates may lose samples but
+  // must not tear or crash (the TSan lane checks the data-race claim).
+  GranularitySite site("test.race");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&site] {
+      for (int i = 0; i < 1000; ++i) {
+        site.record_sequential(256, 512.0);
+        site.should_parallelize(1024);
+        site.should_measure();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(site.ns_per_unit(), 2.0);  // every sample says 2 ns/unit
+  EXPECT_GT(site.samples(), 0u);
+}
+
+TEST(PoolStress, NestedSpawnsSerializeCorrectly) {
+  // A parallel_for body that itself issues parallel primitives must run
+  // those inner calls inline (non-reentrant pool) and still be correct.
+  const std::size_t outer = 3 * kDefaultGrain;
+  std::vector<std::uint64_t> out(outer);
+  static GranularitySite site("test.nested");
+  parallel_for(
+      site, 0, outer,
+      [&](std::size_t i) {
+        std::uint64_t s = parallel_reduce(
+            0, i % 97 + 40, std::uint64_t{0},
+            [&](std::size_t j) { return static_cast<std::uint64_t>(j); },
+            [](std::uint64_t a, std::uint64_t b) { return a + b; });
+        out[i] = s;
+      },
+      /*grain=*/0, /*work=*/outer * 64);
+  for (std::size_t i = 0; i < outer; ++i) {
+    std::uint64_t m = i % 97 + 40;
+    ASSERT_EQ(out[i], m * (m - 1) / 2) << i;
+  }
+}
+
+TEST(PoolStress, TinyAndHugeSubproblemsInterleaved) {
+  // Alternating far-below-cutoff and far-above-cutoff loops through shared
+  // sites: decisions flip per call, results must not.
+  static GranularitySite site("test.mixed");
+  const std::size_t huge = 4 * kDefaultGrain + 123;
+  std::vector<double> acc(huge, 0.0);
+  for (int round = 0; round < 20; ++round) {
+    std::size_t n = (round % 2 == 0) ? std::size_t{8} : huge;
+    parallel_for(
+        site, 0, n, [&](std::size_t i) { acc[i] += 1.0; }, 0, n);
+  }
+  for (std::size_t i = 0; i < huge; ++i) {
+    double expect = (i < 8) ? 20.0 : 10.0;
+    ASSERT_EQ(acc[i], expect) << i;
+  }
+  // The sequential executions of the big rounds fed the estimator (the
+  // throttle passes at least once in 10 tries when running inline).
+  if (GranularitySite::mode() == GranularitySite::Mode::kNever) {
+    EXPECT_GT(site.samples(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forced-mode bitwise contract, via subprocess re-execution.
+
+constexpr std::size_t kN = 100000;  // above kSeqCutoff and kSortGrain
+
+// Child mode: run every order-sensitive primitive on a fixed pseudo-random
+// input and dump the raw doubles.  Also a smoke test under plain ctest.
+TEST(GranularityChild, ComputeAndDump) {
+  Rng rng(0x5eed);
+  std::vector<double> v(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    v[i] = rng.uniform(i) - 0.5;  // mixed signs: addition order shows up
+  }
+  double sum = parallel_reduce(
+      0, kN, 0.0, [&](std::size_t i) { return v[i]; },
+      [](double a, double b) { return a + b; });
+  std::vector<double> scanned = v;
+  double total = scan_exclusive(scanned);
+  std::vector<double> sorted = v;
+  parallel_sort(sorted);
+  std::vector<std::uint32_t> packed =
+      pack_index(kN, [&](std::size_t i) { return v[i] > 0.25; });
+  ASSERT_FALSE(packed.empty());
+  ASSERT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+
+  const char* out = std::getenv("PARSDD_GRAN_OUT");
+  if (!out) return;
+  std::FILE* f = std::fopen(out, "wb");
+  ASSERT_NE(f, nullptr) << out;
+  ASSERT_EQ(std::fwrite(&sum, sizeof sum, 1, f), 1u);
+  ASSERT_EQ(std::fwrite(&total, sizeof total, 1, f), 1u);
+  ASSERT_EQ(std::fwrite(scanned.data(), sizeof(double), kN, f), kN);
+  ASSERT_EQ(std::fwrite(sorted.data(), sizeof(double), kN, f), kN);
+  ASSERT_EQ(std::fwrite(packed.data(), sizeof(std::uint32_t), packed.size(),
+                        f),
+            packed.size());
+  std::fclose(f);
+}
+
+std::string self_exe() {
+  char buf[4096];
+  ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  EXPECT_GT(len, 0);
+  buf[len > 0 ? len : 0] = '\0';
+  return buf;
+}
+
+using test_util::file_bytes;
+
+TEST(Granularity, ForcedModesBitwiseIdentical) {
+  std::string exe = self_exe();
+  ASSERT_FALSE(exe.empty());
+  std::string dir = ::testing::TempDir();
+  struct Config {
+    const char* parallel;
+    int threads;
+  };
+  const Config configs[] = {
+      {"never", 1}, {"always", 2}, {"always", 8}, {"auto", 8}};
+  std::vector<std::vector<std::uint8_t>> results;
+  std::vector<std::string> paths;
+  for (const Config& c : configs) {
+    std::string out = dir + "parsdd_gran_" + std::to_string(::getpid()) +
+                      "_" + c.parallel + std::to_string(c.threads) + ".bin";
+    paths.push_back(out);
+    std::string cmd = std::string("PARSDD_PARALLEL=") + c.parallel +
+                      " PARSDD_THREADS=" + std::to_string(c.threads) +
+                      " PARSDD_GRAN_OUT='" + out + "' '" + exe +
+                      "' --gtest_filter=GranularityChild.ComputeAndDump"
+                      " > /dev/null 2>&1";
+    int rc = std::system(cmd.c_str());
+    ASSERT_EQ(rc, 0) << "child " << c.parallel << " x" << c.threads
+                     << " failed";
+    results.push_back(file_bytes(out));
+    ASSERT_FALSE(results.back().empty());
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i])
+        << configs[i].parallel << " x" << configs[i].threads
+        << " diverged bitwise from never x1";
+  }
+  for (const std::string& p : paths) std::remove(p.c_str());
+}
+
+}  // namespace
+}  // namespace parsdd
