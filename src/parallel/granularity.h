@@ -54,7 +54,12 @@ std::size_t canonical_blocks(std::size_t n, std::size_t grain);
 ///   parallel_for(site, 0, n, body, /*grain=*/256, /*work=*/nnz * k);
 ///
 /// Thread safety: all state is relaxed atomics; a lost estimator update is
-/// harmless (the next measured run replaces it).
+/// harmless (the next measured run replaces it).  There is deliberately no
+/// mutex here — and therefore nothing for the thread-safety analysis
+/// (util/thread_annotations.h) to annotate: the static enforcement for this
+/// class is the determinism lint (tools/lint/determinism_lint.py), which
+/// checks that every raw ThreadPool dispatch in the determinism-critical
+/// directories is gated by a GranularitySite.  See DESIGN.md §7.
 class GranularitySite {
  public:
   /// `name` must outlive the site (string literals).  `init_ns_per_unit`

@@ -17,7 +17,7 @@ TaskQueue::~TaskQueue() { stop(); }
 
 bool TaskQueue::post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_) return false;
     tasks_.push_back(std::move(task));
   }
@@ -26,18 +26,18 @@ bool TaskQueue::post(std::function<void()> task) {
 }
 
 std::size_t TaskQueue::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_.size();
 }
 
 void TaskQueue::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [&] { return tasks_.empty() && running_ == 0; });
+  MutexLock lock(mu_);
+  while (!tasks_.empty() || running_ != 0) cv_idle_.wait(lock);
 }
 
 void TaskQueue::stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_ && executors_.empty()) return;
     stopped_ = true;
   }
@@ -47,21 +47,19 @@ void TaskQueue::stop() {
 }
 
 void TaskQueue::executor_loop() {
+  MutexLock lock(mu_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] { return stopped_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopped_ and drained
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
-      ++running_;
-    }
+    while (!stopped_ && tasks_.empty()) cv_work_.wait(lock);
+    if (tasks_.empty()) return;  // stopped_ and drained
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    ++running_;
+    lock.Unlock();
     task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --running_;
-    }
+    lock.Lock();
+    --running_;
+    // Notified under the lock: drain()'s predicate re-check is already
+    // serialized on mu_, so there is no missed-wakeup window.
     cv_idle_.notify_all();
   }
 }

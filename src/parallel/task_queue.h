@@ -13,15 +13,19 @@
 // thread would.  TaskQueue threads are deliberately NOT ThreadPool
 // workers — a task blocking on a solve must never starve the flat loops
 // the solve itself issues.
+//
+// Locking model (DESIGN.md §7): one Mutex guards the FIFO and every piece
+// of queue state; the annotations below make the discipline a compile-time
+// contract under clang's thread-safety analysis.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace parsdd {
 
@@ -35,27 +39,30 @@ class TaskQueue {
   ~TaskQueue();
 
   /// Enqueues a task; returns false (and drops it) after stop().
-  bool post(std::function<void()> task);
+  bool post(std::function<void()> task) PARSDD_EXCLUDES(mu_);
 
   /// Tasks enqueued but not yet started.
-  std::size_t pending() const;
+  std::size_t pending() const PARSDD_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and every executor is idle.
-  void drain();
+  void drain() PARSDD_EXCLUDES(mu_);
 
   /// Stops accepting tasks, finishes what is queued, joins the executors.
   /// Idempotent; called by the destructor.
-  void stop();
+  void stop() PARSDD_EXCLUDES(mu_);
 
  private:
-  void executor_loop();
+  void executor_loop() PARSDD_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;   // signalled on post/stop
-  std::condition_variable cv_idle_;   // signalled when a task finishes
-  std::deque<std::function<void()>> tasks_;
-  std::size_t running_ = 0;  // tasks currently executing
-  bool stopped_ = false;
+  mutable Mutex mu_;
+  CondVar cv_work_;  // signalled on post/stop
+  CondVar cv_idle_;  // signalled when a task finishes
+  std::deque<std::function<void()>> tasks_ PARSDD_GUARDED_BY(mu_);
+  std::size_t running_ PARSDD_GUARDED_BY(mu_) = 0;  // tasks executing
+  bool stopped_ PARSDD_GUARDED_BY(mu_) = false;
+  /// Joined by stop(); only touched by the constructor and stop(), never
+  /// by the executors themselves, so it needs no mutex — stop() is the
+  /// unique joiner and is idempotent via `stopped_`.
   std::vector<std::thread> executors_;
 };
 

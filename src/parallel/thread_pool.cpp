@@ -36,7 +36,7 @@ ThreadPool::ThreadPool() {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   cv_start_.notify_all();
@@ -49,8 +49,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      MutexLock lock(mu_);
+      while (!shutdown_ && epoch_ == seen_epoch) cv_start_.wait(lock);
       if (shutdown_) return;
       seen_epoch = epoch_;
       job = job_;  // may be null if the job already drained
@@ -80,7 +80,7 @@ void ThreadPool::run_blocks(std::size_t num_blocks,
   job->num_blocks = num_blocks;
   job->fn = block_fn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = job;
     ++epoch_;
   }
@@ -99,10 +99,10 @@ void ThreadPool::run_blocks(std::size_t num_blocks,
   // Wait for straggler blocks.  Late-waking workers that find the cursor
   // already exhausted only touch the shared Job, whose lifetime is managed
   // by shared_ptr, so returning here is safe once every block has run.
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [&] {
-    return job->done.load(std::memory_order_acquire) == num_blocks;
-  });
+  MutexLock lock(mu_);
+  while (job->done.load(std::memory_order_acquire) != num_blocks) {
+    cv_done_.wait(lock);
+  }
   job_ = nullptr;
 }
 

@@ -23,14 +23,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace parsdd {
 
@@ -55,11 +55,12 @@ class ThreadPool {
   /// over all workers plus the calling thread; blocks until every block has
   /// completed.  Must not be called from inside a parallel region.
   void run_blocks(std::size_t num_blocks,
-                  const std::function<void(std::size_t)>& block_fn);
+                  const std::function<void(std::size_t)>& block_fn)
+      PARSDD_EXCLUDES(mu_);
 
  private:
   ThreadPool();
-  void worker_loop();
+  void worker_loop() PARSDD_EXCLUDES(mu_);
 
   struct Job {
     std::atomic<std::size_t> cursor{0};
@@ -68,13 +69,19 @@ class ThreadPool {
     std::atomic<std::size_t> done{0};
   };
 
+  /// Populated once in the constructor, joined once in the destructor;
+  /// workers never touch the vector itself, so it is not mutex-guarded.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  std::shared_ptr<Job> job_;   // guarded by mu_ for publication
-  std::uint64_t epoch_ = 0;    // bumped per job so workers wake exactly once
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  /// Publication slot for the current job: written by run_blocks, read by
+  /// waking workers.  The Job's own fields (cursor/done) are atomics and
+  /// intentionally race-free without the mutex.
+  std::shared_ptr<Job> job_ PARSDD_GUARDED_BY(mu_);
+  /// Bumped per job so workers wake exactly once per dispatch.
+  std::uint64_t epoch_ PARSDD_GUARDED_BY(mu_) = 0;
+  bool shutdown_ PARSDD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace parsdd

@@ -102,7 +102,18 @@ Decomposition split_graph(const Graph& g, std::uint32_t rho,
       // Expand the previous round's frontier.
       if (!frontier.empty()) {
         std::size_t f = frontier.size();
-        std::size_t nb = num_blocks_for(f, 64);
+        // Oracular gate (was a static f < 256 cutoff): the site learns this
+        // loop's ns-per-frontier-vertex and spawns only when the expansion
+        // amortizes a pool dispatch.  Bitwise-safe either way — claims are
+        // resolved by fetch_min, a partition-invariant free-for-all
+        // (DESIGN.md §6), so the schedule never touches results.  The block
+        // size is derived from the executed nb, fixing a latent bug where
+        // the sequential path inherited a multi-block `block` and silently
+        // expanded only the first ceil(f/nb) frontier vertices.
+        static GranularitySite expand_site("split_graph.expand",
+                                           /*init_ns_per_unit=*/4.0);
+        const bool pool = expand_site.should_parallelize(f * 4);
+        std::size_t nb = pool ? num_blocks_for(f, 64) : 1;
         std::vector<std::vector<std::uint32_t>> local(nb);
         std::size_t block = (f + nb - 1) / nb;
         auto expand = [&](std::size_t b) {
@@ -117,12 +128,11 @@ Decomposition split_graph(const Graph& g, std::uint32_t rho,
             }
           }
         };
-        if (f < 256 || ThreadPool::in_parallel()) {
-          nb = 1;
-          for (std::size_t b = 0; b < 1; ++b) expand(b);
-          local.resize(1);
-        } else {
+        if (pool) {
           ThreadPool::instance().run_blocks(nb, expand);
+        } else {
+          detail::SeqTimer timer(expand_site, f * 4);
+          expand(0);
         }
         for (auto& loc : local) {
           touched.insert(touched.end(), loc.begin(), loc.end());

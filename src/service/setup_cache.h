@@ -14,8 +14,11 @@
 //
 // The cache holds shared_ptrs, so eviction or service shutdown never
 // invalidates a handle that is still registered: the registry's reference
-// keeps the setup alive.  Not internally synchronized — SolverService calls
-// it under its own mutex.
+// keeps the setup alive.  Not internally synchronized — the service embeds
+// it as a PARSDD_GUARDED_BY(mu) member (solver_service.cpp), so under
+// clang's thread-safety analysis every get/put is compile-time checked to
+// run with the service mutex held; a second consumer that wants concurrent
+// access must bring its own annotated mutex.
 #pragma once
 
 #include <cstdint>

@@ -2,16 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "parallel/task_queue.h"
 #include "service/setup_cache.h"
+#include "util/thread_annotations.h"
 
 namespace parsdd {
 
@@ -52,31 +51,39 @@ struct SolverService::Impl {
     std::vector<PendingSingle> reqs;
   };
 
+  explicit Impl(const ServiceOptions& options)
+      : opts(options), setup_cache(options.setup_cache_capacity) {
+    opts.max_batch = std::max<std::uint32_t>(opts.max_batch, 1);
+  }
+
+  /// Immutable after construction; read without the mutex.
   ServiceOptions opts;
 
-  mutable std::mutex mu;
-  std::condition_variable cv_dispatch;  // work for the dispatcher
-  std::condition_variable cv_idle;      // a request finished (for drain)
+  mutable Mutex mu;
+  CondVar cv_dispatch;  // work for the dispatcher
+  CondVar cv_idle;      // a request finished (for drain)
   std::unordered_map<std::uint64_t, std::shared_ptr<const SolverSetup>>
-      registry;
-  std::uint64_t next_id = 1;
-  std::unordered_map<std::uint64_t, HandleQueues> queues;
-  std::deque<Token> tokens;
-  std::size_t queued = 0;     // accepted requests not yet dispatched
-  std::size_t in_flight = 0;  // dispatched requests not yet answered
-  bool stopping = false;
-  ServiceStats counters;
+      registry PARSDD_GUARDED_BY(mu);
+  std::uint64_t next_id PARSDD_GUARDED_BY(mu) = 1;
+  std::unordered_map<std::uint64_t, HandleQueues> queues PARSDD_GUARDED_BY(mu);
+  std::deque<Token> tokens PARSDD_GUARDED_BY(mu);
+  /// Accepted requests not yet dispatched.
+  std::size_t queued PARSDD_GUARDED_BY(mu) = 0;
+  /// Dispatched requests not yet answered.
+  std::size_t in_flight PARSDD_GUARDED_BY(mu) = 0;
+  bool stopping PARSDD_GUARDED_BY(mu) = false;
+  ServiceStats counters PARSDD_GUARDED_BY(mu);
+  SetupCache setup_cache PARSDD_GUARDED_BY(mu);
 
   std::unique_ptr<TaskQueue> exec;
   std::thread dispatcher;
-  std::unique_ptr<SetupCache> setup_cache;  // guarded by mu
 
-  StatusOr<SetupHandle> add_setup(std::shared_ptr<const SolverSetup> setup);
-  /// Registry insertion shared by every registration path; `mu` must be
-  /// held.  One definition of handle allocation, so the cache-hit and
-  /// build paths cannot diverge.
+  StatusOr<SetupHandle> add_setup(std::shared_ptr<const SolverSetup> setup)
+      PARSDD_EXCLUDES(mu);
+  /// Registry insertion shared by every registration path.  One definition
+  /// of handle allocation, so the cache-hit and build paths cannot diverge.
   StatusOr<SetupHandle> add_setup_locked(
-      std::shared_ptr<const SolverSetup> setup);
+      std::shared_ptr<const SolverSetup> setup) PARSDD_REQUIRES(mu);
   /// Cache-aware build-and-register shared by register_laplacian and
   /// register_sdd: `fp` keys the cache, `build` runs the chain
   /// construction on a miss.  The build runs outside the service mutex, so
@@ -85,27 +92,43 @@ struct SolverService::Impl {
   /// equal fingerprints mean deterministically identical setups).
   template <typename BuildFn>
   StatusOr<SetupHandle> register_built(const SetupFingerprint& fp,
-                                       const char* what,
-                                       BuildFn&& build);
-  void dispatcher_loop();
-  void dispatch_singles(std::unique_lock<std::mutex>& lock, std::uint64_t id,
-                        std::deque<PendingSingle>& singles);
-  void dispatch_batch(std::unique_lock<std::mutex>& lock,
-                      std::deque<PendingBatch>& batches);
+                                       const char* what, BuildFn&& build)
+      PARSDD_EXCLUDES(mu);
+  void dispatcher_loop() PARSDD_EXCLUDES(mu);
+
+  /// True when any ticket for a different handle is waiting — the signal
+  /// that cuts a linger window short (no head-of-line blocking).
+  bool other_handle_waiting(std::uint64_t id) const PARSDD_REQUIRES(mu);
+  /// Lingers (lock released while waiting), then coalesces up to max_batch
+  /// pending singles for the handle into one job; null for a stale ticket.
+  std::shared_ptr<SingleBlockJob> collect_singles(
+      MutexLock& lock, std::uint64_t id, std::deque<PendingSingle>& singles)
+      PARSDD_REQUIRES(mu);
+  /// Pops the oldest pre-assembled block; null for a stale ticket.
+  std::shared_ptr<PendingBatch> take_batch(std::deque<PendingBatch>& batches)
+      PARSDD_REQUIRES(mu);
+  /// Hand-off to the executors; called with the mutex released so the
+  /// dispatcher never holds it across a post.
+  void post_single_block(std::shared_ptr<SingleBlockJob> job)
+      PARSDD_EXCLUDES(mu);
+  void post_batch(std::shared_ptr<PendingBatch> job) PARSDD_EXCLUDES(mu);
+
   void execute_single_block(SingleBlockJob& job);
-  void finish(std::size_t count);
+  void finish(std::size_t count) PARSDD_EXCLUDES(mu);
 
   /// Backpressure measures the whole pipeline: accepted-but-undispatched
   /// PLUS dispatched-but-unanswered.  Counting only the former would let
   /// the executor queue grow without bound whenever solves are the
   /// bottleneck (the dispatcher drains `queued` faster than solves finish).
-  bool at_capacity() const { return queued + in_flight >= opts.max_pending; }
+  bool at_capacity() const PARSDD_REQUIRES(mu) {
+    return queued + in_flight >= opts.max_pending;
+  }
 
   /// Frees the per-handle queue slot once the handle is unregistered and
   /// nothing is pending against it; ids are never reused, so without this
   /// a register/serve/unregister churn pattern would leak one map node per
   /// handle for the process lifetime.
-  void gc_queues(std::uint64_t id) {
+  void gc_queues(std::uint64_t id) PARSDD_REQUIRES(mu) {
     auto it = queues.find(id);
     if (it != queues.end() && it->second.singles.empty() &&
         it->second.batches.empty() && registry.find(id) == registry.end()) {
@@ -115,18 +138,15 @@ struct SolverService::Impl {
 };
 
 SolverService::SolverService(const ServiceOptions& opts)
-    : impl_(std::make_unique<Impl>()) {
-  impl_->opts = opts;
-  impl_->opts.max_batch = std::max<std::uint32_t>(impl_->opts.max_batch, 1);
-  impl_->setup_cache = std::make_unique<SetupCache>(opts.setup_cache_capacity);
-  impl_->exec =
-      std::make_unique<TaskQueue>(std::max<std::uint32_t>(opts.workers, 1));
+    : impl_(std::make_unique<Impl>(opts)) {
+  impl_->exec = std::make_unique<TaskQueue>(
+      std::max<std::uint32_t>(impl_->opts.workers, 1));
   impl_->dispatcher = std::thread([this] { impl_->dispatcher_loop(); });
 }
 
 SolverService::~SolverService() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->stopping = true;
   }
   impl_->cv_dispatch.notify_all();
@@ -149,7 +169,7 @@ StatusOr<SetupHandle> SolverService::Impl::add_setup(
   if (!setup) {
     return InvalidArgumentError("SolverService: null setup");
   }
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   return add_setup_locked(std::move(setup));
 }
 
@@ -157,11 +177,11 @@ template <typename BuildFn>
 StatusOr<SetupHandle> SolverService::Impl::register_built(
     const SetupFingerprint& fp, const char* what, BuildFn&& build) {
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (stopping) {
       return UnavailableError("SolverService: shutting down");
     }
-    if (std::shared_ptr<const SolverSetup> cached = setup_cache->get(fp)) {
+    if (std::shared_ptr<const SolverSetup> cached = setup_cache.get(fp)) {
       ++counters.setup_cache_hits;
       return add_setup_locked(std::move(cached));
     }
@@ -175,8 +195,8 @@ StatusOr<SetupHandle> SolverService::Impl::register_built(
     // failures; the service boundary translates them.
     return InvalidArgumentError(std::string(what) + ": " + e.what());
   }
-  std::lock_guard<std::mutex> lock(mu);
-  setup_cache->put(fp, setup);
+  MutexLock lock(mu);
+  setup_cache.put(fp, setup);
   return add_setup_locked(std::move(setup));
 }
 
@@ -211,7 +231,7 @@ Status SolverService::snapshot(SetupHandle handle,
                                const std::string& path) const {
   std::shared_ptr<const SolverSetup> setup;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     auto it = impl_->registry.find(handle.id);
     if (it == impl_->registry.end()) {
       return NotFoundError("snapshot: unknown handle " +
@@ -230,7 +250,7 @@ StatusOr<SetupHandle> SolverService::register_setup(
 }
 
 Status SolverService::unregister(SetupHandle handle) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   if (impl_->registry.erase(handle.id) == 0) {
     return NotFoundError("unregister: unknown handle " +
                          std::to_string(handle.id));
@@ -242,7 +262,7 @@ Status SolverService::unregister(SetupHandle handle) {
 }
 
 StatusOr<SetupInfo> SolverService::info(SetupHandle handle) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->registry.find(handle.id);
   if (it == impl_->registry.end()) {
     return NotFoundError("info: unknown handle " + std::to_string(handle.id));
@@ -261,7 +281,7 @@ std::future<StatusOr<SolveResult>> SolverService::submit(SetupHandle handle,
   std::future<StatusOr<SolveResult>> future = promise.get_future();
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     if (impl_->stopping) {
       promise.set_value(UnavailableError("submit: shutting down"));
       return future;
@@ -303,7 +323,7 @@ std::future<StatusOr<BatchSolveResult>> SolverService::submit_batch(
   std::future<StatusOr<BatchSolveResult>> future = promise.get_future();
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     if (impl_->stopping) {
       promise.set_value(UnavailableError("submit_batch: shutting down"));
       return future;
@@ -344,20 +364,21 @@ std::future<StatusOr<BatchSolveResult>> SolverService::submit_batch(
 }
 
 void SolverService::drain() {
-  std::unique_lock<std::mutex> lock(impl_->mu);
-  impl_->cv_idle.wait(
-      lock, [&] { return impl_->queued == 0 && impl_->in_flight == 0; });
+  MutexLock lock(impl_->mu);
+  while (impl_->queued != 0 || impl_->in_flight != 0) {
+    impl_->cv_idle.wait(lock);
+  }
 }
 
 ServiceStats SolverService::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return impl_->counters;
 }
 
 void SolverService::Impl::dispatcher_loop() {
-  std::unique_lock<std::mutex> lock(mu);
+  MutexLock lock(mu);
   for (;;) {
-    cv_dispatch.wait(lock, [&] { return stopping || !tokens.empty(); });
+    while (!stopping && tokens.empty()) cv_dispatch.wait(lock);
     if (tokens.empty()) {
       if (stopping) return;  // fully drained
       continue;
@@ -366,19 +387,39 @@ void SolverService::Impl::dispatcher_loop() {
     tokens.pop_front();
     auto qit = queues.find(token.id);
     if (qit == queues.end()) continue;
+    // Collect under the lock, post outside it: the unlock/relock pair lives
+    // in the same scope as the MutexLock so the thread-safety analysis can
+    // track the scoped release (and the dispatcher never holds the service
+    // mutex across an executor hand-off).
     if (token.is_batch) {
-      dispatch_batch(lock, qit->second.batches);
+      if (std::shared_ptr<PendingBatch> job = take_batch(qit->second.batches)) {
+        lock.Unlock();
+        post_batch(std::move(job));
+        lock.Lock();
+      }
     } else {
-      dispatch_singles(lock, token.id, qit->second.singles);
+      if (std::shared_ptr<SingleBlockJob> job =
+              collect_singles(lock, token.id, qit->second.singles)) {
+        lock.Unlock();
+        post_single_block(std::move(job));
+        lock.Lock();
+      }
     }
     gc_queues(token.id);
   }
 }
 
-void SolverService::Impl::dispatch_singles(std::unique_lock<std::mutex>& lock,
-                                           std::uint64_t id,
-                                           std::deque<PendingSingle>& singles) {
-  if (singles.empty()) return;  // stale ticket: already coalesced away
+bool SolverService::Impl::other_handle_waiting(std::uint64_t id) const {
+  for (const Token& t : tokens) {
+    if (t.id != id) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<SolverService::Impl::SingleBlockJob>
+SolverService::Impl::collect_singles(MutexLock& lock, std::uint64_t id,
+                                     std::deque<PendingSingle>& singles) {
+  if (singles.empty()) return nullptr;  // stale ticket: already coalesced
   if (opts.coalesce && opts.max_linger_us > 0) {
     // Let the block fill: wait (lock released) until max_batch columns are
     // pending or the oldest request has lingered its budget.  Shutdown cuts
@@ -387,16 +428,10 @@ void SolverService::Impl::dispatch_singles(std::unique_lock<std::mutex>& lock,
     // must not head-of-line block handle B behind handle A's linger window
     // (requests for the same handle only push same-id tickets, so the hot
     // single-handle burst still coalesces fully).
-    auto other_handle_waiting = [&] {
-      for (const Token& t : tokens) {
-        if (t.id != id) return true;
-      }
-      return false;
-    };
     Clock::time_point deadline =
         singles.front().arrival + std::chrono::microseconds(opts.max_linger_us);
     while (!stopping && singles.size() < opts.max_batch &&
-           Clock::now() < deadline && !other_handle_waiting()) {
+           Clock::now() < deadline && !other_handle_waiting(id)) {
       cv_dispatch.wait_until(lock, deadline);
     }
   }
@@ -414,9 +449,23 @@ void SolverService::Impl::dispatch_singles(std::unique_lock<std::mutex>& lock,
   in_flight += take;
   ++counters.dispatched_blocks;
   counters.dispatched_cols += take;
-  lock.unlock();
-  // Hand the block to the executors; the dispatcher goes straight back to
-  // collecting the next one while this solve runs.
+  return job;
+}
+
+std::shared_ptr<SolverService::Impl::PendingBatch>
+SolverService::Impl::take_batch(std::deque<PendingBatch>& batches) {
+  if (batches.empty()) return nullptr;
+  auto job = std::make_shared<PendingBatch>(std::move(batches.front()));
+  batches.pop_front();
+  --queued;
+  ++in_flight;
+  ++counters.dispatched_blocks;
+  counters.dispatched_cols += job->b.cols();
+  return job;
+}
+
+void SolverService::Impl::post_single_block(
+    std::shared_ptr<SingleBlockJob> job) {
   bool posted = exec->post([this, job] {
     execute_single_block(*job);
     finish(job->reqs.size());
@@ -427,24 +476,15 @@ void SolverService::Impl::dispatch_singles(std::unique_lock<std::mutex>& lock,
     }
     finish(job->reqs.size());
   }
-  lock.lock();
 }
 
-void SolverService::Impl::dispatch_batch(std::unique_lock<std::mutex>& lock,
-                                         std::deque<PendingBatch>& batches) {
-  if (batches.empty()) return;
-  auto job = std::make_shared<PendingBatch>(std::move(batches.front()));
-  batches.pop_front();
-  --queued;
-  ++in_flight;
-  ++counters.dispatched_blocks;
-  counters.dispatched_cols += job->b.cols();
-  lock.unlock();
+void SolverService::Impl::post_batch(std::shared_ptr<PendingBatch> job) {
   bool posted = exec->post([this, job] {
     BatchSolveReport report;
     StatusOr<MultiVec> x = job->setup->solve_batch(job->b, &report);
     if (x.ok()) {
-      job->promise.set_value(BatchSolveResult{std::move(*x), std::move(report)});
+      job->promise.set_value(
+          BatchSolveResult{std::move(*x), std::move(report)});
     } else {
       job->promise.set_value(x.status());
     }
@@ -454,7 +494,6 @@ void SolverService::Impl::dispatch_batch(std::unique_lock<std::mutex>& lock,
     job->promise.set_value(UnavailableError("service stopped"));
     finish(1);
   }
-  lock.lock();
 }
 
 void SolverService::Impl::execute_single_block(SingleBlockJob& job) {
@@ -482,7 +521,7 @@ void SolverService::Impl::execute_single_block(SingleBlockJob& job) {
 
 void SolverService::Impl::finish(std::size_t count) {
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     in_flight -= count;
     counters.completed += count;
   }

@@ -39,6 +39,13 @@
 // backpressure, Unavailable once shutdown has begun.  The service never
 // throws and never aborts on client input.  See DESIGN.md, "Service
 // dispatch" for the queueing model.
+//
+// Locking model: one service Mutex (util/thread_annotations.h) guards the
+// registry, the per-handle queues, the ticket FIFO, the pipeline counters,
+// and the SetupCache; every guarded member and lock-requiring helper in the
+// Impl carries clang thread-safety annotations, so the discipline is
+// enforced at compile time under -Wthread-safety (DESIGN.md §7 has the full
+// mutex → state → tool matrix).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,144 @@
+// Clang Thread Safety Analysis vocabulary for parsdd, plus the annotated
+// Mutex / MutexLock / CondVar wrappers the concurrent layers are written
+// against.
+//
+// The concurrency in this library (fork-join pool, task FIFO, service
+// dispatcher) is guarded by a handful of mutexes whose discipline used to be
+// enforced only dynamically (the TSan CI lane) and by comment ("guarded by
+// mu_").  These macros make the discipline machine-checked: under clang the
+// library builds with -Wthread-safety -Werror=thread-safety (see
+// PARSDD_THREAD_SAFETY in CMakeLists.txt), so touching a PARSDD_GUARDED_BY
+// member without its mutex, or calling a PARSDD_REQUIRES function unlocked,
+// is a compile error.  Under gcc (which has no thread-safety analysis) every
+// macro expands to nothing and the wrappers are zero-cost shims over
+// std::mutex / std::condition_variable.
+//
+// Why wrappers at all: the analysis only tracks types that declare a
+// capability, and std::mutex does not.  Mutex re-exports std::mutex under a
+// CAPABILITY("mutex") attribute; MutexLock is the scoped guard (with
+// explicit Unlock()/Lock() for the dispatcher's hand-off pattern, which the
+// analysis tracks as a scoped capability release/reacquire); CondVar wraps
+// std::condition_variable against MutexLock.  Condition waits are written as
+// explicit `while (!pred) cv.wait(lock);` loops rather than the predicate
+// overload — the analysis treats a lambda as a separate unannotated function
+// and cannot see that the predicate runs under the lock.
+//
+// Annotation reference:
+//   https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PARSDD_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef PARSDD_THREAD_ANNOTATION__
+#define PARSDD_THREAD_ANNOTATION__(x)  // not clang: annotations are comments
+#endif
+
+/// Declares that a type is a lockable capability (mutexes).
+#define PARSDD_CAPABILITY(x) PARSDD_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define PARSDD_SCOPED_CAPABILITY PARSDD_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member is protected by the given capability: reads require the
+/// capability shared, writes require it exclusive.
+#define PARSDD_GUARDED_BY(x) PARSDD_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define PARSDD_PT_GUARDED_BY(x) PARSDD_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry and exit.
+#define PARSDD_REQUIRES(...) \
+  PARSDD_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not be held on entry).
+#define PARSDD_ACQUIRE(...) \
+  PARSDD_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define PARSDD_RELEASE(...) \
+  PARSDD_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns the given value.
+#define PARSDD_TRY_ACQUIRE(...) \
+  PARSDD_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention on re-entry).
+#define PARSDD_EXCLUDES(...) PARSDD_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch; every use carries a justification comment.
+#define PARSDD_NO_THREAD_SAFETY_ANALYSIS \
+  PARSDD_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace parsdd {
+
+/// std::mutex re-exported as a clang capability.  Same cost, same semantics;
+/// the attribute is the only addition.
+class PARSDD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PARSDD_ACQUIRE() { mu_.lock(); }
+  void unlock() PARSDD_RELEASE() { mu_.unlock(); }
+  bool try_lock() PARSDD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped guard over Mutex.  Beyond plain RAII it supports the dispatcher's
+/// hand-off pattern — release the service mutex to post a block, reacquire to
+/// keep scanning — which the analysis tracks because Unlock()/Lock() are
+/// annotated as scoped-capability release/reacquire.
+class PARSDD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PARSDD_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() PARSDD_RELEASE() = default;
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily release the mutex (it must be held).
+  void Unlock() PARSDD_RELEASE() { lock_.unlock(); }
+  /// Reacquire after Unlock().
+  void Lock() PARSDD_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable against MutexLock.  wait() atomically releases and
+/// reacquires the underlying mutex; from the analysis's point of view the
+/// capability is held across the call, which is sound because the caller
+/// re-checks its predicate under the lock (all waits in this library are
+/// `while (!pred) cv.wait(lock);` loops).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename TimePoint>
+  std::cv_status wait_until(MutexLock& lock, const TimePoint& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace parsdd

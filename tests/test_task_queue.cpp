@@ -1,0 +1,144 @@
+// Shutdown-edge coverage for TaskQueue (src/parallel/task_queue.h).
+//
+// The dispatcher/executor handoff in SolverService leans on three promises
+// that only bite during teardown: post() after stop() must refuse cleanly,
+// drain() must observe queued *and* in-flight work, and the destructor must
+// finish whatever was accepted before joining.  These tests run under the
+// TSan lane in CI (see .github/workflows/ci.yml), which is where a missed
+// wakeup or an unlocked touch of the FIFO actually shows up.
+
+#include "parallel/task_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace parsdd {
+namespace {
+
+// Manual-reset gate so a test can hold an executor mid-task.
+class Gate {
+ public:
+  void open() {
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(TaskQueueTest, ExecutesEverythingPosted) {
+  std::atomic<int> ran{0};
+  TaskQueue queue(2);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(queue.post([&ran] { ran.fetch_add(1); }));
+  }
+  queue.drain();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(TaskQueueTest, PostAfterStopIsRefusedAndDropped) {
+  std::atomic<bool> leaked{false};
+  TaskQueue queue(1);
+  queue.stop();
+  EXPECT_FALSE(queue.post([&leaked] { leaked.store(true); }));
+  EXPECT_EQ(queue.pending(), 0u);
+  // stop() is idempotent and the destructor may call it again.
+  queue.stop();
+  EXPECT_FALSE(leaked.load());
+}
+
+TEST(TaskQueueTest, StopFinishesQueuedBacklog) {
+  // One executor held at the gate while a backlog accumulates; stop() must
+  // run the backlog to completion before joining, not abandon it.
+  std::atomic<int> ran{0};
+  Gate gate;
+  TaskQueue queue(1);
+  ASSERT_TRUE(queue.post([&] {
+    gate.wait();
+    ran.fetch_add(1);
+  }));
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(queue.post([&ran] { ran.fetch_add(1); }));
+  }
+  gate.open();
+  queue.stop();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(TaskQueueTest, DrainWaitsForQueuedAndInFlight) {
+  std::atomic<int> ran{0};
+  Gate gate;
+  std::atomic<bool> first_started{false};
+  TaskQueue queue(1);
+  ASSERT_TRUE(queue.post([&] {
+    first_started.store(true);
+    gate.wait();
+    ran.fetch_add(1);
+  }));
+  while (!first_started.load()) {
+    std::this_thread::yield();
+  }
+  // First task is in flight (not pending); the rest are queued behind it.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.post([&ran] { ran.fetch_add(1); }));
+  }
+  EXPECT_EQ(queue.pending(), 5u);
+  gate.open();
+  queue.drain();
+  // drain() returning means empty FIFO *and* idle executors.
+  EXPECT_EQ(ran.load(), 6);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(TaskQueueTest, DestructorCompletesInFlightTasks) {
+  std::atomic<int> ran{0};
+  {
+    TaskQueue queue(4);
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_TRUE(queue.post([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ran.fetch_add(1);
+      }));
+    }
+    // Destructor runs with tasks queued and in flight.
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(TaskQueueTest, DrainOnIdleQueueReturnsImmediately) {
+  TaskQueue queue(2);
+  queue.drain();  // nothing queued, nothing running
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(TaskQueueTest, PostFromWithinATask) {
+  // The service's failure paths re-enter post() from executor context;
+  // the queue must not self-deadlock on its own mutex.
+  std::atomic<int> ran{0};
+  TaskQueue queue(1);
+  ASSERT_TRUE(queue.post([&] {
+    ran.fetch_add(1);
+    queue.post([&ran] { ran.fetch_add(1); });
+  }));
+  queue.drain();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+}  // namespace
+}  // namespace parsdd

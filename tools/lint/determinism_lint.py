@@ -1,0 +1,405 @@
+#!/usr/bin/env python3
+"""Determinism-contract linter for parsdd (DESIGN.md §6 / §7).
+
+The library promises bitwise-identical results across pool sizes, compilers,
+and processes.  That contract is easy to break silently: one range-for over
+an unordered container, one call to a wall-clock or PRNG the canonical
+reduction trees don't know about, one comparator keyed on pointer values —
+and solves drift between runs while every unit test of *properties* still
+passes.  This linter enforces the contract mechanically over the source
+tree, as the static half of the enforcement matrix (the dynamic half is the
+TSan lane and test_determinism).
+
+Rules (each finding names one):
+
+  unordered-iter   Iteration over std::unordered_map/set (range-for or
+                   .begin()).  Iteration order is implementation-defined and
+                   seed-dependent; iterate a sorted/indexed container
+                   instead, or key the loop on a deterministic id.
+  entropy          Nondeterministic inputs: rand()/srand(), random_device,
+                   std::mt19937 & friends, <random> distributions (their
+                   streams differ across standard libraries), time()/clock()
+                   and chrono clocks, getpid, thread ids.  All randomness
+                   must come from parallel/rng.h (counter-based, seeded);
+                   clocks are legal only for scheduling decisions that never
+                   change results (allowlisted per file).
+  pointer-order    Ordering or keying on pointer *values* (uintptr_t casts,
+                   std::less<T*>, address comparisons).  Allocation addresses
+                   differ run to run, so any pointer-keyed order is
+                   nondeterministic.
+  raw-dispatch     ThreadPool::run_blocks call with no GranularitySite gate
+                   in view (within WINDOW preceding lines).  Ungated
+                   dispatches bypass the oracular spawn decision and — worse
+                   — tend to grow ad-hoc sequential fallbacks whose block
+                   geometry silently diverges from the parallel path.
+
+Findings are suppressed by tools/lint/determinism_allowlist.txt entries of
+the form `<path> <rule>  # justification`.  Stale entries (matching no
+finding) fail the run, so the allowlist cannot rot.
+
+Usage:
+  determinism_lint.py [--root REPO] [--report FILE]   lint the tree
+  determinism_lint.py --self-test                     prove the rules fire
+
+Exit status: 0 clean, 1 findings (or stale allowlist), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+# Directories under the repo root whose sources carry the determinism
+# contract.  src/service and src/util are included: the service must stay
+# bitwise-invisible (coalescing contract) and serialize.cpp writes the
+# snapshot payload.
+SCAN_DIRS = ["src"]
+SOURCE_SUFFIXES = {".h", ".cpp", ".hpp", ".cc"}
+
+# Files where run_blocks is the implementation, not a dispatch site.
+RAW_DISPATCH_EXEMPT = {
+    "src/parallel/thread_pool.h",
+    "src/parallel/thread_pool.cpp",
+}
+
+# How many preceding (comment-stripped) lines may separate a run_blocks
+# call from its GranularitySite gate.
+WINDOW = 80
+
+ENTROPY_TOKENS = [
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bminstd_rand0?\b"), "std::minstd_rand"),
+    (re.compile(r"\bdefault_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"\b\w+_distribution\s*<"), "<random> distribution"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"), "time()"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday"),
+    (re.compile(r"\bclock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\b(steady_clock|system_clock|high_resolution_clock)\b"),
+     "chrono clock"),
+    (re.compile(r"\bgetpid\s*\("), "getpid()"),
+    (re.compile(r"\bthis_thread::get_id\b"), "thread id"),
+]
+
+POINTER_ORDER_TOKENS = [
+    (re.compile(r"\bu?intptr_t\b"), "pointer-to-integer type"),
+    (re.compile(r"\bstd::less\s*<[^>]*\*\s*>"), "std::less over pointers"),
+    (re.compile(r"reinterpret_cast\s*<\s*(std::)?\s*u?int(ptr_t|64_t|32_t)"),
+     "pointer reinterpreted as integer"),
+]
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:flat_)?(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*"
+    r"(\w+)\s*(?:;|=|\{|\()")
+RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;:)]*?:\s*\*?([A-Za-z_]\w*)\s*\)")
+BEGIN_CALL = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(?:c?begin|c?end)\s*\(")
+RUN_BLOCKS = re.compile(r"\brun_blocks\s*\(")
+GATE = re.compile(r"\b(GranularitySite|should_parallelize)\b")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving newlines and
+    column positions, so token rules never fire on prose or messages."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif mode in ("str", "chr"):
+            quote = '"' if mode == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                mode = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def lint_text(rel_path: str, raw: str) -> list[Finding]:
+    text = strip_comments_and_strings(raw)
+    lines = text.split("\n")
+    findings: list[Finding] = []
+
+    # unordered-iter: names declared (anywhere in this file) with an
+    # unordered container type, then range-iterated or .begin()/.end()'d.
+    unordered_names = set(UNORDERED_DECL.findall(text))
+    for lineno, line in enumerate(lines, 1):
+        m = RANGE_FOR.search(line)
+        if m and m.group(1) in unordered_names:
+            findings.append(Finding(
+                rel_path, lineno, "unordered-iter",
+                f"range-for over unordered container '{m.group(1)}' — "
+                "iteration order is implementation-defined"))
+        for m in BEGIN_CALL.finditer(line):
+            if m.group(1) in unordered_names:
+                findings.append(Finding(
+                    rel_path, lineno, "unordered-iter",
+                    f"iterator walk over unordered container '{m.group(1)}' — "
+                    "iteration order is implementation-defined"))
+
+    for lineno, line in enumerate(lines, 1):
+        for pattern, what in ENTROPY_TOKENS:
+            if pattern.search(line):
+                findings.append(Finding(
+                    rel_path, lineno, "entropy",
+                    f"{what} is a nondeterministic input; use parallel/rng.h "
+                    "(or allowlist if scheduling-only)"))
+        for pattern, what in POINTER_ORDER_TOKENS:
+            if pattern.search(line):
+                findings.append(Finding(
+                    rel_path, lineno, "pointer-order",
+                    f"{what} — pointer values differ across runs and must "
+                    "not order or key results"))
+
+    if rel_path not in RAW_DISPATCH_EXEMPT:
+        for lineno, line in enumerate(lines, 1):
+            if not RUN_BLOCKS.search(line):
+                continue
+            lo = max(0, lineno - 1 - WINDOW)
+            context = "\n".join(lines[lo:lineno])
+            if not GATE.search(context):
+                findings.append(Finding(
+                    rel_path, lineno, "raw-dispatch",
+                    "run_blocks dispatch with no GranularitySite gate within "
+                    f"{WINDOW} lines — route the spawn decision through a "
+                    "site (DESIGN.md §6)"))
+    return findings
+
+
+def load_allowlist(path: Path):
+    entries = {}  # (path, rule) -> (lineno, justification)
+    if not path.exists():
+        return entries
+    for lineno, raw_line in enumerate(path.read_text().splitlines(), 1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, comment = line.partition("#")
+        parts = body.split()
+        if len(parts) != 2:
+            raise SystemExit(
+                f"{path}:{lineno}: malformed allowlist entry (want "
+                f"'<path> <rule>  # justification'): {raw_line!r}")
+        if not comment.strip():
+            raise SystemExit(
+                f"{path}:{lineno}: allowlist entry needs a '# justification'")
+        entries[(parts[0], parts[1])] = (lineno, comment.strip())
+    return entries
+
+
+def lint_tree(root: Path, allowlist_path: Path):
+    files = []
+    for d in SCAN_DIRS:
+        base = root / d
+        if base.is_dir():
+            files.extend(p for p in sorted(base.rglob("*"))
+                         if p.suffix in SOURCE_SUFFIXES)
+    findings = []
+    for p in files:
+        rel = p.relative_to(root).as_posix()
+        findings.extend(lint_text(rel, p.read_text(errors="replace")))
+
+    allow = load_allowlist(allowlist_path)
+    used = set()
+    kept = []
+    for f in findings:
+        key = (f.path, f.rule)
+        if key in allow:
+            used.add(key)
+        else:
+            kept.append(f)
+    stale = [(k, v) for k, v in allow.items() if k not in used]
+    return kept, stale, len(files)
+
+
+def run_self_test() -> int:
+    """Seeded-violation harness: every rule must fire on a planted sample,
+    stay quiet on clean code, and respect (but not over-respect) the
+    allowlist."""
+    samples = {
+        # rule -> (filename, code that must trigger it)
+        "unordered-iter": ("src/solver/bad_iter.cpp", """
+            #include <unordered_map>
+            int f() {
+              std::unordered_map<int, int> scores;
+              int s = 0;
+              for (const auto& kv : scores) s += kv.second;
+              return s;
+            }
+        """),
+        "entropy": ("src/solver/bad_entropy.cpp", """
+            #include <cstdlib>
+            double jitter() { return rand() * 1e-9; }
+        """),
+        "pointer-order": ("src/solver/bad_ptr.cpp", """
+            #include <cstdint>
+            bool before(const int* a, const int* b) {
+              return reinterpret_cast<std::uintptr_t>(a) <
+                     reinterpret_cast<std::uintptr_t>(b);
+            }
+        """),
+        "raw-dispatch": ("src/solver/bad_dispatch.cpp", """
+            #include "parallel/thread_pool.h"
+            void f(std::size_t nb) {
+              parsdd::ThreadPool::instance().run_blocks(nb, [](std::size_t) {});
+            }
+        """),
+    }
+    clean = ("src/solver/good.cpp", """
+        // rand() in a comment and "random_device" in a string are fine.
+        #include "parallel/granularity.h"
+        #include "parallel/thread_pool.h"
+        static parsdd::GranularitySite site("good.loop");
+        void f(std::size_t nb) {
+          const char* msg = "uses std::time() never";
+          (void)msg;
+          if (site.should_parallelize(nb * 4)) {
+            parsdd::ThreadPool::instance().run_blocks(nb, [](std::size_t) {});
+          }
+        }
+    """)
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="detlint_selftest_") as tmp:
+        root = Path(tmp)
+        for rule, (rel, code) in samples.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(code)
+        p = root / clean[0]
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(clean[1])
+
+        empty_allow = root / "allow.txt"
+        kept, stale, nfiles = lint_tree(root, empty_allow)
+        assert nfiles == len(samples) + 1, f"scanned {nfiles} files"
+
+        for rule, (rel, _) in samples.items():
+            hits = [f for f in kept if f.rule == rule and f.path == rel]
+            if not hits:
+                failures.append(f"rule '{rule}' did not fire on seeded "
+                                f"violation {rel}")
+        noise = [f for f in kept if f.path == clean[0]]
+        if noise:
+            failures.append(f"false positives on clean file: "
+                            f"{[str(f) for f in noise]}")
+
+        # Allowlist suppresses exactly the listed (path, rule); a stale
+        # entry is reported.
+        allow = root / "allow2.txt"
+        allow.write_text(
+            f"{samples['entropy'][0]} entropy  # seeded sample\n"
+            f"src/solver/nonexistent.cpp entropy  # stale on purpose\n")
+        kept2, stale2, _ = lint_tree(root, allow)
+        if any(f.rule == "entropy" and f.path == samples["entropy"][0]
+               for f in kept2):
+            failures.append("allowlist failed to suppress a listed finding")
+        if len(stale2) != 1:
+            failures.append(f"expected exactly 1 stale entry, got {stale2}")
+        if not any(f.rule == "unordered-iter" for f in kept2):
+            failures.append("allowlist over-suppressed unrelated rules")
+
+    if failures:
+        print("determinism_lint self-test FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"determinism_lint self-test OK: {len(samples)} seeded violations "
+          "caught, clean file quiet, allowlist exact")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parents[2],
+                    help="repository root (default: two levels up)")
+    ap.add_argument("--allowlist", type=Path, default=None,
+                    help="allowlist file (default: determinism_allowlist.txt "
+                         "next to this script)")
+    ap.add_argument("--report", type=Path, default=None,
+                    help="also write findings to this file (CI artifact)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the seeded-violation harness and exit")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    allowlist = args.allowlist or Path(__file__).resolve().parent / \
+        "determinism_allowlist.txt"
+    kept, stale, nfiles = lint_tree(args.root, allowlist)
+
+    lines = [str(f) for f in kept]
+    for (path, rule), (lineno, _) in stale:
+        lines.append(f"{allowlist}:{lineno}: stale allowlist entry "
+                     f"({path}, {rule}) matches no finding — remove it")
+    report = "\n".join(lines)
+    if args.report:
+        args.report.write_text(report + ("\n" if report else ""))
+    if lines:
+        print(report)
+        print(f"\ndeterminism_lint: {len(kept)} finding(s), {len(stale)} "
+              f"stale allowlist entr(ies) over {nfiles} files")
+        return 1
+    print(f"determinism_lint: clean ({nfiles} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
