@@ -1,0 +1,230 @@
+// E15 — sharded multi-process serving (dist/coordinator.h).
+//
+// Claim under test: the coordinator turns worker processes into serving
+// capacity — ~10^3 synchronous clients see higher aggregate throughput as
+// workers are added, each answer stays bitwise identical to an in-process
+// solve, and killing a worker mid-load costs one bounded recovery window
+// (respawn + snapshot re-registration), not a restart of the fleet.
+//
+// For each worker count in {1, 2, 4}: register four distinct grid setups
+// (spread round-robin with rebalance()), drive 16 client threads x 64
+// synchronous requests each (1024 per configuration), then SIGKILL worker 0
+// under fresh load and measure time-to-first-answer afterwards.  Emits
+// BENCH_dist.json: per-RHS latency (mean/p50/p99), throughput, and both
+// recovery clocks (the coordinator's internal respawn time and the
+// client-observed outage).
+//
+// Worker binary discovery mirrors test_dist: the PARSDD_WORKER_BIN
+// environment variable, else the compile definition from bench/CMakeLists.
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "dist/coordinator.h"
+#include "graph/generators.h"
+#include "solver/solver_setup.h"
+
+namespace {
+
+using namespace parsdd;
+using parsdd_bench::BenchJson;
+using parsdd_bench::Timer;
+
+constexpr std::uint32_t kClients = 16;
+constexpr std::uint32_t kReqsPerClient = 64;
+
+struct Workload {
+  std::string snapshot;
+  std::uint32_t n = 0;
+  Vec b;
+  Vec expected;
+};
+
+std::string worker_binary() {
+  const char* env = std::getenv("PARSDD_WORKER_BIN");
+  if (env != nullptr && env[0] != '\0') return env;
+#ifdef PARSDD_WORKER_BIN
+  return PARSDD_WORKER_BIN;
+#else
+  return std::string();
+#endif
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  std::size_t idx = static_cast<std::size_t>(p * (sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+}  // namespace
+
+int main() {
+  parsdd_bench::header(
+      "E15: sharded multi-process serving",
+      "1024 synchronous clients vs 1/2/4 workers: throughput, per-RHS "
+      "latency, and recovery after SIGKILL");
+  if (worker_binary().empty()) {
+    std::fprintf(stderr, "bench_dist: no worker binary (PARSDD_WORKER_BIN)\n");
+    return 1;
+  }
+
+  const std::string snap_dir = "bench_dist_snapshots";
+  mkdir(snap_dir.c_str(), 0755);
+
+  // Four distinct setups: different grids so each has its own snapshot
+  // digest (and so shard placement has something to spread).  ~1k-node
+  // grids keep the 3 x 1024-request sweep inside smoke-bench time while
+  // still being large enough that solve cost dominates wire cost.
+  const std::uint32_t grids[4][2] = {{32, 32}, {31, 33}, {33, 31}, {30, 34}};
+  std::vector<Workload> work;
+  for (int i = 0; i < 4; ++i) {
+    GeneratedGraph g = grid2d(grids[i][0], grids[i][1]);
+    SolverSetup setup = SolverSetup::for_laplacian(g.n, g.edges);
+    Workload w;
+    w.snapshot = snap_dir + "/grid_" + std::to_string(i) + ".snap";
+    if (!setup.Save(w.snapshot).ok()) {
+      std::fprintf(stderr, "bench_dist: cannot save %s\n",
+                   w.snapshot.c_str());
+      return 1;
+    }
+    w.n = g.n;
+    w.b = random_unit_like(g.n, 1000 + i);
+    w.expected = setup.solve(w.b).value();
+    work.push_back(std::move(w));
+  }
+
+  BenchJson json("dist");
+  std::printf("%8s %9s %12s %10s %10s %10s %12s %12s\n", "workers", "reqs",
+              "throughput", "lat_mean", "lat_p50", "lat_p99", "respawn_ms",
+              "outage_ms");
+
+  for (std::uint32_t workers : {1u, 2u, 4u}) {
+    dist::CoordinatorOptions opts;
+    opts.workers = workers;
+    opts.worker_binary = worker_binary();
+    opts.snapshot_dir = snap_dir;
+    opts.worker_threads = 2;
+    StatusOr<std::unique_ptr<dist::Coordinator>> started =
+        dist::Coordinator::Start(opts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "bench_dist: start(%u): %s\n", workers,
+                   started.status().to_string().c_str());
+      return 1;
+    }
+    dist::Coordinator& c = **started;
+
+    std::vector<SetupHandle> handles;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      StatusOr<SetupHandle> h = c.register_from_snapshot(work[i].snapshot);
+      if (!h.ok()) {
+        std::fprintf(stderr, "bench_dist: register: %s\n",
+                     h.status().to_string().c_str());
+        return 1;
+      }
+      // Deterministic even spread instead of digest-modulo luck.
+      if (!c.rebalance(*h, static_cast<std::uint32_t>(i) % workers).ok()) {
+        std::fprintf(stderr, "bench_dist: rebalance failed\n");
+        return 1;
+      }
+      handles.push_back(*h);
+    }
+
+    // Load phase: kClients synchronous client threads, round-robin over the
+    // registered setups, each verifying its first answer bitwise.
+    std::vector<std::vector<double>> lat_ms(kClients);
+    std::atomic<bool> wrong{false};
+    Timer load;
+    std::vector<std::thread> clients;
+    for (std::uint32_t t = 0; t < kClients; ++t) {
+      clients.emplace_back([&, t] {
+        lat_ms[t].reserve(kReqsPerClient);
+        for (std::uint32_t r = 0; r < kReqsPerClient; ++r) {
+          const std::size_t w = (t + r) % work.size();
+          Timer one;
+          StatusOr<SolveResult> res = c.submit(handles[w], work[w].b).get();
+          lat_ms[t].push_back(one.seconds() * 1e3);
+          if (!res.ok() ||
+              (r == 0 &&
+               (res->x.size() != work[w].expected.size() ||
+                std::memcmp(res->x.data(), work[w].expected.data(),
+                            res->x.size() * sizeof(double)) != 0))) {
+            wrong.store(true);
+          }
+        }
+      });
+    }
+    for (std::thread& th : clients) th.join();
+    double load_s = load.seconds();
+    if (wrong.load()) {
+      std::fprintf(stderr,
+                   "bench_dist: a request failed or diverged bitwise\n");
+      return 1;
+    }
+
+    std::vector<double> all_ms;
+    for (const auto& per_client : lat_ms) {
+      all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(all_ms.begin(), all_ms.end());
+    double mean_ms = 0.0;
+    for (double v : all_ms) mean_ms += v;
+    mean_ms /= static_cast<double>(all_ms.size());
+    const double total_reqs = static_cast<double>(all_ms.size());
+    const double throughput = total_reqs / load_s;
+
+    // Recovery phase: kill the worker serving handle 0 under a trickle of
+    // load and clock the client-visible outage (kill -> next OK answer).
+    std::uint32_t victim = c.worker_of(handles[0]).value();
+    Timer outage;
+    if (!c.kill_worker(victim).ok()) {
+      std::fprintf(stderr, "bench_dist: kill failed\n");
+      return 1;
+    }
+    double outage_ms = -1.0;
+    for (int tries = 0; tries < 5000; ++tries) {
+      StatusOr<SolveResult> res = c.submit(handles[0], work[0].b).get();
+      if (res.ok()) {
+        outage_ms = outage.seconds() * 1e3;
+        bool same = res->x.size() == work[0].expected.size() &&
+                    std::memcmp(res->x.data(), work[0].expected.data(),
+                                res->x.size() * sizeof(double)) == 0;
+        if (!same) {
+          std::fprintf(stderr, "bench_dist: post-recovery answer diverged\n");
+          return 1;
+        }
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    dist::DistStats st = c.stats();
+
+    std::printf("%8u %9.0f %9.0f/s %8.2fms %8.2fms %8.2fms %12.1f %12.1f\n",
+                workers, total_reqs, throughput, mean_ms,
+                percentile(all_ms, 0.50), percentile(all_ms, 0.99),
+                st.last_recovery_ms, outage_ms);
+    json.record()
+        .num("workers", workers)
+        .num("clients", kClients)
+        .num("requests", total_reqs)
+        .num("load_s", load_s)
+        .num("throughput_rps", throughput)
+        .num("lat_mean_ms", mean_ms)
+        .num("lat_p50_ms", percentile(all_ms, 0.50))
+        .num("lat_p99_ms", percentile(all_ms, 0.99))
+        .num("respawn_ms", st.last_recovery_ms)
+        .num("outage_ms", outage_ms)
+        .num("worker_deaths", static_cast<double>(st.worker_deaths))
+        .num("respawns", static_cast<double>(st.respawns))
+        .str("mode", "dist");
+  }
+  json.write();
+  return 0;
+}

@@ -1,0 +1,909 @@
+#include "dist/coordinator.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "dist/process_supervisor.h"
+#include "dist/wire.h"
+#include "util/serialize.h"
+#include "util/thread_annotations.h"
+
+namespace parsdd::dist {
+
+namespace {
+
+using SinglePromise = std::promise<StatusOr<SolveResult>>;
+using BatchPromise = std::promise<StatusOr<BatchSolveResult>>;
+using RegisterPromise = std::promise<RegisterAck>;
+using StatsPromise = std::promise<StatusOr<ServiceStats>>;
+
+// One caller waiting on a req_id; which alternative is live tells the
+// receiver how to decode the matching ack.
+using PendingCall = std::variant<SinglePromise, BatchPromise, RegisterPromise,
+                                 StatsPromise>;
+
+void fail_call(PendingCall& call, const Status& status) {
+  struct Visitor {
+    const Status& s;
+    void operator()(SinglePromise& p) {
+      p.set_value(StatusOr<SolveResult>(s));
+    }
+    void operator()(BatchPromise& p) {
+      p.set_value(StatusOr<BatchSolveResult>(s));
+    }
+    void operator()(RegisterPromise& p) {
+      RegisterAck a;
+      a.status = s;
+      p.set_value(std::move(a));
+    }
+    void operator()(StatsPromise& p) {
+      p.set_value(StatusOr<ServiceStats>(s));
+    }
+  };
+  std::visit(Visitor{status}, call);
+}
+
+// Shard key: the snapshot's trailer checksum (the last 8 bytes
+// Writer::to_file appended) — a content digest of the complete setup, read
+// without decoding the payload.  Existence and full validation stay the
+// worker's job; only the digest is needed for placement.
+StatusOr<std::uint64_t> snapshot_digest(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("dist: cannot open snapshot " + path);
+  }
+  std::uint64_t digest = 0;
+  bool ok = std::fseek(f, -static_cast<long>(sizeof(digest)), SEEK_END) == 0 &&
+            std::fread(&digest, sizeof(digest), 1, f) == 1;
+  std::fclose(f);
+  if (!ok) {
+    return InvalidArgumentError("dist: snapshot " + path +
+                                " is shorter than its checksum trailer");
+  }
+  return digest;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[16];
+  const char* digits = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return std::string(buf, sizeof(buf));
+}
+
+}  // namespace
+
+struct Coordinator::Impl {
+  struct Shard;
+
+  CoordinatorOptions opts;  // resolved (worker_binary filled); then const
+
+  mutable Mutex mu;
+  CondVar cv_idle;  // signalled whenever total_pending drops
+
+  struct HandleInfo {
+    std::uint32_t shard = 0;
+    std::uint64_t worker_handle = 0;
+    std::string snapshot_path;
+    SetupInfo info;
+    std::uint64_t digest = 0;
+    /// The snapshot could not be re-registered during recovery; submits
+    /// fail Unavailable with lost_why until the handle is unregistered.
+    bool lost = false;
+    std::string lost_why;
+  };
+
+  bool stopping PARSDD_GUARDED_BY(mu) = false;
+  std::map<std::uint64_t, HandleInfo> handles PARSDD_GUARDED_BY(mu);
+  // Digest -> coordinator handle; rejects fingerprint collisions and is
+  // reserved before the registration round-trip so two concurrent
+  // registrations of one snapshot cannot both succeed.
+  std::map<std::uint64_t, std::uint64_t> by_digest PARSDD_GUARDED_BY(mu);
+  std::uint64_t next_handle PARSDD_GUARDED_BY(mu) = 1;
+  std::uint64_t next_req PARSDD_GUARDED_BY(mu) = 1;
+  std::uint64_t build_seq PARSDD_GUARDED_BY(mu) = 0;
+  std::size_t total_pending PARSDD_GUARDED_BY(mu) = 0;
+
+  std::uint64_t submitted PARSDD_GUARDED_BY(mu) = 0;
+  std::uint64_t rejected PARSDD_GUARDED_BY(mu) = 0;
+  std::uint64_t completed PARSDD_GUARDED_BY(mu) = 0;
+  std::uint64_t worker_deaths PARSDD_GUARDED_BY(mu) = 0;
+  std::uint64_t respawns PARSDD_GUARDED_BY(mu) = 0;
+  double last_recovery_ms PARSDD_GUARDED_BY(mu) = 0.0;
+
+  // One worker process and its bookkeeping.  pending/state/deaths are
+  // guarded by mu (annotations cannot name an outer object's mutex from a
+  // nested type, so the discipline is by construction here and checked by
+  // the TSan lane).  proc is written by Start (before the receiver exists)
+  // and by the receiver thread — always under mu when another thread could
+  // read it (kill_worker, submit sends), and read lock-free only by the
+  // receiver itself.
+  struct Shard {
+    std::uint32_t index = 0;
+    WorkerProcess proc;
+    enum class State { kUp, kDown, kStopped };
+    State state = State::kStopped;
+    std::map<std::uint64_t, PendingCall> pending;  // req_id -> caller
+    std::uint64_t deaths = 0;
+    std::thread receiver;
+  };
+  // Fixed after Start(); the vector itself is never resized concurrently.
+  std::vector<std::unique_ptr<Shard>> shards;
+
+  std::vector<std::string> worker_args() const {
+    return {"--threads", std::to_string(opts.worker_threads),
+            "--max-batch", std::to_string(opts.worker_max_batch),
+            "--linger-us", std::to_string(opts.worker_linger_us),
+            "--max-pending", std::to_string(opts.worker_max_pending)};
+  }
+
+  /// Spawns a worker and consumes its kHello; the returned process is
+  /// handshake-complete and has sent nothing else yet.
+  StatusOr<WorkerProcess> spawn_checked() {
+    StatusOr<WorkerProcess> w = spawn_worker(opts.worker_binary,
+                                             worker_args());
+    if (!w.ok()) return w.status();
+    StatusOr<std::vector<std::uint8_t>> frame = serialize::read_frame(w->fd);
+    if (!frame.ok()) {
+      destroy_worker(*w);
+      return InternalError("dist: worker sent no hello — is '" +
+                           opts.worker_binary + "' the parsdd_worker binary?");
+    }
+    serialize::Reader r(std::move(*frame));
+    FrameHeader h = read_frame_header(r);
+    if (!r.status().ok() || h.type != MsgType::kHello) {
+      destroy_worker(*w);
+      return InvalidArgumentError(
+          "dist: worker's first frame is not a hello");
+    }
+    Status hello = check_hello(r);
+    if (!hello.ok()) {
+      destroy_worker(*w);
+      return hello;
+    }
+    return w;
+  }
+
+  /// Submit-path validation shared by single and batch; on OK fills the
+  /// routed shard and the worker-local handle id.
+  Status route(std::uint64_t handle_id, std::size_t rows, Shard** shard,
+               std::uint64_t* worker_handle) PARSDD_REQUIRES(mu) {
+    if (stopping) {
+      return UnavailableError("dist: coordinator is shutting down");
+    }
+    auto it = handles.find(handle_id);
+    if (it == handles.end()) {
+      return NotFoundError("dist: unknown handle " +
+                           std::to_string(handle_id));
+    }
+    const HandleInfo& hi = it->second;
+    if (hi.lost) {
+      return UnavailableError("dist: setup for handle " +
+                              std::to_string(handle_id) +
+                              " was lost in recovery: " + hi.lost_why);
+    }
+    if (rows != hi.info.dimension) {
+      return InvalidArgumentError(
+          "dist: right-hand side has " + std::to_string(rows) +
+          " rows, setup dimension is " + std::to_string(hi.info.dimension));
+    }
+    if (total_pending >= opts.max_pending) {
+      ++rejected;
+      return ResourceExhaustedError(
+          "dist: " + std::to_string(total_pending) +
+          " requests pending (max_pending = " +
+          std::to_string(opts.max_pending) + ")");
+    }
+    Shard& s = *shards[hi.shard];
+    if (s.state != Shard::State::kUp) {
+      return UnavailableError("dist: worker " + std::to_string(hi.shard) +
+                              " is down; retry");
+    }
+    *shard = &s;
+    *worker_handle = hi.worker_handle;
+    return OkStatus();
+  }
+
+  /// The registration round-trip shared by register_from_snapshot,
+  /// register_laplacian/register_sdd (after they save), and recovery's
+  /// replay (which bypasses this for its private channel).
+  StatusOr<SetupHandle> register_snapshot_path(const std::string& path)
+      PARSDD_EXCLUDES(mu) {
+    StatusOr<std::uint64_t> digest = snapshot_digest(path);
+    if (!digest.ok()) return digest.status();
+    RegisterPromise p;
+    std::future<RegisterAck> fut = p.get_future();
+    std::uint64_t handle_id = 0;
+    std::uint32_t shard_idx = 0;
+    {
+      MutexLock lock(mu);
+      if (stopping) {
+        return UnavailableError("dist: coordinator is shutting down");
+      }
+      auto hit = by_digest.find(*digest);
+      if (hit != by_digest.end()) {
+        return InvalidArgumentError(
+            "dist: fingerprint collision: snapshot " + path +
+            " is already registered as handle " +
+            std::to_string(hit->second) + "; unregister it first");
+      }
+      shard_idx = static_cast<std::uint32_t>(*digest % shards.size());
+      Shard& s = *shards[shard_idx];
+      if (s.state != Shard::State::kUp) {
+        return UnavailableError("dist: worker " + std::to_string(shard_idx) +
+                                " is down; retry registration");
+      }
+      handle_id = next_handle++;
+      by_digest.emplace(*digest, handle_id);
+      std::uint64_t req = next_req++;
+      serialize::Writer w;
+      write_frame_header(w, MsgType::kRegisterSnapshot, req);
+      write_string(w, path);
+      Status sent = serialize::write_frame(s.proc.fd, w);
+      if (!sent.ok()) {
+        by_digest.erase(*digest);
+        return UnavailableError("dist: worker " + std::to_string(shard_idx) +
+                                " hung up: " + sent.message());
+      }
+      s.pending.emplace(req, std::move(p));
+      ++total_pending;
+      ++submitted;
+    }
+    RegisterAck ack = fut.get();
+    MutexLock lock(mu);
+    if (!ack.status.ok()) {
+      by_digest.erase(*digest);
+      return ack.status;
+    }
+    HandleInfo hi;
+    hi.shard = shard_idx;
+    hi.worker_handle = ack.worker_handle;
+    hi.snapshot_path = path;
+    hi.info = ack.info;
+    hi.digest = *digest;
+    handles.emplace(handle_id, std::move(hi));
+    return SetupHandle{handle_id};
+  }
+
+  /// Persists a locally built setup into snapshot_dir under its
+  /// digest-derived canonical name, then registers the file.
+  StatusOr<SetupHandle> save_and_register(const SolverSetup& setup)
+      PARSDD_EXCLUDES(mu) {
+    std::uint64_t seq;
+    {
+      MutexLock lock(mu);
+      seq = build_seq++;
+    }
+    // Save under a sequence name first: the canonical name needs the
+    // digest, which exists only once the file does.  The rename is atomic
+    // within the directory (and Save itself is tmp+rename underneath).
+    std::string tmp =
+        opts.snapshot_dir + "/setup_build_" + std::to_string(seq) + ".snap";
+    PARSDD_RETURN_IF_ERROR(setup.Save(tmp));
+    StatusOr<std::uint64_t> digest = snapshot_digest(tmp);
+    if (!digest.ok()) return digest.status();
+    std::string path =
+        opts.snapshot_dir + "/setup_" + hex64(*digest) + ".snap";
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return InternalError("dist: cannot move snapshot into place at " +
+                           path);
+    }
+    return register_snapshot_path(path);
+  }
+
+  void receiver_loop(Shard& s) PARSDD_EXCLUDES(mu) {
+    for (;;) {
+      StatusOr<std::vector<std::uint8_t>> frame =
+          serialize::read_frame(s.proc.fd);
+      if (!frame.ok()) {
+        if (!handle_worker_down(s)) return;
+        continue;
+      }
+      serialize::Reader r(std::move(*frame));
+      FrameHeader h = read_frame_header(r);
+      if (!r.status().ok()) {
+        // A frame that does not even parse a header means the stream is
+        // desynchronized; the connection is unrecoverable, the process may
+        // be fine — tear both down and take the normal recovery path.
+        if (!handle_worker_down(s)) return;
+        continue;
+      }
+      dispatch_response(s, h, r);
+    }
+  }
+
+  void dispatch_response(Shard& s, const FrameHeader& h, serialize::Reader& r)
+      PARSDD_EXCLUDES(mu) {
+    PendingCall call;
+    {
+      MutexLock lock(mu);
+      auto it = s.pending.find(h.req_id);
+      // No caller: a late answer whose request was already failed by a
+      // previous death of this shard, or worker noise.  Drop it.
+      if (it == s.pending.end()) return;
+      call = std::move(it->second);
+      s.pending.erase(it);
+      --total_pending;
+      ++completed;
+      cv_idle.notify_all();
+    }
+    // Decode and resolve outside the lock: promise waiters may run
+    // arbitrary continuations.
+    switch (h.type) {
+      case MsgType::kSubmitAck: {
+        auto* p = std::get_if<SinglePromise>(&call);
+        if (p == nullptr) return;
+        Status st = read_status(r);
+        if (!st.ok()) {
+          p->set_value(StatusOr<SolveResult>(std::move(st)));
+          return;
+        }
+        SolveResult res;
+        res.x = read_vec(r);
+        res.stats = read_iter_stats(r);
+        res.coalesced_cols = r.u32();
+        if (!r.status().ok()) {
+          p->set_value(StatusOr<SolveResult>(InternalError(
+              "dist: malformed solve ack: " + r.status().message())));
+          return;
+        }
+        p->set_value(StatusOr<SolveResult>(std::move(res)));
+        return;
+      }
+      case MsgType::kSubmitBatchAck: {
+        auto* p = std::get_if<BatchPromise>(&call);
+        if (p == nullptr) return;
+        Status st = read_status(r);
+        if (!st.ok()) {
+          p->set_value(StatusOr<BatchSolveResult>(std::move(st)));
+          return;
+        }
+        BatchSolveResult res;
+        res.x = read_multivec(r);
+        std::uint64_t cols = r.varint();
+        if (r.status().ok() && cols <= r.remaining() / sizeof(std::uint32_t)) {
+          res.report.column_stats.reserve(static_cast<std::size_t>(cols));
+          for (std::uint64_t c = 0; c < cols; ++c) {
+            res.report.column_stats.push_back(read_iter_stats(r));
+          }
+        } else if (r.status().ok()) {
+          r.fail("per-column stats count exceeds frame");
+        }
+        if (!r.status().ok()) {
+          p->set_value(StatusOr<BatchSolveResult>(InternalError(
+              "dist: malformed batch ack: " + r.status().message())));
+          return;
+        }
+        p->set_value(StatusOr<BatchSolveResult>(std::move(res)));
+        return;
+      }
+      case MsgType::kRegisterAck: {
+        auto* p = std::get_if<RegisterPromise>(&call);
+        if (p == nullptr) return;
+        RegisterAck ack = read_register_ack(r);
+        if (!r.status().ok()) {
+          ack = RegisterAck{};
+          ack.status = InternalError("dist: malformed register ack: " +
+                                     r.status().message());
+        }
+        p->set_value(std::move(ack));
+        return;
+      }
+      case MsgType::kStatsAck: {
+        auto* p = std::get_if<StatsPromise>(&call);
+        if (p == nullptr) return;
+        ServiceStats stats = read_service_stats(r);
+        if (!r.status().ok()) {
+          p->set_value(StatusOr<ServiceStats>(InternalError(
+              "dist: malformed stats ack: " + r.status().message())));
+          return;
+        }
+        p->set_value(StatusOr<ServiceStats>(std::move(stats)));
+        return;
+      }
+      default:
+        return;  // coordinator-bound types only; anything else is noise
+    }
+  }
+
+  /// The recovery state machine (DESIGN.md §8): kUp --death--> kDown
+  /// --respawn+replay--> kUp, or --stopping/respawn-off/failure-->
+  /// kStopped.  Returns false when the receiver thread should exit.
+  bool handle_worker_down(Shard& s) PARSDD_EXCLUDES(mu) {
+    std::vector<PendingCall> orphans;
+    WorkerProcess corpse;
+    bool stop;
+    {
+      MutexLock lock(mu);
+      s.state = Shard::State::kDown;
+      ++s.deaths;
+      ++worker_deaths;
+      // Every in-flight request on this shard fails loudly: accepted work
+      // is never silently dropped.
+      orphans.reserve(s.pending.size());
+      for (auto& [req, call] : s.pending) orphans.push_back(std::move(call));
+      completed += s.pending.size();
+      total_pending -= s.pending.size();
+      s.pending.clear();
+      // Detach the dead process so no other thread can see its fd/pid
+      // again; reaped below without the lock (waitpid can block).
+      corpse = s.proc;
+      s.proc = WorkerProcess{};
+      stop = stopping || !opts.respawn;
+      if (stop) s.state = Shard::State::kStopped;
+      cv_idle.notify_all();
+    }
+    Status death = UnavailableError("dist: worker " + std::to_string(s.index) +
+                                    " died with the request in flight");
+    for (PendingCall& call : orphans) fail_call(call, death);
+    destroy_worker(corpse);
+    if (stop) return false;
+    return respawn_shard(s);
+  }
+
+  bool respawn_shard(Shard& s) PARSDD_EXCLUDES(mu) {
+    auto t0 = std::chrono::steady_clock::now();
+    StatusOr<WorkerProcess> nw = spawn_checked();
+    if (!nw.ok()) {
+      MutexLock lock(mu);
+      s.state = Shard::State::kStopped;
+      return false;
+    }
+    // Replay every handle this shard owns from its snapshot.  Direct
+    // request/response on the fresh socket is safe: the shard is still
+    // kDown so nothing else writes to it, and this thread is the only
+    // reader the socket has ever had.
+    std::vector<std::pair<std::uint64_t, std::string>> owned;
+    {
+      MutexLock lock(mu);
+      for (const auto& [id, hi] : handles) {
+        if (hi.shard == s.index) owned.emplace_back(id, hi.snapshot_path);
+      }
+    }
+    struct Replayed {
+      std::uint64_t id;
+      RegisterAck ack;
+    };
+    std::vector<Replayed> acks;
+    acks.reserve(owned.size());
+    bool channel_ok = true;
+    for (const auto& [id, path] : owned) {
+      serialize::Writer w;
+      write_frame_header(w, MsgType::kRegisterSnapshot, id);
+      write_string(w, path);
+      if (!serialize::write_frame(nw->fd, w).ok()) {
+        channel_ok = false;
+        break;
+      }
+      StatusOr<std::vector<std::uint8_t>> frame =
+          serialize::read_frame(nw->fd);
+      if (!frame.ok()) {
+        channel_ok = false;
+        break;
+      }
+      serialize::Reader r(std::move(*frame));
+      FrameHeader h = read_frame_header(r);
+      RegisterAck ack = read_register_ack(r);
+      if (!r.status().ok() || h.type != MsgType::kRegisterAck) {
+        channel_ok = false;
+        break;
+      }
+      acks.push_back(Replayed{id, std::move(ack)});
+    }
+    if (!channel_ok) {
+      // The replacement died during recovery.  Treat like a failed spawn;
+      // a once-per-fault recovery does not chase a crash-looping binary.
+      destroy_worker(*nw);
+      MutexLock lock(mu);
+      s.state = Shard::State::kStopped;
+      return false;
+    }
+    double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    MutexLock lock(mu);
+    if (stopping) {
+      lock.Unlock();
+      destroy_worker(*nw);
+      lock.Lock();
+      s.state = Shard::State::kStopped;
+      return false;
+    }
+    for (const Replayed& rp : acks) {
+      auto it = handles.find(rp.id);
+      if (it == handles.end()) continue;  // unregistered during recovery
+      if (rp.ack.status.ok()) {
+        it->second.worker_handle = rp.ack.worker_handle;
+        it->second.lost = false;
+      } else {
+        // Snapshot vanished or went bad underneath us: the handle stays
+        // addressable but answers Unavailable with the reason.
+        it->second.lost = true;
+        it->second.lost_why = rp.ack.status.message();
+      }
+    }
+    s.proc = *nw;
+    s.state = Shard::State::kUp;
+    ++respawns;
+    last_recovery_ms = elapsed_ms;
+    return true;
+  }
+};
+
+Coordinator::Coordinator() : impl_(new Impl) {}
+
+StatusOr<std::unique_ptr<Coordinator>> Coordinator::Start(
+    const CoordinatorOptions& opts) {
+  std::unique_ptr<Coordinator> c(new Coordinator());
+  Impl& im = *c->impl_;
+  im.opts = opts;
+  if (im.opts.worker_binary.empty()) {
+    const char* env = std::getenv("PARSDD_WORKER_BIN");
+    if (env != nullptr) im.opts.worker_binary = env;
+  }
+  if (im.opts.worker_binary.empty()) {
+    return InvalidArgumentError(
+        "dist: no worker binary (set CoordinatorOptions::worker_binary or "
+        "PARSDD_WORKER_BIN)");
+  }
+  if (im.opts.workers == 0) {
+    return InvalidArgumentError("dist: need at least one worker");
+  }
+  im.shards.reserve(im.opts.workers);
+  for (std::uint32_t i = 0; i < im.opts.workers; ++i) {
+    auto shard = std::make_unique<Impl::Shard>();
+    shard->index = i;
+    im.shards.push_back(std::move(shard));
+  }
+  // Spawn everything before starting any receiver: on failure the spawned
+  // workers are torn down and a clean error returns — no half-started
+  // coordinator escapes.
+  for (auto& shard : im.shards) {
+    StatusOr<WorkerProcess> w = im.spawn_checked();
+    if (!w.ok()) {
+      for (auto& spawned : im.shards) destroy_worker(spawned->proc);
+      return w.status();
+    }
+    shard->proc = *w;
+    shard->state = Impl::Shard::State::kUp;
+  }
+  for (auto& shard : im.shards) {
+    Impl::Shard* sh = shard.get();
+    Impl* pim = c->impl_.get();
+    sh->receiver = std::thread([pim, sh] { pim->receiver_loop(*sh); });
+  }
+  return c;
+}
+
+Coordinator::~Coordinator() {
+  Impl& im = *impl_;
+  {
+    MutexLock lock(im.mu);
+    im.stopping = true;
+    for (auto& shard : im.shards) {
+      if (shard->state != Impl::Shard::State::kUp) continue;
+      // Ask for a drain-and-exit: the worker answers everything it
+      // accepted, then closes the stream; the receiver resolves those
+      // answers and exits on the EOF.  A wedged or already-dead worker
+      // surfaces as the same EOF (destroy_worker below is the SIGKILL
+      // backstop), so this loop cannot hang.
+      serialize::Writer w;
+      write_frame_header(w, MsgType::kShutdown, 0);
+      (void)serialize::write_frame(shard->proc.fd, w);
+    }
+  }
+  for (auto& shard : im.shards) {
+    if (shard->receiver.joinable()) shard->receiver.join();
+  }
+  for (auto& shard : im.shards) destroy_worker(shard->proc);
+}
+
+StatusOr<SetupHandle> Coordinator::register_laplacian(
+    std::uint32_t n, const EdgeList& edges, const SddSolverOptions& opts) {
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      return InvalidArgumentError(
+          "dist: register_laplacian: edge endpoint out of range");
+    }
+  }
+  if (impl_->opts.snapshot_dir.empty()) {
+    return InvalidArgumentError(
+        "dist: register_laplacian needs CoordinatorOptions::snapshot_dir "
+        "(snapshots back shard placement and crash recovery)");
+  }
+  return impl_->save_and_register(SolverSetup::for_laplacian(n, edges, opts));
+}
+
+StatusOr<SetupHandle> Coordinator::register_sdd(const CsrMatrix& a,
+                                                const SddSolverOptions& opts) {
+  if (impl_->opts.snapshot_dir.empty()) {
+    return InvalidArgumentError(
+        "dist: register_sdd needs CoordinatorOptions::snapshot_dir "
+        "(snapshots back shard placement and crash recovery)");
+  }
+  return impl_->save_and_register(SolverSetup::for_sdd(a, opts));
+}
+
+StatusOr<SetupHandle> Coordinator::register_from_snapshot(
+    const std::string& path) {
+  return impl_->register_snapshot_path(path);
+}
+
+Status Coordinator::unregister(SetupHandle handle) {
+  Impl& im = *impl_;
+  MutexLock lock(im.mu);
+  auto it = im.handles.find(handle.id);
+  if (it == im.handles.end()) {
+    return NotFoundError("dist: unknown handle " + std::to_string(handle.id));
+  }
+  Impl::HandleInfo hi = std::move(it->second);
+  im.handles.erase(it);
+  im.by_digest.erase(hi.digest);
+  Impl::Shard& s = *im.shards[hi.shard];
+  if (s.state == Impl::Shard::State::kUp && !hi.lost) {
+    serialize::Writer w;
+    write_frame_header(w, MsgType::kUnregister, 0);
+    w.u64(hi.worker_handle);
+    // One-way; a death here is the receiver's to handle.
+    (void)serialize::write_frame(s.proc.fd, w);
+  }
+  return OkStatus();
+}
+
+StatusOr<SetupInfo> Coordinator::info(SetupHandle handle) const {
+  Impl& im = *impl_;
+  MutexLock lock(im.mu);
+  auto it = im.handles.find(handle.id);
+  if (it == im.handles.end()) {
+    return NotFoundError("dist: unknown handle " + std::to_string(handle.id));
+  }
+  return it->second.info;
+}
+
+std::future<StatusOr<SolveResult>> Coordinator::submit(SetupHandle handle,
+                                                       Vec b) {
+  Impl& im = *impl_;
+  SinglePromise p;
+  std::future<StatusOr<SolveResult>> fut = p.get_future();
+  Status err;
+  {
+    MutexLock lock(im.mu);
+    Impl::Shard* s = nullptr;
+    std::uint64_t worker_handle = 0;
+    err = im.route(handle.id, b.size(), &s, &worker_handle);
+    if (err.ok()) {
+      std::uint64_t req = im.next_req++;
+      serialize::Writer w;
+      write_frame_header(w, MsgType::kSubmit, req);
+      w.u64(worker_handle);
+      write_vec(w, b);
+      err = serialize::write_frame(s->proc.fd, w);
+      if (err.ok()) {
+        s->pending.emplace(req, std::move(p));
+        ++im.total_pending;
+        ++im.submitted;
+      }
+    }
+  }
+  if (!err.ok()) p.set_value(StatusOr<SolveResult>(std::move(err)));
+  return fut;
+}
+
+std::future<StatusOr<BatchSolveResult>> Coordinator::submit_batch(
+    SetupHandle handle, MultiVec b) {
+  Impl& im = *impl_;
+  BatchPromise p;
+  std::future<StatusOr<BatchSolveResult>> fut = p.get_future();
+  Status err;
+  if (b.cols() == 0) {
+    err = InvalidArgumentError("dist: submit_batch with zero columns");
+  } else {
+    MutexLock lock(im.mu);
+    Impl::Shard* s = nullptr;
+    std::uint64_t worker_handle = 0;
+    err = im.route(handle.id, b.rows(), &s, &worker_handle);
+    if (err.ok()) {
+      std::uint64_t req = im.next_req++;
+      serialize::Writer w;
+      write_frame_header(w, MsgType::kSubmitBatch, req);
+      w.u64(worker_handle);
+      write_multivec(w, b);
+      err = serialize::write_frame(s->proc.fd, w);
+      if (err.ok()) {
+        s->pending.emplace(req, std::move(p));
+        ++im.total_pending;
+        ++im.submitted;
+      }
+    }
+  }
+  if (!err.ok()) p.set_value(StatusOr<BatchSolveResult>(std::move(err)));
+  return fut;
+}
+
+void Coordinator::drain() {
+  Impl& im = *impl_;
+  MutexLock lock(im.mu);
+  while (im.total_pending != 0) im.cv_idle.wait(lock);
+}
+
+DistStats Coordinator::stats() const {
+  Impl& im = *impl_;
+  MutexLock lock(im.mu);
+  DistStats out;
+  out.submitted = im.submitted;
+  out.rejected = im.rejected;
+  out.completed = im.completed;
+  out.worker_deaths = im.worker_deaths;
+  out.respawns = im.respawns;
+  out.last_recovery_ms = im.last_recovery_ms;
+  out.in_flight = im.total_pending;
+  out.workers.resize(im.shards.size());
+  for (std::size_t i = 0; i < im.shards.size(); ++i) {
+    const Impl::Shard& s = *im.shards[i];
+    out.workers[i].up = s.state == Impl::Shard::State::kUp;
+    out.workers[i].deaths = s.deaths;
+    out.workers[i].in_flight = s.pending.size();
+  }
+  for (const auto& [id, hi] : im.handles) {
+    ++out.workers[hi.shard].handles;
+  }
+  return out;
+}
+
+StatusOr<ServiceStats> Coordinator::worker_stats(std::uint32_t worker) {
+  Impl& im = *impl_;
+  StatsPromise p;
+  std::future<StatusOr<ServiceStats>> fut = p.get_future();
+  {
+    MutexLock lock(im.mu);
+    if (im.stopping) {
+      return UnavailableError("dist: coordinator is shutting down");
+    }
+    if (worker >= im.shards.size()) {
+      return InvalidArgumentError("dist: no worker " + std::to_string(worker));
+    }
+    Impl::Shard& s = *im.shards[worker];
+    if (s.state != Impl::Shard::State::kUp) {
+      return UnavailableError("dist: worker " + std::to_string(worker) +
+                              " is down");
+    }
+    std::uint64_t req = im.next_req++;
+    serialize::Writer w;
+    write_frame_header(w, MsgType::kStats, req);
+    Status sent = serialize::write_frame(s.proc.fd, w);
+    if (!sent.ok()) {
+      return UnavailableError("dist: worker " + std::to_string(worker) +
+                              " hung up: " + sent.message());
+    }
+    s.pending.emplace(req, std::move(p));
+    ++im.total_pending;
+    ++im.submitted;
+  }
+  return fut.get();
+}
+
+std::uint32_t Coordinator::num_workers() const {
+  return static_cast<std::uint32_t>(impl_->shards.size());
+}
+
+StatusOr<std::uint32_t> Coordinator::worker_of(SetupHandle handle) const {
+  Impl& im = *impl_;
+  MutexLock lock(im.mu);
+  auto it = im.handles.find(handle.id);
+  if (it == im.handles.end()) {
+    return NotFoundError("dist: unknown handle " + std::to_string(handle.id));
+  }
+  return it->second.shard;
+}
+
+Status Coordinator::rebalance(SetupHandle handle, std::uint32_t worker) {
+  Impl& im = *impl_;
+  if (worker >= im.shards.size()) {
+    return InvalidArgumentError("dist: no worker " + std::to_string(worker));
+  }
+  RegisterPromise p;
+  std::future<RegisterAck> fut = p.get_future();
+  {
+    MutexLock lock(im.mu);
+    if (im.stopping) {
+      return UnavailableError("dist: coordinator is shutting down");
+    }
+    auto it = im.handles.find(handle.id);
+    if (it == im.handles.end()) {
+      return NotFoundError("dist: unknown handle " +
+                           std::to_string(handle.id));
+    }
+    if (it->second.lost) {
+      return UnavailableError("dist: setup for handle " +
+                              std::to_string(handle.id) +
+                              " was lost in recovery; cannot migrate it");
+    }
+    if (it->second.shard == worker) return OkStatus();
+    Impl::Shard& target = *im.shards[worker];
+    if (target.state != Impl::Shard::State::kUp) {
+      return UnavailableError("dist: target worker " +
+                              std::to_string(worker) + " is down");
+    }
+    std::uint64_t req = im.next_req++;
+    serialize::Writer w;
+    write_frame_header(w, MsgType::kRegisterSnapshot, req);
+    write_string(w, it->second.snapshot_path);
+    Status sent = serialize::write_frame(target.proc.fd, w);
+    if (!sent.ok()) {
+      return UnavailableError("dist: target worker " +
+                              std::to_string(worker) +
+                              " hung up: " + sent.message());
+    }
+    target.pending.emplace(req, std::move(p));
+    ++im.total_pending;
+    ++im.submitted;
+  }
+  RegisterAck ack = fut.get();
+  if (!ack.status.ok()) return ack.status;  // placement untouched
+  MutexLock lock(im.mu);
+  auto it = im.handles.find(handle.id);
+  auto abandon_target = [&]() PARSDD_REQUIRES(im.mu) {
+    Impl::Shard& target = *im.shards[worker];
+    if (target.state == Impl::Shard::State::kUp) {
+      serialize::Writer w;
+      write_frame_header(w, MsgType::kUnregister, 0);
+      w.u64(ack.worker_handle);
+      (void)serialize::write_frame(target.proc.fd, w);
+    }
+  };
+  if (it == im.handles.end()) {
+    abandon_target();
+    return NotFoundError("dist: handle " + std::to_string(handle.id) +
+                         " was unregistered during rebalance");
+  }
+  if (it->second.shard == worker) {
+    // Raced another rebalance to the same destination; keep theirs.
+    abandon_target();
+    return OkStatus();
+  }
+  std::uint32_t old_shard = it->second.shard;
+  std::uint64_t old_worker_handle = it->second.worker_handle;
+  it->second.shard = worker;
+  it->second.worker_handle = ack.worker_handle;
+  it->second.lost = false;
+  Impl::Shard& old_s = *im.shards[old_shard];
+  if (old_s.state == Impl::Shard::State::kUp) {
+    serialize::Writer w;
+    write_frame_header(w, MsgType::kUnregister, 0);
+    w.u64(old_worker_handle);
+    (void)serialize::write_frame(old_s.proc.fd, w);
+  }
+  return OkStatus();
+}
+
+Status Coordinator::kill_worker(std::uint32_t worker) {
+  Impl& im = *impl_;
+  MutexLock lock(im.mu);
+  if (worker >= im.shards.size()) {
+    return InvalidArgumentError("dist: no worker " + std::to_string(worker));
+  }
+  Impl::Shard& s = *im.shards[worker];
+  if (s.state != Impl::Shard::State::kUp) {
+    return UnavailableError("dist: worker " + std::to_string(worker) +
+                            " is already down");
+  }
+  // Under the lock the receiver cannot have detached s.proc yet (it does so
+  // only after taking mu), so the pid is live and cannot have been recycled.
+  return signal_worker(s.proc, SIGKILL);
+}
+
+}  // namespace parsdd::dist

@@ -1,0 +1,87 @@
+#include "dist/process_supervisor.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace parsdd::dist {
+
+StatusOr<WorkerProcess> spawn_worker(const std::string& binary,
+                                     const std::vector<std::string>& args) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    return InternalError("dist: socketpair failed");
+  }
+  // argv assembled before fork: only async-signal-safe calls are legal in
+  // the child of a multithreaded process.
+  std::vector<std::string> strings;
+  strings.push_back(binary);
+  strings.push_back("--fd");
+  strings.push_back(std::to_string(sv[1]));
+  for (const std::string& a : args) strings.push_back(a);
+  std::vector<char*> argv;
+  argv.reserve(strings.size() + 1);
+  for (std::string& s : strings) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return InternalError("dist: fork failed");
+  }
+  if (pid == 0) {
+    ::close(sv[0]);
+    ::execv(binary.c_str(), argv.data());
+    _exit(127);  // exec failed; the parent sees EOF on first read
+  }
+  ::close(sv[1]);
+  WorkerProcess w;
+  w.pid = pid;
+  w.fd = sv[0];
+  return w;
+}
+
+Status signal_worker(const WorkerProcess& w, int sig) {
+  if (!w.valid()) {
+    return InvalidArgumentError("dist: signal on an invalid worker");
+  }
+  if (::kill(w.pid, sig) != 0) {
+    return NotFoundError("dist: worker pid " + std::to_string(w.pid) +
+                         " is gone");
+  }
+  return OkStatus();
+}
+
+void destroy_worker(WorkerProcess& w) {
+  if (w.fd >= 0) {
+    ::close(w.fd);
+    w.fd = -1;
+  }
+  if (w.pid > 0) {
+    // The worker exits on its own when the socket closes; the SIGKILL is
+    // belt-and-braces so a wedged child can never block the reap below.
+    ::kill(w.pid, SIGKILL);
+    int st = 0;
+    while (::waitpid(w.pid, &st, 0) < 0 && errno == EINTR) {
+    }
+    w.pid = -1;
+  }
+}
+
+bool try_reap(WorkerProcess& w, int* exit_code) {
+  if (w.pid <= 0) return true;
+  int st = 0;
+  pid_t r = ::waitpid(w.pid, &st, WNOHANG);
+  if (r == 0) return false;  // still exiting
+  if (r == w.pid && exit_code != nullptr && WIFEXITED(st)) {
+    *exit_code = WEXITSTATUS(st);
+  }
+  w.pid = -1;
+  return true;
+}
+
+}  // namespace parsdd::dist

@@ -1,0 +1,203 @@
+#include "dist/wire.h"
+
+#include <utility>
+
+namespace parsdd::dist {
+
+void write_frame_header(serialize::Writer& w, MsgType type,
+                        std::uint64_t req_id) {
+  w.u8(static_cast<std::uint8_t>(type));
+  w.varint(req_id);
+}
+
+FrameHeader read_frame_header(serialize::Reader& r) {
+  FrameHeader h;
+  std::uint8_t type = r.u8();
+  h.req_id = r.varint();
+  if (!r.status().ok()) return h;
+  if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
+      type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+    r.fail("unknown wire message type " + std::to_string(type));
+    return h;
+  }
+  h.type = static_cast<MsgType>(type);
+  return h;
+}
+
+void write_string(serialize::Writer& w, const std::string& s) {
+  w.varint(s.size());
+  w.bytes(s.data(), s.size());
+}
+
+std::string read_string(serialize::Reader& r) {
+  std::uint64_t len = r.varint();
+  if (!r.status().ok()) return std::string();
+  if (len > r.remaining()) {
+    r.fail("string length " + std::to_string(len) + " exceeds frame");
+    return std::string();
+  }
+  std::vector<char> buf(static_cast<std::size_t>(len));
+  for (char& c : buf) c = static_cast<char>(r.u8());
+  return std::string(buf.begin(), buf.end());
+}
+
+void write_status(serialize::Writer& w, const Status& s) {
+  w.u8(static_cast<std::uint8_t>(s.code()));
+  write_string(w, s.message());
+}
+
+Status read_status(serialize::Reader& r) {
+  std::uint8_t code = r.u8();
+  std::string message = read_string(r);
+  if (!r.status().ok()) return r.status();
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    r.fail("unknown status code " + std::to_string(code));
+    return r.status();
+  }
+  if (code == 0) return OkStatus();
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+void write_vec(serialize::Writer& w, const Vec& v) { w.pod_vec(v); }
+
+Vec read_vec(serialize::Reader& r) { return r.pod_vec<double>(); }
+
+void write_multivec(serialize::Writer& w, const MultiVec& m) {
+  w.varint(m.rows());
+  w.varint(m.cols());
+  w.pod_vec(m.data());
+}
+
+MultiVec read_multivec(serialize::Reader& r) {
+  std::uint64_t rows = r.varint();
+  std::uint64_t cols = r.varint();
+  std::vector<double> data = r.pod_vec<double>();
+  MultiVec out;
+  if (!r.status().ok()) return out;
+  // Division-based check so a forged rows x cols cannot overflow past the
+  // (frame-bounded) entry count.
+  bool shape_ok = (rows == 0 || cols == 0)
+                      ? data.empty()
+                      : (rows == data.size() / cols &&
+                         data.size() % cols == 0);
+  if (!shape_ok) {
+    r.fail("multivec shape " + std::to_string(rows) + "x" +
+           std::to_string(cols) + " does not match " +
+           std::to_string(data.size()) + " entries");
+    return out;
+  }
+  out.assign(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols),
+             0.0);
+  out.data() = std::move(data);
+  return out;
+}
+
+void write_iter_stats(serialize::Writer& w, const IterStats& s) {
+  w.u32(s.iterations);
+  w.f64(s.relative_residual);
+  w.boolean(s.converged);
+}
+
+IterStats read_iter_stats(serialize::Reader& r) {
+  IterStats s;
+  s.iterations = r.u32();
+  s.relative_residual = r.f64();
+  s.converged = r.boolean();
+  return s;
+}
+
+void write_service_stats(serialize::Writer& w, const ServiceStats& s) {
+  w.u64(s.submitted);
+  w.u64(s.rejected);
+  w.u64(s.completed);
+  w.u64(s.dispatched_blocks);
+  w.u64(s.dispatched_cols);
+  w.u64(s.setup_cache_hits);
+  w.u64(s.setup_cache_misses);
+  w.u64(s.queue_depth);
+  w.u64(s.in_flight_cols);
+  w.u64(s.in_flight_blocks);
+  w.varint(s.per_handle_pending.size());
+  for (const auto& [handle, pending] : s.per_handle_pending) {
+    w.varint(handle);
+    w.varint(pending);
+  }
+}
+
+ServiceStats read_service_stats(serialize::Reader& r) {
+  ServiceStats s;
+  s.submitted = r.u64();
+  s.rejected = r.u64();
+  s.completed = r.u64();
+  s.dispatched_blocks = r.u64();
+  s.dispatched_cols = r.u64();
+  s.setup_cache_hits = r.u64();
+  s.setup_cache_misses = r.u64();
+  s.queue_depth = r.u64();
+  s.in_flight_cols = r.u64();
+  s.in_flight_blocks = r.u64();
+  std::uint64_t entries = r.varint();
+  if (!r.status().ok()) return s;
+  // Two varints (>= 2 bytes) per entry bound the claimed count.
+  if (entries > r.remaining() / 2) {
+    r.fail("per-handle gauge count " + std::to_string(entries) +
+           " exceeds frame");
+    return s;
+  }
+  s.per_handle_pending.reserve(static_cast<std::size_t>(entries));
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    std::uint64_t handle = r.varint();
+    std::uint64_t pending = r.varint();
+    s.per_handle_pending.emplace_back(handle, pending);
+  }
+  return s;
+}
+
+void write_hello(serialize::Writer& w) {
+  write_frame_header(w, MsgType::kHello, 0);
+  w.u32(serialize::kMagic);
+  w.u16(serialize::kEndianMark);
+  w.u16(kWireVersion);
+}
+
+Status check_hello(serialize::Reader& r) {
+  std::uint32_t magic = r.u32();
+  std::uint16_t endian = r.u16();
+  std::uint16_t version = r.u16();
+  PARSDD_RETURN_IF_ERROR(r.status());
+  if (magic != serialize::kMagic) {
+    return InvalidArgumentError("dist: peer is not a parsdd worker (bad "
+                                "magic)");
+  }
+  if (endian != serialize::kEndianMark) {
+    return InvalidArgumentError("dist: peer runs on a foreign byte order");
+  }
+  if (version != kWireVersion) {
+    return InvalidArgumentError(
+        "dist: peer speaks wire version " + std::to_string(version) +
+        ", this build speaks " + std::to_string(kWireVersion));
+  }
+  return OkStatus();
+}
+
+void write_register_ack(serialize::Writer& w, const RegisterAck& a) {
+  write_status(w, a.status);
+  w.u64(a.worker_handle);
+  w.u32(a.info.dimension);
+  w.u32(a.info.components);
+  w.u32(a.info.chain_levels);
+  w.u64(a.info.chain_edges);
+}
+
+RegisterAck read_register_ack(serialize::Reader& r) {
+  RegisterAck a;
+  a.status = read_status(r);
+  a.worker_handle = r.u64();
+  a.info.dimension = r.u32();
+  a.info.components = r.u32();
+  a.info.chain_levels = r.u32();
+  a.info.chain_edges = static_cast<std::size_t>(r.u64());
+  return a;
+}
+
+}  // namespace parsdd::dist

@@ -1,0 +1,102 @@
+// Wire protocol for the sharded multi-process SolverService (DESIGN.md §8).
+//
+// The coordinator and its worker processes speak length-prefixed binary
+// frames over a Unix-domain stream socket (serialize::write_frame /
+// read_frame supply the framing; this header defines what is inside a
+// frame).  Every payload is a serialize::Writer byte stream — the same
+// encoding the snapshot format uses, so the wire shares the snapshot's
+// definition of truth for scalars, varints, and POD spans — beginning with
+// a one-byte message type and a varint request id:
+//
+//   [u32 frame length] [u8 type] [varint req_id] [type-specific fields]
+//
+// req_id correlates a response with its request (responses may arrive out
+// of order: the worker answers solves as its in-process dispatcher
+// completes them); one-way messages carry req_id 0.  The first frame on a
+// fresh connection is always the worker's kHello carrying the snapshot
+// magic, the endianness mark, and kWireVersion — the same refuse-up-front
+// versioning discipline as the snapshot header, so a coordinator never
+// decodes frames from a mismatched worker build.
+//
+// Error mapping: a Status travels as [u8 code] [string message]; worker
+// failures (bad snapshot path, stale worker handle, shed load) arrive as
+// the same typed Status values the in-process service returns, so clients
+// of the Coordinator observe the error contract of solver_service.h
+// unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/multivec.h"
+#include "service/solver_service.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace parsdd::dist {
+
+/// Bumped whenever any frame layout changes; kHello carries it and each
+/// side refuses a peer speaking a different version.
+inline constexpr std::uint16_t kWireVersion = 1;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,             // worker -> coordinator, first frame on connect
+  kRegisterSnapshot = 2,  // coordinator -> worker: load + register this path
+  kRegisterAck = 3,       // worker -> coordinator: status, handle, shape
+  kUnregister = 4,        // coordinator -> worker, one-way
+  kSubmit = 5,            // coordinator -> worker: one right-hand side
+  kSubmitAck = 6,         // worker -> coordinator: status, x, stats
+  kSubmitBatch = 7,       // coordinator -> worker: a k-column block
+  kSubmitBatchAck = 8,    // worker -> coordinator: status, X, per-col stats
+  kStats = 9,             // coordinator -> worker: sample ServiceStats
+  kStatsAck = 10,         // worker -> coordinator: counters + live gauges
+  kShutdown = 11,         // coordinator -> worker, one-way: drain and exit
+};
+
+struct FrameHeader {
+  MsgType type = MsgType::kHello;
+  std::uint64_t req_id = 0;
+};
+
+void write_frame_header(serialize::Writer& w, MsgType type,
+                        std::uint64_t req_id);
+/// Reader-sticky: on a malformed header the Reader's status is non-OK and
+/// the returned header is meaningless.
+FrameHeader read_frame_header(serialize::Reader& r);
+
+void write_string(serialize::Writer& w, const std::string& s);
+std::string read_string(serialize::Reader& r);
+
+void write_status(serialize::Writer& w, const Status& s);
+Status read_status(serialize::Reader& r);
+
+void write_vec(serialize::Writer& w, const Vec& v);
+Vec read_vec(serialize::Reader& r);
+
+void write_multivec(serialize::Writer& w, const MultiVec& m);
+MultiVec read_multivec(serialize::Reader& r);
+
+void write_iter_stats(serialize::Writer& w, const IterStats& s);
+IterStats read_iter_stats(serialize::Reader& r);
+
+void write_service_stats(serialize::Writer& w, const ServiceStats& s);
+ServiceStats read_service_stats(serialize::Reader& r);
+
+/// The worker's opening frame: snapshot magic + endianness mark +
+/// kWireVersion (header discipline of serialize.h applied to the socket).
+void write_hello(serialize::Writer& w);
+/// Validates a kHello payload (header already consumed); each failure mode
+/// is a distinct InvalidArgument message.
+Status check_hello(serialize::Reader& r);
+
+/// Registration acknowledgement: on OK status the worker-local handle id
+/// plus the setup shape (the coordinator serves info() locally from it).
+struct RegisterAck {
+  Status status = OkStatus();
+  std::uint64_t worker_handle = 0;
+  SetupInfo info;
+};
+void write_register_ack(serialize::Writer& w, const RegisterAck& a);
+RegisterAck read_register_ack(serialize::Reader& r);
+
+}  // namespace parsdd::dist

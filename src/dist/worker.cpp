@@ -1,0 +1,191 @@
+#include "dist/worker.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "dist/wire.h"
+#include "parallel/task_queue.h"
+#include "util/serialize.h"
+#include "util/thread_annotations.h"
+
+namespace parsdd::dist {
+
+namespace {
+
+// Serializes frame writes from the read loop and the responder pool; the
+// socket is a byte stream, so two interleaved frames would desynchronize
+// the coordinator permanently.
+class FrameSink {
+ public:
+  explicit FrameSink(int fd) : fd_(fd) {}
+
+  void send(const serialize::Writer& w) PARSDD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    // A failed send means the coordinator is gone; the read loop will see
+    // the same condition and wind the process down, so errors are dropped
+    // here rather than retried.
+    (void)serialize::write_frame(fd_, w);
+  }
+
+ private:
+  Mutex mu_;
+  int fd_;
+};
+
+void ack_register(FrameSink& sink, std::uint64_t req_id,
+                  const RegisterAck& ack) {
+  serialize::Writer w;
+  write_frame_header(w, MsgType::kRegisterAck, req_id);
+  write_register_ack(w, ack);
+  sink.send(w);
+}
+
+void handle_register(SolverService& service, FrameSink& sink,
+                     std::uint64_t req_id, serialize::Reader& r) {
+  std::string path = read_string(r);
+  if (!r.status().ok()) {
+    ack_register(sink, req_id, RegisterAck{r.status(), 0, {}});
+    return;
+  }
+  RegisterAck ack;
+  StatusOr<SetupHandle> handle = service.register_from_snapshot(path);
+  if (!handle.ok()) {
+    ack.status = handle.status();
+  } else {
+    ack.worker_handle = handle->id;
+    ack.info = service.info(*handle).value();
+  }
+  ack_register(sink, req_id, ack);
+}
+
+void handle_submit(SolverService& service, FrameSink& sink,
+                   TaskQueue& responders, std::uint64_t req_id,
+                   serialize::Reader& r) {
+  std::uint64_t handle = r.u64();
+  Vec b = read_vec(r);
+  if (!r.status().ok()) {
+    serialize::Writer w;
+    write_frame_header(w, MsgType::kSubmitAck, req_id);
+    write_status(w, r.status());
+    sink.send(w);
+    return;
+  }
+  // Submit immediately (the dispatcher's linger window must see every
+  // concurrently shipped request), then hand the future to a responder.
+  // shared_ptr because TaskQueue tasks are copyable std::functions.
+  auto fut = std::make_shared<std::future<StatusOr<SolveResult>>>(
+      service.submit(SetupHandle{handle}, std::move(b)));
+  bool posted = responders.post([&sink, req_id, fut] {
+    StatusOr<SolveResult> res = fut->get();
+    serialize::Writer w;
+    write_frame_header(w, MsgType::kSubmitAck, req_id);
+    write_status(w, res.status());
+    if (res.ok()) {
+      write_vec(w, res->x);
+      write_iter_stats(w, res->stats);
+      w.u32(res->coalesced_cols);
+    }
+    sink.send(w);
+  });
+  if (!posted) {
+    serialize::Writer w;
+    write_frame_header(w, MsgType::kSubmitAck, req_id);
+    write_status(w, UnavailableError("worker: shutting down"));
+    sink.send(w);
+  }
+}
+
+void handle_submit_batch(SolverService& service, FrameSink& sink,
+                         TaskQueue& responders, std::uint64_t req_id,
+                         serialize::Reader& r) {
+  std::uint64_t handle = r.u64();
+  MultiVec b = read_multivec(r);
+  if (!r.status().ok()) {
+    serialize::Writer w;
+    write_frame_header(w, MsgType::kSubmitBatchAck, req_id);
+    write_status(w, r.status());
+    sink.send(w);
+    return;
+  }
+  auto fut = std::make_shared<std::future<StatusOr<BatchSolveResult>>>(
+      service.submit_batch(SetupHandle{handle}, std::move(b)));
+  bool posted = responders.post([&sink, req_id, fut] {
+    StatusOr<BatchSolveResult> res = fut->get();
+    serialize::Writer w;
+    write_frame_header(w, MsgType::kSubmitBatchAck, req_id);
+    write_status(w, res.status());
+    if (res.ok()) {
+      write_multivec(w, res->x);
+      w.varint(res->report.column_stats.size());
+      for (const IterStats& s : res->report.column_stats) {
+        write_iter_stats(w, s);
+      }
+    }
+    sink.send(w);
+  });
+  if (!posted) {
+    serialize::Writer w;
+    write_frame_header(w, MsgType::kSubmitBatchAck, req_id);
+    write_status(w, UnavailableError("worker: shutting down"));
+    sink.send(w);
+  }
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& opts) {
+  if (opts.fd < 0) return 2;
+  SolverService service(opts.service);
+  FrameSink sink(opts.fd);
+  {
+    serialize::Writer hello;
+    write_hello(hello);
+    sink.send(hello);
+  }
+  // Scoped so the responders drain (flushing every answered frame) before
+  // the service is destroyed.
+  {
+    TaskQueue responders(std::max<std::uint32_t>(opts.responders, 1));
+    for (;;) {
+      StatusOr<std::vector<std::uint8_t>> frame =
+          serialize::read_frame(opts.fd);
+      if (!frame.ok()) break;  // coordinator gone: drain and exit
+      serialize::Reader r(std::move(*frame));
+      FrameHeader h = read_frame_header(r);
+      if (!r.status().ok()) break;  // desynchronized stream: bail out
+      switch (h.type) {
+        case MsgType::kRegisterSnapshot:
+          handle_register(service, sink, h.req_id, r);
+          break;
+        case MsgType::kUnregister:
+          (void)service.unregister(SetupHandle{r.u64()});  // one-way
+          break;
+        case MsgType::kSubmit:
+          handle_submit(service, sink, responders, h.req_id, r);
+          break;
+        case MsgType::kSubmitBatch:
+          handle_submit_batch(service, sink, responders, h.req_id, r);
+          break;
+        case MsgType::kStats: {
+          serialize::Writer w;
+          write_frame_header(w, MsgType::kStatsAck, h.req_id);
+          write_service_stats(w, service.stats());
+          sink.send(w);
+          break;
+        }
+        case MsgType::kShutdown:
+          return 0;  // responders + service drain via destructors
+        case MsgType::kHello:
+        case MsgType::kRegisterAck:
+        case MsgType::kSubmitAck:
+        case MsgType::kSubmitBatchAck:
+        case MsgType::kStatsAck:
+          break;  // coordinator-bound types: ignore, keep serving
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace parsdd::dist

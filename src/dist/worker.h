@@ -1,0 +1,40 @@
+// Worker side of the sharded multi-process service (DESIGN.md §8).
+//
+// A worker process is deliberately thin: it hosts one in-process
+// SolverService — the same dispatcher, micro-batching, and backpressure
+// the single-process deployment runs — and relays wire frames to and from
+// it.  The read loop registers snapshots and submits right-hand sides the
+// moment they arrive (so the service's linger window sees the full
+// concurrent burst and coalesces exactly as it would in-process), while a
+// small responder pool blocks on the returned futures and writes each
+// answer frame as its solve completes, out of order when solves finish out
+// of order.
+//
+// Lifecycle: the worker exits when it receives kShutdown (drains its
+// service, answers everything accepted, exits 0) or when the coordinator's
+// end of the socket closes (coordinator crash: drain and exit 0 as well —
+// an orphaned worker must never linger).  It never respawns itself; the
+// coordinator's supervisor owns the process lifecycle.
+#pragma once
+
+#include "service/solver_service.h"
+
+namespace parsdd::dist {
+
+struct WorkerOptions {
+  /// Stream-socket file descriptor to the coordinator (socketpair end the
+  /// supervisor passed across exec as `--fd N`).
+  int fd = -1;
+  /// Forwarded to the embedded SolverService.
+  ServiceOptions service;
+  /// Threads relaying resolved futures back to the socket; bounds how many
+  /// completed answers can be serialized concurrently, not how many solves
+  /// run (the service's own executors do that).
+  std::uint32_t responders = 4;
+};
+
+/// Runs the worker protocol loop until shutdown or peer disconnect.
+/// Returns the process exit code (0 on a clean drain).
+int run_worker(const WorkerOptions& opts);
+
+}  // namespace parsdd::dist

@@ -1,0 +1,63 @@
+// parsdd_worker: the worker-process binary of the sharded service.
+//
+// Spawned by the coordinator's process supervisor (dist/process_supervisor.h)
+// with the worker end of a socketpair passed as `--fd N`; everything else it
+// needs arrives over the wire protocol.  Not intended for manual use, but
+// harmless if run by hand: with no valid fd it prints usage and exits 2.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "dist/worker.h"
+
+namespace {
+
+bool parse_u32(const char* s, std::uint32_t* out) {
+  char* end = nullptr;
+  unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || v > 0xfffffffful) return false;
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parsdd::dist::WorkerOptions opts;
+  std::uint32_t fd = 0, max_pending = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* val = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--fd") == 0 && val && parse_u32(val, &fd)) {
+      opts.fd = static_cast<int>(fd);
+      ++i;
+    } else if (std::strcmp(arg, "--threads") == 0 && val &&
+               parse_u32(val, &opts.service.workers)) {
+      ++i;
+    } else if (std::strcmp(arg, "--max-batch") == 0 && val &&
+               parse_u32(val, &opts.service.max_batch)) {
+      ++i;
+    } else if (std::strcmp(arg, "--linger-us") == 0 && val &&
+               parse_u32(val, &opts.service.max_linger_us)) {
+      ++i;
+    } else if (std::strcmp(arg, "--max-pending") == 0 && val &&
+               parse_u32(val, &max_pending)) {
+      opts.service.max_pending = max_pending;
+      ++i;
+    } else if (std::strcmp(arg, "--responders") == 0 && val &&
+               parse_u32(val, &opts.responders)) {
+      ++i;
+    } else {
+      std::fprintf(stderr,
+                   "usage: parsdd_worker --fd N [--threads T] [--max-batch K]"
+                   " [--linger-us U] [--max-pending P] [--responders R]\n"
+                   "(spawned by the dist coordinator; see DESIGN.md §8)\n");
+      return 2;
+    }
+  }
+  if (opts.fd < 0) {
+    std::fprintf(stderr, "parsdd_worker: --fd is required\n");
+    return 2;
+  }
+  return parsdd::dist::run_worker(opts);
+}

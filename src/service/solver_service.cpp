@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 #include <exception>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -65,12 +66,16 @@ struct SolverService::Impl {
   std::unordered_map<std::uint64_t, std::shared_ptr<const SolverSetup>>
       registry PARSDD_GUARDED_BY(mu);
   std::uint64_t next_id PARSDD_GUARDED_BY(mu) = 1;
-  std::unordered_map<std::uint64_t, HandleQueues> queues PARSDD_GUARDED_BY(mu);
+  // Ordered map: stats() walks it to report per-handle gauges, and the
+  // determinism contract forbids iterating an unordered container.
+  std::map<std::uint64_t, HandleQueues> queues PARSDD_GUARDED_BY(mu);
   std::deque<Token> tokens PARSDD_GUARDED_BY(mu);
   /// Accepted requests not yet dispatched.
   std::size_t queued PARSDD_GUARDED_BY(mu) = 0;
   /// Dispatched requests not yet answered.
   std::size_t in_flight PARSDD_GUARDED_BY(mu) = 0;
+  /// Dispatched blocks not yet answered (the in-flight batch gauge).
+  std::size_t in_flight_blocks PARSDD_GUARDED_BY(mu) = 0;
   bool stopping PARSDD_GUARDED_BY(mu) = false;
   ServiceStats counters PARSDD_GUARDED_BY(mu);
   SetupCache setup_cache PARSDD_GUARDED_BY(mu);
@@ -372,7 +377,15 @@ void SolverService::drain() {
 
 ServiceStats SolverService::stats() const {
   MutexLock lock(impl_->mu);
-  return impl_->counters;
+  ServiceStats out = impl_->counters;
+  out.queue_depth = impl_->queued;
+  out.in_flight_cols = impl_->in_flight;
+  out.in_flight_blocks = impl_->in_flight_blocks;
+  for (const auto& [id, q] : impl_->queues) {
+    std::uint64_t pending = q.singles.size() + q.batches.size();
+    if (pending != 0) out.per_handle_pending.emplace_back(id, pending);
+  }
+  return out;
 }
 
 void SolverService::Impl::dispatcher_loop() {
@@ -447,6 +460,7 @@ SolverService::Impl::collect_singles(MutexLock& lock, std::uint64_t id,
   }
   queued -= take;
   in_flight += take;
+  ++in_flight_blocks;
   ++counters.dispatched_blocks;
   counters.dispatched_cols += take;
   return job;
@@ -459,6 +473,7 @@ SolverService::Impl::take_batch(std::deque<PendingBatch>& batches) {
   batches.pop_front();
   --queued;
   ++in_flight;
+  ++in_flight_blocks;
   ++counters.dispatched_blocks;
   counters.dispatched_cols += job->b.cols();
   return job;
@@ -523,6 +538,7 @@ void SolverService::Impl::finish(std::size_t count) {
   {
     MutexLock lock(mu);
     in_flight -= count;
+    --in_flight_blocks;  // every finish() answers exactly one block
     counters.completed += count;
   }
   cv_idle.notify_all();

@@ -53,6 +53,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "graph/edge_list.h"
@@ -107,7 +108,10 @@ struct BatchSolveResult {
   BatchSolveReport report;
 };
 
-/// Monotone counters; read with stats() at any time.
+/// Counters and gauges; read with stats() at any time.  The first block is
+/// monotone; the gauges below it are instantaneous values sampled under the
+/// service mutex at the stats() call — the load signal the distributed
+/// coordinator (dist/coordinator.h) reads per worker to drive rebalancing.
 struct ServiceStats {
   std::uint64_t submitted = 0;          // accepted requests (single + batch)
   std::uint64_t rejected = 0;           // backpressure rejections
@@ -116,6 +120,13 @@ struct ServiceStats {
   std::uint64_t dispatched_cols = 0;    // columns across those blocks
   std::uint64_t setup_cache_hits = 0;   // registrations served from cache
   std::uint64_t setup_cache_misses = 0;  // registrations that built a setup
+  // Live gauges (not monotone).
+  std::uint64_t queue_depth = 0;       // accepted, not yet dispatched
+  std::uint64_t in_flight_cols = 0;    // dispatched, not yet answered
+  std::uint64_t in_flight_blocks = 0;  // solve_batch blocks executing now
+  /// Queued (undispatched) requests per handle, ascending handle id;
+  /// handles with nothing queued are omitted.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> per_handle_pending;
 };
 
 /// Shape summary of a registered setup.

@@ -7,8 +7,11 @@
 #define PARSDD_SERIALIZE_HAVE_MMAP 1
 #include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include <cerrno>
 #endif
 
 namespace parsdd::serialize {
@@ -317,5 +320,88 @@ void Reader::fail(const std::string& message) {
     status_ = InvalidArgumentError("serialize: " + message);
   }
 }
+
+#ifdef PARSDD_SERIALIZE_HAVE_MMAP
+
+namespace {
+
+// Full-buffer send loop.  MSG_NOSIGNAL turns a write to a half-closed
+// socket into EPIPE instead of terminating the process with SIGPIPE — the
+// coordinator must observe a dead worker as a Status, never as a signal.
+Status send_all(int fd, const void* data, std::size_t size) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::send(fd, p + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError("serialize: frame send failed (peer gone?)");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return OkStatus();
+}
+
+// Full-buffer read loop; distinguishes clean EOF at a frame boundary
+// (`*eof_at_start`) from truncation mid-frame.
+Status recv_all(int fd, void* data, std::size_t size, bool* eof_at_start) {
+  std::uint8_t* p = static_cast<std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::read(fd, p + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError("serialize: frame read failed");
+    }
+    if (n == 0) {
+      if (eof_at_start != nullptr) *eof_at_start = (done == 0);
+      return UnavailableError(done == 0
+                                  ? "serialize: peer closed the stream"
+                                  : "serialize: peer closed mid-frame");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status write_frame(int fd, const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxFrameBytes) {
+    return InvalidArgumentError("serialize: frame of " + std::to_string(size) +
+                                " bytes exceeds kMaxFrameBytes");
+  }
+  std::uint32_t len = static_cast<std::uint32_t>(size);
+  PARSDD_RETURN_IF_ERROR(send_all(fd, &len, sizeof(len)));
+  return send_all(fd, data, size);
+}
+
+StatusOr<std::vector<std::uint8_t>> read_frame(int fd) {
+  std::uint32_t len = 0;
+  PARSDD_RETURN_IF_ERROR(recv_all(fd, &len, sizeof(len), nullptr));
+  if (len > kMaxFrameBytes) {
+    return InvalidArgumentError("serialize: frame length prefix " +
+                                std::to_string(len) +
+                                " exceeds kMaxFrameBytes (desynchronized "
+                                "stream?)");
+  }
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0) {
+    PARSDD_RETURN_IF_ERROR(recv_all(fd, payload.data(), len, nullptr));
+  }
+  return payload;
+}
+
+#else  // !PARSDD_SERIALIZE_HAVE_MMAP
+
+Status write_frame(int, const std::uint8_t*, std::size_t) {
+  return InternalError("serialize: socket framing requires a POSIX platform");
+}
+
+StatusOr<std::vector<std::uint8_t>> read_frame(int) {
+  return InternalError("serialize: socket framing requires a POSIX platform");
+}
+
+#endif  // PARSDD_SERIALIZE_HAVE_MMAP
 
 }  // namespace parsdd::serialize

@@ -98,6 +98,24 @@ class Writer {
   std::vector<std::uint8_t> buf_;
 };
 
+/// Longest frame either side of the dist wire protocol will accept; a
+/// length prefix beyond it means a desynchronized or hostile peer, and the
+/// connection is torn down instead of allocating the claimed bytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+/// Writes one length-prefixed frame (u32 payload size, then the payload)
+/// to a stream socket, retrying short writes and EINTR.  Uses send() with
+/// MSG_NOSIGNAL so a dead peer surfaces as Unavailable, never SIGPIPE.
+Status write_frame(int fd, const std::uint8_t* data, std::size_t size);
+inline Status write_frame(int fd, const Writer& w) {
+  return write_frame(fd, w.buffer().data(), w.buffer().size());
+}
+
+/// Reads one frame written by write_frame.  Unavailable when the peer
+/// closed the stream (EOF before or mid-frame) or on a read error;
+/// InvalidArgument for a length prefix beyond kMaxFrameBytes.
+StatusOr<std::vector<std::uint8_t>> read_frame(int fd);
+
 class Reader {
  public:
   explicit Reader(std::vector<std::uint8_t> data)

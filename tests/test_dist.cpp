@@ -1,0 +1,493 @@
+// Sharded multi-process serving (dist/coordinator.h + parsdd_worker).
+//
+// Contracts under test:
+//   * a Coordinator solve is bitwise identical to an in-process solve of
+//     the same snapshot — process boundaries are invisible to answers;
+//   * snapshot shipping fails typed: NotFound for a missing path,
+//     InvalidArgument for a truncated file or a fingerprint collision, and
+//     a snapshot deleted after registration surfaces cleanly at the next
+//     ship (rebalance) while the original placement keeps serving;
+//   * killing a worker mid-load loses no accepted request silently — every
+//     future resolves OK or Unavailable — and with respawn enabled the
+//     shard recovers (handles re-registered from snapshots, answers again
+//     bitwise identical, recovery < 500 ms);
+//   * destroying the coordinator with requests pending answers everything
+//     (the multiprocess analogue of the service drain test; TSan lane);
+//   * the submit-side error contract (NotFound / InvalidArgument /
+//     ResourceExhausted / Unavailable) mirrors the in-process service.
+//
+// The worker binary comes from the PARSDD_WORKER_BIN compile definition
+// (tests/CMakeLists.txt points it at the parsdd_worker target), overridable
+// by the environment variable of the same name.
+#include <dirent.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "graph/generators.h"
+#include "solver/solver_setup.h"
+
+namespace parsdd::dist {
+namespace {
+
+bool bitwise_equal(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+std::string worker_binary() {
+  const char* env = std::getenv("PARSDD_WORKER_BIN");
+  if (env != nullptr && env[0] != '\0') return env;
+#ifdef PARSDD_WORKER_BIN
+  return PARSDD_WORKER_BIN;
+#else
+  return std::string();
+#endif
+}
+
+// A per-test scratch directory for snapshots (removed with its contents).
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(std::string(::testing::TempDir()) + "parsdd_dist_" + tag + "_" +
+              std::to_string(::getpid())) {
+    mkdir(path_.c_str(), 0755);
+  }
+  ~TempDir() {
+    // The directory holds only snapshot files this test created
+    // (directly or via the coordinator's register_*); remove them all.
+    if (DIR* d = opendir(path_.c_str())) {
+      while (dirent* e = readdir(d)) {
+        if (e->d_name[0] == '.') continue;
+        std::remove((path_ + "/" + e->d_name).c_str());
+      }
+      closedir(d);
+    }
+    rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+CoordinatorOptions base_options(const TempDir& dir, std::uint32_t workers) {
+  CoordinatorOptions opts;
+  opts.workers = workers;
+  opts.worker_binary = worker_binary();
+  opts.snapshot_dir = dir.path();
+  return opts;
+}
+
+// Builds a setup, saves its snapshot at dir/setup.snap, and returns it for
+// computing expected answers in-process.
+SolverSetup saved_setup(const TempDir& dir, std::uint32_t nx,
+                        std::uint32_t ny) {
+  GeneratedGraph g = grid2d(nx, ny);
+  SolverSetup setup = SolverSetup::for_laplacian(g.n, g.edges);
+  EXPECT_TRUE(setup.Save(dir.path() + "/setup.snap").ok());
+  return setup;
+}
+
+// Polls until a submit against the handle succeeds (the shard finished
+// recovering) or the deadline passes; returns the final result.
+StatusOr<SolveResult> await_recovery(Coordinator& c, SetupHandle h,
+                                     const Vec& b) {
+  StatusOr<SolveResult> res = UnavailableError("never submitted");
+  for (int tries = 0; tries < 500; ++tries) {
+    res = c.submit(h, b).get();
+    if (res.ok()) return res;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return res;
+}
+
+TEST(DistCoordinator, StartRequiresWorkerBinary) {
+  TempDir dir("nobin");
+  CoordinatorOptions opts = base_options(dir, 1);
+  opts.worker_binary = "/nonexistent/not_a_worker";
+  StatusOr<std::unique_ptr<Coordinator>> c = Coordinator::Start(opts);
+  // exec fails after fork; the coordinator sees no hello and reports it
+  // instead of hanging or leaking a half-started instance.
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(DistCoordinator, SolveMatchesInProcessBitwise) {
+  TempDir dir("bitwise");
+  SolverSetup setup = saved_setup(dir, 10, 10);
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 2));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h =
+      (*c)->register_from_snapshot(dir.path() + "/setup.snap").value();
+  EXPECT_EQ((*c)->info(h).value().dimension, setup.dimension());
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    Vec b = random_unit_like(setup.dimension(), 100 + i);
+    StatusOr<SolveResult> res = (*c)->submit(h, b).get();
+    ASSERT_TRUE(res.ok()) << res.status().to_string();
+    EXPECT_TRUE(res->stats.converged);
+    EXPECT_TRUE(bitwise_equal(res->x, setup.solve(b).value()))
+        << "request " << i;
+  }
+}
+
+TEST(DistCoordinator, BatchRoundTripsBitwise) {
+  TempDir dir("batch");
+  SolverSetup setup = saved_setup(dir, 8, 8);
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 1));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h =
+      (*c)->register_from_snapshot(dir.path() + "/setup.snap").value();
+
+  std::vector<Vec> cols;
+  for (std::size_t i = 0; i < 3; ++i) {
+    cols.push_back(random_unit_like(setup.dimension(), 300 + i));
+  }
+  MultiVec b = MultiVec::from_columns(cols);
+  StatusOr<BatchSolveResult> res = (*c)->submit_batch(h, b).get();
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  ASSERT_EQ(res->x.cols(), cols.size());
+  ASSERT_EQ(res->report.column_stats.size(), cols.size());
+  MultiVec expected = setup.solve_batch(b).value();
+  for (std::size_t col = 0; col < cols.size(); ++col) {
+    EXPECT_TRUE(res->report.column_stats[col].converged);
+    EXPECT_TRUE(bitwise_equal(res->x.column(col), expected.column(col)))
+        << "column " << col;
+  }
+}
+
+TEST(DistCoordinator, RegisterBuildsSaveAndCollide) {
+  TempDir dir("build");
+  GeneratedGraph g = grid2d(6, 6);
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 2));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h = (*c)->register_laplacian(g.n, g.edges).value();
+  EXPECT_EQ((*c)->info(h).value().dimension, g.n);
+  Vec b = random_unit_like(g.n, 7);
+  StatusOr<SolveResult> res = (*c)->submit(h, b).get();
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+
+  // Same graph -> same snapshot digest -> fingerprint collision, typed.
+  StatusOr<SetupHandle> dup = (*c)->register_laplacian(g.n, g.edges);
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+
+  // After unregister the digest is free again.
+  EXPECT_TRUE((*c)->unregister(h).ok());
+  EXPECT_EQ((*c)->unregister(h).code(), StatusCode::kNotFound);
+  EXPECT_TRUE((*c)->register_laplacian(g.n, g.edges).ok());
+}
+
+TEST(DistCoordinator, MissingSnapshotIsNotFound) {
+  TempDir dir("missing");
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 1));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  StatusOr<SetupHandle> h =
+      (*c)->register_from_snapshot(dir.path() + "/never_saved.snap");
+  EXPECT_EQ(h.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DistCoordinator, TruncatedSnapshotIsInvalidArgument) {
+  TempDir dir("truncated");
+  saved_setup(dir, 6, 6);
+  std::string path = dir.path() + "/setup.snap";
+
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 1));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+
+  // Cut the file mid-payload: the worker's checksum validation refuses it
+  // and the typed error ships back unchanged.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(full, 16);
+  ASSERT_EQ(truncate(path.c_str(), full / 2), 0);
+  StatusOr<SetupHandle> h = (*c)->register_from_snapshot(path);
+  EXPECT_EQ(h.status().code(), StatusCode::kInvalidArgument);
+
+  // Shorter than even the checksum trailer: refused before shipping.
+  ASSERT_EQ(truncate(path.c_str(), 4), 0);
+  h = (*c)->register_from_snapshot(path);
+  EXPECT_EQ(h.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DistCoordinator, SnapshotCollisionAcrossPathsRejected) {
+  TempDir dir("collide");
+  saved_setup(dir, 6, 6);
+  std::string path = dir.path() + "/setup.snap";
+  std::string copy = dir.path() + "/copy.snap";
+  // Byte-identical copy under another name: same digest, still a collision.
+  {
+    std::FILE* in = std::fopen(path.c_str(), "rb");
+    std::FILE* out = std::fopen(copy.c_str(), "wb");
+    ASSERT_NE(in, nullptr);
+    ASSERT_NE(out, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+      std::fwrite(buf, 1, n, out);
+    }
+    std::fclose(in);
+    std::fclose(out);
+  }
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 2));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  ASSERT_TRUE((*c)->register_from_snapshot(path).ok());
+  StatusOr<SetupHandle> dup = (*c)->register_from_snapshot(copy);
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  std::remove(copy.c_str());
+}
+
+TEST(DistCoordinator, RebalanceMovesHandleAndSurvivesDeletedSnapshot) {
+  TempDir dir("rebalance");
+  SolverSetup setup = saved_setup(dir, 8, 8);
+  std::string path = dir.path() + "/setup.snap";
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 2));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h = (*c)->register_from_snapshot(path).value();
+  std::uint32_t home = (*c)->worker_of(h).value();
+  std::uint32_t away = 1 - home;
+  Vec b = random_unit_like(setup.dimension(), 11);
+  Vec expected = setup.solve(b).value();
+
+  EXPECT_EQ((*c)->rebalance(h, 99).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE((*c)->rebalance(h, away).ok());
+  EXPECT_EQ((*c)->worker_of(h).value(), away);
+  StatusOr<SolveResult> res = (*c)->submit(h, b).get();
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  EXPECT_TRUE(bitwise_equal(res->x, expected));
+
+  // Delete the snapshot underneath the registration, then try to ship it
+  // again: the migration fails typed (the worker's open fails), placement
+  // stays where it was, and the live registration keeps serving.
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  Status moved = (*c)->rebalance(h, home);
+  EXPECT_EQ(moved.code(), StatusCode::kNotFound) << moved.to_string();
+  EXPECT_EQ((*c)->worker_of(h).value(), away);
+  res = (*c)->submit(h, b).get();
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  EXPECT_TRUE(bitwise_equal(res->x, expected));
+}
+
+TEST(DistCoordinator, KillMidLoadLosesNoRequestSilently) {
+  TempDir dir("kill");
+  SolverSetup setup = saved_setup(dir, 10, 10);
+  CoordinatorOptions opts = base_options(dir, 2);
+  opts.worker_linger_us = 20000;  // hold requests open so the kill lands
+  StatusOr<std::unique_ptr<Coordinator>> c = Coordinator::Start(opts);
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h =
+      (*c)->register_from_snapshot(dir.path() + "/setup.snap").value();
+  Vec b = random_unit_like(setup.dimension(), 42);
+  Vec expected = setup.solve(b).value();
+
+  constexpr std::size_t kReqs = 24;
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  futures.reserve(kReqs);
+  for (std::size_t i = 0; i < kReqs; ++i) {
+    futures.push_back((*c)->submit(h, b));
+  }
+  ASSERT_TRUE((*c)->kill_worker((*c)->worker_of(h).value()).ok());
+
+  // Every accepted request resolves: either a correct answer (completed
+  // before the kill) or a clean Unavailable.  Nothing hangs, nothing is
+  // silently dropped, nothing crashes.
+  std::size_t answered = 0, unavailable = 0;
+  for (auto& f : futures) {
+    StatusOr<SolveResult> res = f.get();
+    if (res.ok()) {
+      EXPECT_TRUE(bitwise_equal(res->x, expected));
+      ++answered;
+    } else {
+      EXPECT_EQ(res.status().code(), StatusCode::kUnavailable)
+          << res.status().to_string();
+      ++unavailable;
+    }
+  }
+  EXPECT_EQ(answered + unavailable, kReqs);
+
+  // Respawn + re-registration from the snapshot directory: the same handle
+  // answers again, bitwise identically, within the recovery budget.
+  StatusOr<SolveResult> res = await_recovery(**c, h, b);
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  EXPECT_TRUE(bitwise_equal(res->x, expected));
+  DistStats st = (*c)->stats();
+  EXPECT_GE(st.worker_deaths, 1u);
+  EXPECT_GE(st.respawns, 1u);
+  EXPECT_GT(st.last_recovery_ms, 0.0);
+  EXPECT_LT(st.last_recovery_ms, 500.0);
+}
+
+TEST(DistCoordinator, RecoveryReregistersEveryHandleOnTheShard) {
+  TempDir dir("multi");
+  GeneratedGraph g1 = grid2d(6, 6);
+  GeneratedGraph g2 = grid2d(5, 7);
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 2));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h1 = (*c)->register_laplacian(g1.n, g1.edges).value();
+  SetupHandle h2 = (*c)->register_laplacian(g2.n, g2.edges).value();
+  // Co-locate both handles so one kill covers both re-registrations.
+  ASSERT_TRUE((*c)->rebalance(h1, 0).ok());
+  ASSERT_TRUE((*c)->rebalance(h2, 0).ok());
+  Vec b1 = random_unit_like(g1.n, 1);
+  Vec b2 = random_unit_like(g2.n, 2);
+  Vec x1 = (*c)->submit(h1, b1).get().value().x;
+  Vec x2 = (*c)->submit(h2, b2).get().value().x;
+
+  ASSERT_TRUE((*c)->kill_worker(0).ok());
+  StatusOr<SolveResult> r1 = await_recovery(**c, h1, b1);
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+  EXPECT_TRUE(bitwise_equal(r1->x, x1));
+  StatusOr<SolveResult> r2 = (*c)->submit(h2, b2).get();
+  ASSERT_TRUE(r2.ok()) << r2.status().to_string();
+  EXPECT_TRUE(bitwise_equal(r2->x, x2));
+}
+
+TEST(DistCoordinator, RespawnDisabledShardStaysDown) {
+  TempDir dir("norespawn");
+  SolverSetup setup = saved_setup(dir, 6, 6);
+  CoordinatorOptions opts = base_options(dir, 1);
+  opts.respawn = false;
+  StatusOr<std::unique_ptr<Coordinator>> c = Coordinator::Start(opts);
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h =
+      (*c)->register_from_snapshot(dir.path() + "/setup.snap").value();
+  ASSERT_TRUE((*c)->kill_worker(0).ok());
+
+  // The shard never comes back; submits fail Unavailable, typed, forever.
+  Vec b(setup.dimension(), 1.0);
+  StatusOr<SolveResult> res = await_recovery(**c, h, b);
+  EXPECT_EQ(res.status().code(), StatusCode::kUnavailable);
+  DistStats st = (*c)->stats();
+  EXPECT_EQ(st.respawns, 0u);
+  ASSERT_EQ(st.workers.size(), 1u);
+  EXPECT_FALSE(st.workers[0].up);
+}
+
+TEST(DistCoordinator, DestructionAnswersEverythingAccepted) {
+  TempDir dir("dtor");
+  SolverSetup setup = saved_setup(dir, 8, 8);
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  {
+    CoordinatorOptions opts = base_options(dir, 2);
+    opts.worker_linger_us = 10000;
+    StatusOr<std::unique_ptr<Coordinator>> c = Coordinator::Start(opts);
+    ASSERT_TRUE(c.ok()) << c.status().to_string();
+    SetupHandle h =
+        (*c)->register_from_snapshot(dir.path() + "/setup.snap").value();
+    for (std::size_t i = 0; i < 16; ++i) {
+      futures.push_back((*c)->submit(h, random_unit_like(setup.dimension(),
+                                                         600 + i)));
+    }
+    // Coordinator destroyed here with requests still lingering at workers.
+  }
+  for (auto& f : futures) {
+    StatusOr<SolveResult> res = f.get();  // must not hang or drop
+    if (res.ok()) {
+      EXPECT_TRUE(res->stats.converged);
+    } else {
+      EXPECT_EQ(res.status().code(), StatusCode::kUnavailable)
+          << res.status().to_string();
+    }
+  }
+}
+
+TEST(DistCoordinator, SubmitErrorContractMirrorsInProcessService) {
+  TempDir dir("errors");
+  SolverSetup setup = saved_setup(dir, 6, 6);
+  CoordinatorOptions opts = base_options(dir, 1);
+  opts.max_pending = 4;
+  opts.worker_linger_us = 50000;  // hold the worker so the window fills
+  StatusOr<std::unique_ptr<Coordinator>> c = Coordinator::Start(opts);
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h =
+      (*c)->register_from_snapshot(dir.path() + "/setup.snap").value();
+
+  EXPECT_EQ((*c)->submit(SetupHandle{9999}, Vec(setup.dimension(), 0.0))
+                .get()
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ((*c)->info(SetupHandle{9999}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ((*c)->submit(h, Vec(setup.dimension() + 1, 0.0))
+                .get()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*c)->submit_batch(h, MultiVec(setup.dimension(), 0))
+                .get()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    futures.push_back((*c)->submit(h, Vec(setup.dimension(), 1.0)));
+  }
+  for (auto& f : futures) {
+    StatusOr<SolveResult> res = f.get();
+    if (!res.ok()) {
+      EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  // 64 submits against a 4-deep coordinator window faster than the worker
+  // answers: some must be shed at the door, typed, before any socket I/O.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ((*c)->stats().rejected, rejected);
+}
+
+TEST(DistCoordinator, WorkerStatsShipGaugesOverTheWire) {
+  TempDir dir("stats");
+  SolverSetup setup = saved_setup(dir, 6, 6);
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 1));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h =
+      (*c)->register_from_snapshot(dir.path() + "/setup.snap").value();
+  Vec b = random_unit_like(setup.dimension(), 5);
+  ASSERT_TRUE((*c)->submit(h, b).get().ok());
+  (*c)->drain();
+
+  StatusOr<ServiceStats> ws = (*c)->worker_stats(0);
+  ASSERT_TRUE(ws.ok()) << ws.status().to_string();
+  EXPECT_EQ(ws->submitted, 1u);
+  EXPECT_EQ(ws->completed, 1u);
+  EXPECT_EQ(ws->queue_depth, 0u);
+  EXPECT_EQ(ws->in_flight_cols, 0u);
+  EXPECT_EQ(ws->per_handle_pending.size(), 0u);
+  EXPECT_EQ((*c)->worker_stats(7).status().code(),
+            StatusCode::kInvalidArgument);
+
+  DistStats ds = (*c)->stats();
+  EXPECT_GE(ds.submitted, 2u);  // the solve + this stats RPC
+  EXPECT_EQ(ds.in_flight, 0u);
+  ASSERT_EQ(ds.workers.size(), 1u);
+  EXPECT_TRUE(ds.workers[0].up);
+  EXPECT_EQ(ds.workers[0].handles, 1u);
+}
+
+}  // namespace
+}  // namespace parsdd::dist

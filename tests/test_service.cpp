@@ -190,6 +190,80 @@ TEST(SolverService, UncoalescedModeStillCorrect) {
   }
 }
 
+TEST(SolverService, StatsGaugesTrackQueueAndInFlight) {
+  ServiceOptions opts;
+  opts.max_linger_us = 200000;  // park the burst so the sample below sees it
+  opts.max_batch = 4;
+  SolverService service(opts);
+  GeneratedGraph g = grid2d(8, 8);
+  SetupHandle h = service.register_laplacian(g.n, g.edges).value();
+
+  ServiceStats idle = service.stats();
+  EXPECT_EQ(idle.queue_depth, 0u);
+  EXPECT_EQ(idle.in_flight_cols, 0u);
+  EXPECT_EQ(idle.in_flight_blocks, 0u);
+  EXPECT_TRUE(idle.per_handle_pending.empty());
+
+  constexpr std::size_t kReqs = 6;
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  for (std::size_t i = 0; i < kReqs; ++i) {
+    futures.push_back(service.submit(h, Vec(g.n, 1.0)));
+  }
+  ServiceStats busy = service.stats();
+  // Conservation: every accepted request is queued, in flight, or already
+  // answered at the instant of the sample — never unaccounted for.
+  EXPECT_EQ(busy.queue_depth + busy.in_flight_cols + busy.completed, kReqs);
+  EXPECT_LE(busy.in_flight_blocks, busy.in_flight_cols);
+  std::uint64_t per_handle_total = 0;
+  for (const auto& [id, pending] : busy.per_handle_pending) {
+    EXPECT_EQ(id, h.id);
+    per_handle_total += pending;
+  }
+  EXPECT_EQ(per_handle_total, busy.queue_depth);
+
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  service.drain();
+  ServiceStats done = service.stats();
+  EXPECT_EQ(done.queue_depth, 0u);
+  EXPECT_EQ(done.in_flight_cols, 0u);
+  EXPECT_EQ(done.in_flight_blocks, 0u);
+  EXPECT_TRUE(done.per_handle_pending.empty());
+  EXPECT_EQ(done.completed, kReqs);
+}
+
+TEST(SolverService, ShutdownWithPendingNeverHangsOrDrops) {
+  // Tighter variant of the destruction test below: with load shedding in
+  // play, every accepted future must still resolve — OK or typed — when
+  // the service dies mid-burst.  (TSan lane covers the teardown races.)
+  GeneratedGraph g = grid2d(10, 10);
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  {
+    ServiceOptions opts;
+    opts.max_linger_us = 50000;
+    opts.max_pending = 8;
+    SolverService service(opts);
+    SetupHandle h = service.register_laplacian(g.n, g.edges).value();
+    for (std::size_t i = 0; i < 32; ++i) {
+      futures.push_back(service.submit(h, random_unit_like(g.n, 800 + i)));
+    }
+  }
+  std::size_t answered = 0, typed = 0;
+  for (auto& f : futures) {
+    StatusOr<SolveResult> res = f.get();
+    if (res.ok()) {
+      EXPECT_TRUE(res->stats.converged);
+      ++answered;
+    } else {
+      EXPECT_TRUE(res.status().code() == StatusCode::kResourceExhausted ||
+                  res.status().code() == StatusCode::kUnavailable)
+          << res.status().to_string();
+      ++typed;
+    }
+  }
+  EXPECT_EQ(answered + typed, 32u);
+  EXPECT_GT(answered, 0u);
+}
+
 TEST(SolverService, DestructionAnswersEverythingAccepted) {
   GeneratedGraph g = grid2d(10, 10);
   std::vector<std::future<StatusOr<SolveResult>>> futures;
