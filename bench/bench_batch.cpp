@@ -77,7 +77,8 @@ int main() {
     double single_s = t.seconds();
 
     t.reset();
-    MultiVec x = solver.solve_batch(b).value();
+    BatchSolveReport brep;
+    MultiVec x = solver.solve_batch(b, &brep).value();
     double batch_s = t.seconds();
 
     // Correctness guard: the batch must reproduce the single solves.
@@ -94,6 +95,16 @@ int main() {
     double single_per = 1e3 * single_s / c.k;
     double batch_per = 1e3 * batch_s / c.k;
     double speedup = single_s / batch_s;
+    // Block operator-stream bandwidth: the batch shares each CSR traversal
+    // across k columns, so per nonzero it streams val+col once (12B) plus
+    // k gathered row reads (8B each); iterations = the slowest column's.
+    std::uint32_t batch_iters = 0;
+    for (const IterStats& st : brep.column_stats) {
+      batch_iters = std::max(batch_iters, st.iterations);
+    }
+    double op_bytes = static_cast<double>(batch_iters) *
+                      (g.n + 2.0 * static_cast<double>(g.edges.size())) *
+                      (12.0 + 8.0 * c.k);
     std::printf("%-20s %8u %8zu %4u %10.1f %14.3f %14.3f %8.2fx\n", c.name,
                 g.n, g.edges.size(), c.k, 1e3 * setup_s, single_per, batch_per,
                 speedup);
@@ -106,6 +117,7 @@ int main() {
         .num("single_per_rhs_ms", single_per)
         .num("batch_per_rhs_ms", batch_per)
         .num("speedup", speedup)
+        .num("gbps", parsdd_bench::gbps(op_bytes, batch_s))
         .num("max_abs_diff", worst);
   }
   json.write();

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "kernels/kernels.h"
 #include "graph/generators.h"
 #include "linalg/laplacian.h"
 #include "solver/sdd_solver.h"
@@ -49,7 +50,7 @@ int run_child(std::uint32_t rows, std::uint32_t cols, std::size_t k) {
   MultiVec b(g.n, k);
   for (std::size_t c = 0; c < k; ++c) {
     Vec col = random_unit_like(g.n, 13 + c);
-    project_out_constant(col);
+    kernels::project_out_constant(col);
     b.set_column(c, col);
   }
   double solve_ms = 0.0;

@@ -49,6 +49,12 @@ void scaling_table(BenchJson& json) {
     Vec x = solver.solve(b, &rep).value();
     double solve = ts.seconds();
     double m = static_cast<double>(c.g.edges.size());
+    // Effective operator-stream bandwidth: each PCG iteration streams the
+    // top-level CSR (val 8B + col 4B + gathered x 8B per nonzero, nnz =
+    // n + 2m) — a lower bound that ignores chain-level traffic, comparable
+    // across backends because the iteration count is bitwise-pinned.
+    double op_bytes = static_cast<double>(rep.stats.iterations) *
+                      (c.g.n + 2.0 * m) * 20.0;
     std::printf("%-18s %8u %8zu %9.2f %9.2f %6u %10.2f %9.2f\n", c.name,
                 c.g.n, c.g.edges.size(), build, solve, rep.stats.iterations,
                 1e6 * solve / m, rep.chain_edges / m);
@@ -59,7 +65,9 @@ void scaling_table(BenchJson& json) {
         .num("setup_ms", 1e3 * build)
         .num("solve_ms", 1e3 * solve)
         .num("iterations", rep.stats.iterations)
-        .num("chain_edges", static_cast<double>(rep.chain_edges));
+        .num("chain_edges", static_cast<double>(rep.chain_edges))
+        .num("per_rhs_ms", 1e3 * solve)
+        .num("gbps", parsdd_bench::gbps(op_bytes, solve));
   }
 }
 

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "kernels/kernels.h"
 #include "graph/generators.h"
 #include "linalg/dense_ldlt.h"
 #include "linalg/eig.h"
@@ -44,7 +45,7 @@ void sandwich_table() {
     };
     LinOp hsolve = [&](const Vec& in, Vec& out) {
       Vec t = in;
-      project_out_constant(t);
+      kernels::project_out_constant(t);
       out = fh.solve(t);
     };
     double lmax = pencil_max_eig(aop, hop, hsolve, g.n, 200, 9);

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "kernels/kernels.h"
 #include "parallel/thread_pool.h"
 
 namespace parsdd_bench {
@@ -32,7 +33,15 @@ class Timer {
 };
 
 inline void header(const char* experiment, const char* claim) {
-  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+  std::printf("\n=== %s ===\n%s\n(kernel backend: %s)\n\n", experiment,
+              claim, parsdd::kernels::backend_name());
+}
+
+/// Effective memory bandwidth in GB/s for a kernel that moves `bytes` in
+/// `seconds` — the roofline-style figure the SIMD columns of the solve
+/// benches report next to their wall-clock ms.
+inline double gbps(double bytes, double seconds) {
+  return seconds > 0.0 ? bytes / seconds * 1e-9 : 0.0;
 }
 
 /// Accumulates flat key/value records and writes them as a JSON array to
@@ -110,11 +119,13 @@ class BenchJson {
     }
     // Every record carries the execution environment so curves from
     // different pool sizes are distinguishable after the fact.
-    char env[96];
+    char env[128];
     std::snprintf(env, sizeof(env),
-                  "\"threads\": %d, \"hw_concurrency\": %u",
+                  "\"threads\": %d, \"hw_concurrency\": %u, "
+                  "\"backend\": \"%s\"",
                   parsdd::ThreadPool::instance().concurrency(),
-                  std::thread::hardware_concurrency());
+                  std::thread::hardware_concurrency(),
+                  parsdd::kernels::backend_name());
     std::fprintf(f, "[\n");
     for (std::size_t i = 0; i < records_.size(); ++i) {
       std::fprintf(f, "  %s%s\n", records_[i].json(env).c_str(),

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "apps/effective_resistance.h"
+#include "kernels/kernels.h"
 #include "apps/harmonic.h"
 #include "graph/generators.h"
 #include "linalg/laplacian.h"
@@ -34,7 +35,7 @@ int main() {
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   for (std::size_t c = 0; c < cols.size(); ++c) {
     Vec xc = x.column(c);
-    double res = norm2(subtract(lap.apply(xc), cols[c])) / norm2(cols[c]);
+    double res = kernels::norm2(kernels::subtract(lap.apply(xc), cols[c])) / kernels::norm2(cols[c]);
     std::printf("  rhs %zu: %u iterations, residual %.2e\n", c,
                 report.column_stats[c].iterations, res);
   }

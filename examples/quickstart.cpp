@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "linalg/laplacian.h"
 #include "solver/sdd_solver.h"
 
@@ -29,7 +30,7 @@ int main() {
   Vec x = solver.solve(b, &report).value();
 
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
-  double rel = norm2(subtract(lap.apply(x), b)) / norm2(b);
+  double rel = kernels::norm2(kernels::subtract(lap.apply(x), b)) / kernels::norm2(b);
   std::printf("solved: iterations=%u levels=%u chain_edges=%zu\n",
               report.stats.iterations, report.chain_levels,
               report.chain_edges);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "linalg/laplacian.h"
 #include "linalg/vector_ops.h"
 #include "service/solver_service.h"
@@ -58,7 +59,7 @@ int main() {
       std::printf("  client %zu: %s\n", c, res.status().to_string().c_str());
       continue;
     }
-    double rel = norm2(subtract(lap.apply(res->x), rhs[c])) / norm2(rhs[c]);
+    double rel = kernels::norm2(kernels::subtract(lap.apply(res->x), rhs[c])) / kernels::norm2(rhs[c]);
     std::printf(
         "  client %zu: %u iterations, residual %.2e, rode in a "
         "%u-column block\n",

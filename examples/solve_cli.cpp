@@ -13,6 +13,12 @@
 //   --load-setup=PATH : skip the build and load the snapshot instead (the
 //                       graph is still read to verify the residual)
 //
+// Precision (see DESIGN.md §9, "Kernel backends & mixed precision"):
+//   --precision=f64   : bitwise-reproducible fp64 everywhere (default)
+//   --precision=f32   : opt-in mixed precision — the preconditioner chain
+//                       runs in fp32, the outer CG refines in fp64
+//                       (chain method only)
+//
 // Typical warm-start flow:
 //   $ ./solve_cli mesh.txt 1e-8 chain --save-setup=mesh.snap   # build once
 //   $ ./solve_cli mesh.txt 1e-8 chain --load-setup=mesh.snap   # restarts
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "graph/io.h"
 #include "linalg/laplacian.h"
 #include "solver/solver_setup.h"
@@ -34,6 +41,7 @@
 int main(int argc, char** argv) {
   using namespace parsdd;
   std::string save_path, load_path;
+  Precision precision = Precision::kF64Bitwise;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -41,6 +49,17 @@ int main(int argc, char** argv) {
       save_path = arg.substr(std::strlen("--save-setup="));
     } else if (arg.rfind("--load-setup=", 0) == 0) {
       load_path = arg.substr(std::strlen("--load-setup="));
+    } else if (arg.rfind("--precision=", 0) == 0) {
+      std::string p = arg.substr(std::strlen("--precision="));
+      if (p == "f64") {
+        precision = Precision::kF64Bitwise;
+      } else if (p == "f32") {
+        precision = Precision::kF32Refined;
+      } else {
+        std::fprintf(stderr, "unknown precision '%s' (want f64|f32)\n",
+                     p.c_str());
+        return 2;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -74,7 +93,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("graph: n=%u m=%zu\n", g.n, g.edges.size());
+  std::printf("graph: n=%u m=%zu backend=%s precision=%s\n", g.n,
+              g.edges.size(), kernels::backend_name(),
+              precision == Precision::kF32Refined ? "f32-refined"
+                                                  : "f64-bitwise");
   SolverSetup setup = [&] {
     if (!load_path.empty()) {
       if (positional.size() > 1) {
@@ -96,6 +118,7 @@ int main(int argc, char** argv) {
     SddSolverOptions opts;
     opts.tolerance = tol;
     opts.method = method;
+    opts.precision = precision;
     opts.max_iterations = 50000;
     return SolverSetup::for_laplacian(g.n, g.edges, opts);
   }();
@@ -120,7 +143,7 @@ int main(int argc, char** argv) {
   Vec x = setup.solve(b, &rep).value();
 
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
-  double rel = norm2(subtract(lap.apply(x), b)) / norm2(b);
+  double rel = kernels::norm2(kernels::subtract(lap.apply(x), b)) / kernels::norm2(b);
   std::printf(
       "components=%u chain_levels=%u chain_edges=%zu iterations=%u\n",
       rep.components, rep.chain_levels, rep.chain_edges,

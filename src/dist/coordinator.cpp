@@ -22,6 +22,13 @@ namespace parsdd::dist {
 
 namespace {
 
+// Wire encoding of submit's optional required precision (wire.h, v2):
+// 0 = any, 1 = f64-bitwise, 2 = f32-refined.
+std::uint8_t encode_required_precision(std::optional<Precision> require) {
+  if (!require) return 0;
+  return *require == Precision::kF32Refined ? 2 : 1;
+}
+
 using SinglePromise = std::promise<StatusOr<SolveResult>>;
 using BatchPromise = std::promise<StatusOr<BatchSolveResult>>;
 using RegisterPromise = std::promise<RegisterAck>;
@@ -674,8 +681,8 @@ StatusOr<SetupInfo> Coordinator::info(SetupHandle handle) const {
   return it->second.info;
 }
 
-std::future<StatusOr<SolveResult>> Coordinator::submit(SetupHandle handle,
-                                                       Vec b) {
+std::future<StatusOr<SolveResult>> Coordinator::submit(
+    SetupHandle handle, Vec b, std::optional<Precision> require) {
   Impl& im = *impl_;
   SinglePromise p;
   std::future<StatusOr<SolveResult>> fut = p.get_future();
@@ -690,6 +697,7 @@ std::future<StatusOr<SolveResult>> Coordinator::submit(SetupHandle handle,
       serialize::Writer w;
       write_frame_header(w, MsgType::kSubmit, req);
       w.u64(worker_handle);
+      w.u8(encode_required_precision(require));
       write_vec(w, b);
       err = serialize::write_frame(s->proc.fd, w);
       if (err.ok()) {
@@ -704,7 +712,7 @@ std::future<StatusOr<SolveResult>> Coordinator::submit(SetupHandle handle,
 }
 
 std::future<StatusOr<BatchSolveResult>> Coordinator::submit_batch(
-    SetupHandle handle, MultiVec b) {
+    SetupHandle handle, MultiVec b, std::optional<Precision> require) {
   Impl& im = *impl_;
   BatchPromise p;
   std::future<StatusOr<BatchSolveResult>> fut = p.get_future();
@@ -721,6 +729,7 @@ std::future<StatusOr<BatchSolveResult>> Coordinator::submit_batch(
       serialize::Writer w;
       write_frame_header(w, MsgType::kSubmitBatch, req);
       w.u64(worker_handle);
+      w.u8(encode_required_precision(require));
       write_multivec(w, b);
       err = serialize::write_frame(s->proc.fd, w);
       if (err.ok()) {

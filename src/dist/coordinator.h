@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -138,10 +139,16 @@ class Coordinator {
 
   /// Enqueues one right-hand side on the handle's worker.  Same future
   /// contract as SolverService::submit; answers are bitwise identical to
-  /// an in-process solve against the same snapshot.
-  std::future<StatusOr<SolveResult>> submit(SetupHandle handle, Vec b);
-  std::future<StatusOr<BatchSolveResult>> submit_batch(SetupHandle handle,
-                                                       MultiVec b);
+  /// an in-process solve against the same snapshot.  `require` pins the
+  /// arithmetic contract exactly as in SolverService::submit: the worker
+  /// refuses up front (InvalidArgument) when the setup's Precision does
+  /// not match (nullopt accepts any).
+  std::future<StatusOr<SolveResult>> submit(
+      SetupHandle handle, Vec b,
+      std::optional<Precision> require = std::nullopt);
+  std::future<StatusOr<BatchSolveResult>> submit_batch(
+      SetupHandle handle, MultiVec b,
+      std::optional<Precision> require = std::nullopt);
 
   /// Blocks until every accepted request and RPC has been answered.
   void drain();

@@ -187,6 +187,7 @@ void write_register_ack(serialize::Writer& w, const RegisterAck& a) {
   w.u32(a.info.components);
   w.u32(a.info.chain_levels);
   w.u64(a.info.chain_edges);
+  w.u8(static_cast<std::uint8_t>(a.info.precision));
 }
 
 RegisterAck read_register_ack(serialize::Reader& r) {
@@ -197,6 +198,12 @@ RegisterAck read_register_ack(serialize::Reader& r) {
   a.info.components = r.u32();
   a.info.chain_levels = r.u32();
   a.info.chain_edges = static_cast<std::size_t>(r.u64());
+  std::uint8_t prec = r.u8();
+  if (prec > static_cast<std::uint8_t>(Precision::kF32Refined)) {
+    r.fail("register ack: unknown Precision value " + std::to_string(prec));
+    return a;
+  }
+  a.info.precision = static_cast<Precision>(prec);
   return a;
 }
 

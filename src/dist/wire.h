@@ -37,7 +37,10 @@ namespace parsdd::dist {
 
 /// Bumped whenever any frame layout changes; kHello carries it and each
 /// side refuses a peer speaking a different version.
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2: kSubmit/kSubmitBatch carry a required-precision byte (0 = any,
+/// 1 = f64-bitwise, 2 = f32-refined) after the worker handle, and
+/// kRegisterAck carries the setup's Precision.
+inline constexpr std::uint16_t kWireVersion = 2;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,             // worker -> coordinator, first frame on connect

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "dist/wire.h"
@@ -59,10 +60,29 @@ void handle_register(SolverService& service, FrameSink& sink,
   ack_register(sink, req_id, ack);
 }
 
+// Decodes the wire-v2 required-precision byte (0 = any, 1 = f64-bitwise,
+// 2 = f32-refined); latches a Reader failure for anything else.
+std::optional<Precision> read_required_precision(serialize::Reader& r) {
+  std::uint8_t code = r.u8();
+  switch (code) {
+    case 0:
+      return std::nullopt;
+    case 1:
+      return Precision::kF64Bitwise;
+    case 2:
+      return Precision::kF32Refined;
+    default:
+      r.fail("submit: unknown required-precision code " +
+             std::to_string(code));
+      return std::nullopt;
+  }
+}
+
 void handle_submit(SolverService& service, FrameSink& sink,
                    TaskQueue& responders, std::uint64_t req_id,
                    serialize::Reader& r) {
   std::uint64_t handle = r.u64();
+  std::optional<Precision> require = read_required_precision(r);
   Vec b = read_vec(r);
   if (!r.status().ok()) {
     serialize::Writer w;
@@ -75,7 +95,7 @@ void handle_submit(SolverService& service, FrameSink& sink,
   // concurrently shipped request), then hand the future to a responder.
   // shared_ptr because TaskQueue tasks are copyable std::functions.
   auto fut = std::make_shared<std::future<StatusOr<SolveResult>>>(
-      service.submit(SetupHandle{handle}, std::move(b)));
+      service.submit(SetupHandle{handle}, std::move(b), require));
   bool posted = responders.post([&sink, req_id, fut] {
     StatusOr<SolveResult> res = fut->get();
     serialize::Writer w;
@@ -100,6 +120,7 @@ void handle_submit_batch(SolverService& service, FrameSink& sink,
                          TaskQueue& responders, std::uint64_t req_id,
                          serialize::Reader& r) {
   std::uint64_t handle = r.u64();
+  std::optional<Precision> require = read_required_precision(r);
   MultiVec b = read_multivec(r);
   if (!r.status().ok()) {
     serialize::Writer w;
@@ -109,7 +130,7 @@ void handle_submit_batch(SolverService& service, FrameSink& sink,
     return;
   }
   auto fut = std::make_shared<std::future<StatusOr<BatchSolveResult>>>(
-      service.submit_batch(SetupHandle{handle}, std::move(b)));
+      service.submit_batch(SetupHandle{handle}, std::move(b), require));
   bool posted = responders.post([&sink, req_id, fut] {
     StatusOr<BatchSolveResult> res = fut->get();
     serialize::Writer w;

@@ -1,0 +1,46 @@
+// The portable backend: the reference operation sequence, built entirely
+// from the templates in backend_detail.h.  Always available; the AVX
+// backends must match it bit-for-bit (test_kernels enforces this through
+// whole solves).
+#include "kernels/backend_detail.h"
+
+namespace parsdd::kernels::detail {
+
+const Backend& scalar_backend() {
+  static const Backend be{
+      /*name=*/"scalar",
+      /*level=*/SimdLevel::kScalar,
+      /*axpy_f64=*/&axpy_t<double>,
+      /*xpay_f64=*/&xpay_t<double>,
+      /*scale_f64=*/&scale_t<double>,
+      /*sub_f64=*/&sub_t<double>,
+      /*sub_scalar_f64=*/&sub_scalar_t<double>,
+      /*dot_serial_f64=*/&dot_serial_t<double>,
+      /*sum_serial_f64=*/&sum_serial_t<double>,
+      /*axpy_cols_f64=*/&axpy_cols_t<double>,
+      /*xpay_cols_f64=*/&xpay_cols_t<double>,
+      /*scale_cols_f64=*/&scale_cols_t<double>,
+      /*copy_cols_f64=*/&copy_cols_t<double>,
+      /*sub_cols_f64=*/&sub_cols_t<double>,
+      /*dot_cols_acc_f64=*/&dot_cols_acc_t<double>,
+      /*dot_diff_cols_acc_f64=*/&dot_diff_cols_acc_t<double>,
+      /*sum_cols_acc_f64=*/&sum_cols_acc_t<double>,
+      /*spmv_rows_f64=*/&spmv_rows_d,
+      /*spmm_rows_f64=*/&spmm_rows_t<double>,
+      /*fold_cols_f64=*/&fold_cols_t<double>,
+      /*backsub_cols_f64=*/&backsub_cols_t<double>,
+      /*axpy_cols_f32=*/&axpy_cols_t<float>,
+      /*xpay_cols_f32=*/&xpay_cols_t<float>,
+      /*copy_cols_f32=*/&copy_cols_t<float>,
+      /*sub_cols_f32=*/&sub_cols_t<float>,
+      /*dot_cols_acc_f32=*/&dot_cols_acc_t<float>,
+      /*dot_diff_cols_acc_f32=*/&dot_diff_cols_acc_t<float>,
+      /*sum_cols_acc_f32=*/&sum_cols_acc_t<float>,
+      /*spmm_rows_f32=*/&spmm_rows_t<float>,
+      /*fold_cols_f32=*/&fold_cols_t<float>,
+      /*backsub_cols_f32=*/&backsub_cols_t<float>,
+  };
+  return be;
+}
+
+}  // namespace parsdd::kernels::detail

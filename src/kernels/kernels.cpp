@@ -1,0 +1,722 @@
+// Backend selection + the deterministic parallel entry points.
+//
+// Layer-2 wrappers here reproduce the EXACT block structure the historic
+// kernels in multivec.cpp / vector_ops.cpp / csr_matrix.cpp /
+// greedy_elimination.cpp used: canonical_blocks partitions, per-block left
+// folds combined in index order, and the same GranularitySite gating — so a
+// solve is bitwise identical to the pre-backend code under every backend
+// and every pool size.  Masked column variants keep the historic per-row
+// scalar loops (they only run after columns converge, and the mask makes
+// the lanes non-uniform; not worth vectorizing).
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/backend_detail.h"
+#include "parallel/primitives.h"
+
+namespace parsdd::kernels {
+
+namespace {
+
+const Backend& best_supported() {
+  if (detail::avx512_supported()) return detail::avx512_backend();
+  if (detail::avx2_supported()) return detail::avx2_backend();
+  return detail::scalar_backend();
+}
+
+const Backend& pick_backend() {
+  const char* env = std::getenv("PARSDD_SIMD");
+  const char* req = (env != nullptr && *env != '\0') ? env : "auto";
+  if (std::strcmp(req, "scalar") == 0) return detail::scalar_backend();
+  if (std::strcmp(req, "avx2") == 0) {
+    if (detail::avx2_supported()) return detail::avx2_backend();
+    const Backend& fb = best_supported();
+    std::fprintf(stderr,
+                 "parsdd: PARSDD_SIMD=avx2 not supported by this CPU; "
+                 "using '%s' (results are bitwise identical)\n",
+                 fb.name);
+    return fb;
+  }
+  if (std::strcmp(req, "avx512") == 0) {
+    if (detail::avx512_supported()) return detail::avx512_backend();
+    const Backend& fb = best_supported();
+    std::fprintf(stderr,
+                 "parsdd: PARSDD_SIMD=avx512 not supported by this CPU; "
+                 "using '%s' (results are bitwise identical)\n",
+                 fb.name);
+    return fb;
+  }
+  if (std::strcmp(req, "auto") != 0) {
+    std::fprintf(stderr,
+                 "parsdd: unknown PARSDD_SIMD value '%s' "
+                 "(want scalar|avx2|avx512|auto); using auto\n",
+                 req);
+  }
+  return best_supported();
+}
+
+// Column-chunk width for batched fold/backsub: a full cache line of doubles
+// per chunk avoids false sharing between workers on the same row (same
+// constant the pre-backend greedy_elimination.cpp used).
+constexpr std::size_t kColChunk = 8;
+
+GranularitySite& rowwise_site() {
+  static GranularitySite site("multivec.rowwise");
+  return site;
+}
+GranularitySite& reduce_site() {
+  static GranularitySite site("multivec.reduce_cols");
+  return site;
+}
+GranularitySite& vec_site() {
+  static GranularitySite site("kernels.vec");
+  return site;
+}
+GranularitySite& vec_reduce_site() {
+  static GranularitySite site("kernels.vec_reduce");
+  return site;
+}
+GranularitySite& rowwise32_site() {
+  static GranularitySite site("multivec.rowwise32");
+  return site;
+}
+GranularitySite& reduce32_site() {
+  static GranularitySite site("multivec.reduce32");
+  return site;
+}
+
+inline bool mask_active(const ColMask* mask, std::size_t c) {
+  return mask == nullptr || (*mask)[c] != 0;
+}
+
+// Runs fn(s, e) over the canonical blocks of [0, n) on the pool, or as one
+// serial fn(0, n) call.  Legal only for partition-independent bodies
+// (elementwise / per-row-independent kernels): the split cannot change bits.
+template <typename Fn>
+void run_elementwise(GranularitySite& site, std::size_t n, std::uint64_t work,
+                     std::size_t grain, Fn&& fn) {
+  if (n == 0) return;
+  if (work == 0) work = n;
+  std::size_t nb = canonical_blocks(n, grain);
+  if (nb > 1 && site.should_parallelize(work)) {
+    std::size_t g = grain ? grain : kDefaultGrain;
+    ThreadPool::instance().run_blocks(nb, [&](std::size_t b) {
+      std::size_t s = b * g;
+      std::size_t e = std::min(n, s + g);
+      fn(s, e);
+    });
+    return;
+  }
+  parsdd::detail::SeqTimer timer(site, work);
+  fn(0, n);
+}
+
+// Canonical per-block column reduction: per-block partials accumulated by a
+// backend kernel, folded in index order — the historic reduce_cols
+// structure from multivec.cpp, bit for bit.
+template <typename T, typename AccFn>
+std::vector<T> reduce_cols_blocks(GranularitySite& site, std::size_t rows,
+                                  std::size_t k, AccFn&& accblock) {
+  std::vector<T> acc(k, T(0));
+  if (k == 0 || rows == 0) return acc;
+  std::uint64_t work = static_cast<std::uint64_t>(rows) * k;
+  std::size_t nb = canonical_blocks(rows, 0);
+  if (nb == 1) {
+    parsdd::detail::SeqTimer timer(site, work);
+    accblock(0, rows, acc.data());
+    return acc;
+  }
+  std::size_t g = kDefaultGrain;
+  std::vector<std::vector<T>> partial(nb, std::vector<T>(k, T(0)));
+  auto block_fold = [&](std::size_t b) {
+    std::size_t s = b * g, e = std::min(rows, s + g);
+    accblock(s, e, partial[b].data());
+  };
+  if (site.should_parallelize(work)) {
+    ThreadPool::instance().run_blocks(nb, block_fold);
+  } else {
+    parsdd::detail::SeqTimer timer(site, work);
+    for (std::size_t b = 0; b < nb; ++b) block_fold(b);
+  }
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::size_t c = 0; c < k; ++c) acc[c] += partial[b][c];
+  }
+  return acc;
+}
+
+}  // namespace
+
+const Backend& backend() {
+  static const Backend& be = pick_backend();
+  return be;
+}
+
+const char* backend_name() { return backend().name; }
+
+// ---------------------------------------------------------------------------
+// Vec BLAS-1
+
+void axpy(double a, const Vec& x, Vec& y) {
+  assert(x.size() == y.size());
+  const Backend& be = backend();
+  run_elementwise(vec_site(), x.size(), 0, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.axpy_f64(a, x.data() + s, y.data() + s, e - s);
+                  });
+}
+
+void xpay(const Vec& x, double a, Vec& y) {
+  assert(x.size() == y.size());
+  const Backend& be = backend();
+  run_elementwise(vec_site(), x.size(), 0, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.xpay_f64(x.data() + s, a, y.data() + s, e - s);
+                  });
+}
+
+double dot(const Vec& x, const Vec& y) {
+  assert(x.size() == y.size());
+  std::size_t n = x.size();
+  if (n == 0) return 0.0;
+  const Backend& be = backend();
+  GranularitySite& site = vec_reduce_site();
+  std::size_t nb = canonical_blocks(n, 0);
+  if (nb == 1) {
+    parsdd::detail::SeqTimer timer(site, n);
+    return be.dot_serial_f64(x.data(), y.data(), n);
+  }
+  std::vector<double> partial(nb, 0.0);
+  auto block_fold = [&](std::size_t b) {
+    std::size_t s = b * kDefaultGrain, e = std::min(n, s + kDefaultGrain);
+    partial[b] = be.dot_serial_f64(x.data() + s, y.data() + s, e - s);
+  };
+  if (site.should_parallelize(n)) {
+    ThreadPool::instance().run_blocks(nb, block_fold);
+  } else {
+    parsdd::detail::SeqTimer timer(site, n);
+    for (std::size_t b = 0; b < nb; ++b) block_fold(b);
+  }
+  double acc = 0.0;
+  for (std::size_t b = 0; b < nb; ++b) acc += partial[b];
+  return acc;
+}
+
+double norm2(const Vec& x) { return std::sqrt(dot(x, x)); }
+
+void scale(double a, Vec& x) {
+  const Backend& be = backend();
+  run_elementwise(vec_site(), x.size(), 0, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.scale_f64(a, x.data() + s, e - s);
+                  });
+}
+
+Vec subtract(const Vec& x, const Vec& y) {
+  assert(x.size() == y.size());
+  Vec out(x.size());
+  const Backend& be = backend();
+  run_elementwise(vec_site(), x.size(), 0, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.sub_f64(x.data() + s, y.data() + s, out.data() + s,
+                               e - s);
+                  });
+  return out;
+}
+
+double sum(const Vec& x) {
+  std::size_t n = x.size();
+  if (n == 0) return 0.0;
+  const Backend& be = backend();
+  GranularitySite& site = vec_reduce_site();
+  std::size_t nb = canonical_blocks(n, 0);
+  if (nb == 1) {
+    parsdd::detail::SeqTimer timer(site, n);
+    return be.sum_serial_f64(x.data(), n);
+  }
+  std::vector<double> partial(nb, 0.0);
+  auto block_fold = [&](std::size_t b) {
+    std::size_t s = b * kDefaultGrain, e = std::min(n, s + kDefaultGrain);
+    partial[b] = be.sum_serial_f64(x.data() + s, e - s);
+  };
+  if (site.should_parallelize(n)) {
+    ThreadPool::instance().run_blocks(nb, block_fold);
+  } else {
+    parsdd::detail::SeqTimer timer(site, n);
+    for (std::size_t b = 0; b < nb; ++b) block_fold(b);
+  }
+  double acc = 0.0;
+  for (std::size_t b = 0; b < nb; ++b) acc += partial[b];
+  return acc;
+}
+
+void project_out_constant(Vec& x) {
+  if (x.empty()) return;
+  double mean = sum(x) / static_cast<double>(x.size());
+  const Backend& be = backend();
+  run_elementwise(vec_site(), x.size(), 0, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.sub_scalar_f64(mean, x.data() + s, e - s);
+                  });
+}
+
+// ---------------------------------------------------------------------------
+// MultiVec column kernels
+
+void axpy_cols(const ColScalars& a, const MultiVec& x, MultiVec& y,
+               const ColMask* mask) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  assert(a.size() == x.cols());
+  std::size_t k = x.cols();
+  std::uint64_t work = static_cast<std::uint64_t>(x.rows()) * k;
+  if (mask != nullptr) {
+    parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
+      const double* xr = x.row(i);
+      double* yr = y.row(i);
+      for (std::size_t c = 0; c < k; ++c) {
+        if (mask_active(mask, c)) yr[c] += a[c] * xr[c];
+      }
+    }, 0, work);
+    return;
+  }
+  const Backend& be = backend();
+  run_elementwise(rowwise_site(), x.rows(), work, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.axpy_cols_f64(a.data(), x.row(s), y.row(s), e - s, k);
+                  });
+}
+
+void xpay_cols(const MultiVec& x, const ColScalars& a, MultiVec& y,
+               const ColMask* mask) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  assert(a.size() == x.cols());
+  std::size_t k = x.cols();
+  std::uint64_t work = static_cast<std::uint64_t>(x.rows()) * k;
+  if (mask != nullptr) {
+    parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
+      const double* xr = x.row(i);
+      double* yr = y.row(i);
+      for (std::size_t c = 0; c < k; ++c) {
+        if (mask_active(mask, c)) yr[c] = xr[c] + a[c] * yr[c];
+      }
+    }, 0, work);
+    return;
+  }
+  const Backend& be = backend();
+  run_elementwise(rowwise_site(), x.rows(), work, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.xpay_cols_f64(x.row(s), a.data(), y.row(s), e - s, k);
+                  });
+}
+
+ColScalars dot_cols(const MultiVec& x, const MultiVec& y) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  std::size_t k = x.cols();
+  const Backend& be = backend();
+  return reduce_cols_blocks<double>(
+      reduce_site(), x.rows(), k,
+      [&](std::size_t s, std::size_t e, double* acc) {
+        be.dot_cols_acc_f64(x.row(s), y.row(s), e - s, k, acc);
+      });
+}
+
+ColScalars dot_diff_cols(const MultiVec& z, const MultiVec& x,
+                         const MultiVec& y) {
+  assert(z.rows() == x.rows() && x.rows() == y.rows());
+  assert(z.cols() == x.cols() && x.cols() == y.cols());
+  std::size_t k = x.cols();
+  const Backend& be = backend();
+  return reduce_cols_blocks<double>(
+      reduce_site(), x.rows(), k,
+      [&](std::size_t s, std::size_t e, double* acc) {
+        be.dot_diff_cols_acc_f64(z.row(s), x.row(s), y.row(s), e - s, k, acc);
+      });
+}
+
+ColScalars norm2_cols(const MultiVec& x) {
+  ColScalars n = kernels::dot_cols(x, x);
+  for (double& v : n) v = std::sqrt(v);
+  return n;
+}
+
+ColScalars sum_cols(const MultiVec& x) {
+  std::size_t k = x.cols();
+  const Backend& be = backend();
+  return reduce_cols_blocks<double>(
+      reduce_site(), x.rows(), k,
+      [&](std::size_t s, std::size_t e, double* acc) {
+        be.sum_cols_acc_f64(x.row(s), e - s, k, acc);
+      });
+}
+
+void scale_cols(const ColScalars& a, MultiVec& x, const ColMask* mask) {
+  assert(a.size() == x.cols());
+  std::size_t k = x.cols();
+  std::uint64_t work = static_cast<std::uint64_t>(x.rows()) * k;
+  if (mask != nullptr) {
+    parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
+      double* xr = x.row(i);
+      for (std::size_t c = 0; c < k; ++c) {
+        if (mask_active(mask, c)) xr[c] *= a[c];
+      }
+    }, 0, work);
+    return;
+  }
+  const Backend& be = backend();
+  run_elementwise(rowwise_site(), x.rows(), work, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.scale_cols_f64(a.data(), x.row(s), e - s, k);
+                  });
+}
+
+void copy_cols(const MultiVec& src, MultiVec& dst, const ColMask* mask) {
+  assert(src.rows() == dst.rows() && src.cols() == dst.cols());
+  std::size_t k = src.cols();
+  std::uint64_t work = static_cast<std::uint64_t>(src.rows()) * k;
+  if (mask != nullptr) {
+    parallel_for(rowwise_site(), 0, src.rows(), [&](std::size_t i) {
+      const double* sr = src.row(i);
+      double* dr = dst.row(i);
+      for (std::size_t c = 0; c < k; ++c) {
+        if (mask_active(mask, c)) dr[c] = sr[c];
+      }
+    }, 0, work);
+    return;
+  }
+  const Backend& be = backend();
+  run_elementwise(rowwise_site(), src.rows(), work, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.copy_cols_f64(src.row(s), dst.row(s), e - s, k);
+                  });
+}
+
+void project_out_constant_cols(MultiVec& x, const ColMask* mask) {
+  if (x.empty()) return;
+  ColScalars mean = kernels::sum_cols(x);
+  // Divide (not multiply by a reciprocal): bitwise-matches the single-column
+  // project_out_constant so batched and single solves stay in lockstep.
+  for (double& m : mean) m /= static_cast<double>(x.rows());
+  std::size_t k = x.cols();
+  std::uint64_t work = static_cast<std::uint64_t>(x.rows()) * k;
+  if (mask != nullptr) {
+    parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
+      double* xr = x.row(i);
+      for (std::size_t c = 0; c < k; ++c) {
+        if (mask_active(mask, c)) xr[c] -= mean[c];
+      }
+    }, 0, work);
+    return;
+  }
+  const Backend& be = backend();
+  run_elementwise(rowwise_site(), x.rows(), work, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.sub_cols_f64(mean.data(), x.row(s), e - s, k);
+                  });
+}
+
+// ---------------------------------------------------------------------------
+// CSR
+
+void spmv(const std::size_t* off, const std::uint32_t* col, const double* val,
+          std::size_t n, std::size_t nnz, const Vec& x, Vec& y) {
+  assert(x.size() == n && y.size() == n);
+  static GranularitySite site("csr.spmv", /*init_ns_per_unit=*/2.0);
+  const Backend& be = backend();
+  run_elementwise(site, n, nnz, /*grain=*/512,
+                  [&](std::size_t s, std::size_t e) {
+                    be.spmv_rows_f64(off, col, val, x.data(), y.data(), s, e);
+                  });
+}
+
+void spmm(const std::size_t* off, const std::uint32_t* col, const double* val,
+          std::size_t n, std::size_t nnz, const MultiVec& x, MultiVec& y) {
+  assert(x.rows() == n && y.rows() == n && x.cols() == y.cols());
+  std::size_t k = x.cols();
+  static GranularitySite site("csr.spmm", /*init_ns_per_unit=*/2.0);
+  const Backend& be = backend();
+  run_elementwise(site, n, nnz * k, /*grain=*/512,
+                  [&](std::size_t s, std::size_t e) {
+                    be.spmm_rows_f64(off, col, val, x.data().data(),
+                                     y.data().data(), s, e, k);
+                  });
+}
+
+// ---------------------------------------------------------------------------
+// Elimination fold / back-substitution
+
+void fold_steps(const ElimStep* steps, std::size_t nsteps, MultiVec& folded) {
+  std::size_t k = folded.cols();
+  static GranularitySite site("greedy.fold_block", /*init_ns_per_unit=*/3.0);
+  std::size_t nchunks = (k + kColChunk - 1) / kColChunk;
+  const Backend& be = backend();
+  double* data = folded.data().data();
+  run_elementwise(site, nchunks, nsteps * k, /*grain=*/1,
+                  [&](std::size_t s, std::size_t e) {
+                    for (std::size_t ch = s; ch < e; ++ch) {
+                      std::size_t c0 = ch * kColChunk;
+                      std::size_t c1 = std::min(k, c0 + kColChunk);
+                      be.fold_cols_f64(steps, nsteps, data, k, c0, c1);
+                    }
+                  });
+}
+
+void backsub_steps(const ElimStep* steps, std::size_t nsteps,
+                   const MultiVec& folded, MultiVec& x) {
+  std::size_t k = folded.cols();
+  static GranularitySite site("greedy.backsub_block",
+                              /*init_ns_per_unit=*/3.0);
+  std::size_t nchunks = (k + kColChunk - 1) / kColChunk;
+  const Backend& be = backend();
+  const double* fdata = folded.data().data();
+  double* xdata = x.data().data();
+  run_elementwise(site, nchunks, nsteps * k, /*grain=*/1,
+                  [&](std::size_t s, std::size_t e) {
+                    for (std::size_t ch = s; ch < e; ++ch) {
+                      std::size_t c0 = ch * kColChunk;
+                      std::size_t c1 = std::min(k, c0 + kColChunk);
+                      be.backsub_cols_f64(steps, nsteps, fdata, xdata, k, c0,
+                                          c1);
+                    }
+                  });
+}
+
+// ---------------------------------------------------------------------------
+// Row gather/scatter
+
+void gather_rows(const MultiVec& src, const std::uint32_t* index,
+                 MultiVec& dst) {
+  assert(src.cols() == dst.cols());
+  std::size_t k = dst.cols();
+  static GranularitySite site("kernels.gather");
+  parallel_for(
+      site, 0, dst.rows(),
+      [&](std::size_t i) {
+        const double* s = src.row(index[i]);
+        double* d = dst.row(i);
+        for (std::size_t c = 0; c < k; ++c) d[c] = s[c];
+      },
+      0, static_cast<std::uint64_t>(dst.rows()) * k);
+}
+
+void scatter_rows(const MultiVec& src, const std::uint32_t* index,
+                  MultiVec& dst) {
+  assert(src.cols() == dst.cols());
+  std::size_t k = src.cols();
+  static GranularitySite site("kernels.scatter");
+  parallel_for(
+      site, 0, src.rows(),
+      [&](std::size_t i) {
+        const double* s = src.row(i);
+        double* d = dst.row(index[i]);
+        for (std::size_t c = 0; c < k; ++c) d[c] = s[c];
+      },
+      0, static_cast<std::uint64_t>(src.rows()) * k);
+}
+
+// ---------------------------------------------------------------------------
+// f32 path (mixed-precision preconditioner chain)
+
+void axpy_cols32(const std::vector<float>& a, const MultiVec32& x,
+                 MultiVec32& y) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  assert(a.size() == x.cols());
+  std::size_t k = x.cols();
+  const Backend& be = backend();
+  run_elementwise(rowwise32_site(), x.rows(),
+                  static_cast<std::uint64_t>(x.rows()) * k, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.axpy_cols_f32(a.data(), x.row(s), y.row(s), e - s, k);
+                  });
+}
+
+void xpay_cols32(const MultiVec32& x, const std::vector<float>& a,
+                 MultiVec32& y) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  assert(a.size() == x.cols());
+  std::size_t k = x.cols();
+  const Backend& be = backend();
+  run_elementwise(rowwise32_site(), x.rows(),
+                  static_cast<std::uint64_t>(x.rows()) * k, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.xpay_cols_f32(x.row(s), a.data(), y.row(s), e - s, k);
+                  });
+}
+
+std::vector<float> dot_cols32(const MultiVec32& x, const MultiVec32& y) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  std::size_t k = x.cols();
+  const Backend& be = backend();
+  return reduce_cols_blocks<float>(
+      reduce32_site(), x.rows(), k,
+      [&](std::size_t s, std::size_t e, float* acc) {
+        be.dot_cols_acc_f32(x.row(s), y.row(s), e - s, k, acc);
+      });
+}
+
+std::vector<float> dot_diff_cols32(const MultiVec32& z, const MultiVec32& x,
+                                   const MultiVec32& y) {
+  assert(z.rows() == x.rows() && x.rows() == y.rows());
+  assert(z.cols() == x.cols() && x.cols() == y.cols());
+  std::size_t k = x.cols();
+  const Backend& be = backend();
+  return reduce_cols_blocks<float>(
+      reduce32_site(), x.rows(), k,
+      [&](std::size_t s, std::size_t e, float* acc) {
+        be.dot_diff_cols_acc_f32(z.row(s), x.row(s), y.row(s), e - s, k, acc);
+      });
+}
+
+std::vector<float> norm2_cols32(const MultiVec32& x) {
+  std::vector<float> n = dot_cols32(x, x);
+  for (float& v : n) v = std::sqrt(v);
+  return n;
+}
+
+std::vector<float> sum_cols32(const MultiVec32& x) {
+  std::size_t k = x.cols();
+  const Backend& be = backend();
+  return reduce_cols_blocks<float>(
+      reduce32_site(), x.rows(), k,
+      [&](std::size_t s, std::size_t e, float* acc) {
+        be.sum_cols_acc_f32(x.row(s), e - s, k, acc);
+      });
+}
+
+void copy_cols32(const MultiVec32& src, MultiVec32& dst) {
+  assert(src.rows() == dst.rows() && src.cols() == dst.cols());
+  std::size_t k = src.cols();
+  const Backend& be = backend();
+  run_elementwise(rowwise32_site(), src.rows(),
+                  static_cast<std::uint64_t>(src.rows()) * k, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.copy_cols_f32(src.row(s), dst.row(s), e - s, k);
+                  });
+}
+
+void project_out_constant_cols32(MultiVec32& x) {
+  if (x.empty()) return;
+  std::vector<float> mean = sum_cols32(x);
+  for (float& m : mean) m /= static_cast<float>(x.rows());
+  std::size_t k = x.cols();
+  const Backend& be = backend();
+  run_elementwise(rowwise32_site(), x.rows(),
+                  static_cast<std::uint64_t>(x.rows()) * k, 0,
+                  [&](std::size_t s, std::size_t e) {
+                    be.sub_cols_f32(mean.data(), x.row(s), e - s, k);
+                  });
+}
+
+void spmm32(const std::size_t* off, const std::uint32_t* col, const float* val,
+            std::size_t n, std::size_t nnz, const MultiVec32& x,
+            MultiVec32& y) {
+  assert(x.rows() == n && y.rows() == n && x.cols() == y.cols());
+  std::size_t k = x.cols();
+  static GranularitySite site("csr.spmm32", /*init_ns_per_unit=*/2.0);
+  const Backend& be = backend();
+  run_elementwise(site, n, nnz * k, /*grain=*/512,
+                  [&](std::size_t s, std::size_t e) {
+                    be.spmm_rows_f32(off, col, val, x.data().data(),
+                                     y.data().data(), s, e, k);
+                  });
+}
+
+void fold_steps32(const ElimStep* steps, std::size_t nsteps,
+                  MultiVec32& folded) {
+  std::size_t k = folded.cols();
+  static GranularitySite site("greedy.fold32", /*init_ns_per_unit=*/3.0);
+  std::size_t nchunks = (k + kColChunk - 1) / kColChunk;
+  const Backend& be = backend();
+  float* data = folded.data().data();
+  run_elementwise(site, nchunks, nsteps * k, /*grain=*/1,
+                  [&](std::size_t s, std::size_t e) {
+                    for (std::size_t ch = s; ch < e; ++ch) {
+                      std::size_t c0 = ch * kColChunk;
+                      std::size_t c1 = std::min(k, c0 + kColChunk);
+                      be.fold_cols_f32(steps, nsteps, data, k, c0, c1);
+                    }
+                  });
+}
+
+void backsub_steps32(const ElimStep* steps, std::size_t nsteps,
+                     const MultiVec32& folded, MultiVec32& x) {
+  std::size_t k = folded.cols();
+  static GranularitySite site("greedy.backsub32", /*init_ns_per_unit=*/3.0);
+  std::size_t nchunks = (k + kColChunk - 1) / kColChunk;
+  const Backend& be = backend();
+  const float* fdata = folded.data().data();
+  float* xdata = x.data().data();
+  run_elementwise(site, nchunks, nsteps * k, /*grain=*/1,
+                  [&](std::size_t s, std::size_t e) {
+                    for (std::size_t ch = s; ch < e; ++ch) {
+                      std::size_t c0 = ch * kColChunk;
+                      std::size_t c1 = std::min(k, c0 + kColChunk);
+                      be.backsub_cols_f32(steps, nsteps, fdata, xdata, k, c0,
+                                          c1);
+                    }
+                  });
+}
+
+void gather_rows32(const MultiVec32& src, const std::uint32_t* index,
+                   MultiVec32& dst) {
+  assert(src.cols() == dst.cols());
+  std::size_t k = dst.cols();
+  static GranularitySite site("kernels.gather32");
+  parallel_for(
+      site, 0, dst.rows(),
+      [&](std::size_t i) {
+        const float* s = src.row(index[i]);
+        float* d = dst.row(i);
+        for (std::size_t c = 0; c < k; ++c) d[c] = s[c];
+      },
+      0, static_cast<std::uint64_t>(dst.rows()) * k);
+}
+
+void scatter_rows32(const MultiVec32& src, const std::uint32_t* index,
+                    MultiVec32& dst) {
+  assert(src.cols() == dst.cols());
+  std::size_t k = src.cols();
+  static GranularitySite site("kernels.scatter32");
+  parallel_for(
+      site, 0, src.rows(),
+      [&](std::size_t i) {
+        const float* s = src.row(i);
+        float* d = dst.row(index[i]);
+        for (std::size_t c = 0; c < k; ++c) d[c] = s[c];
+      },
+      0, static_cast<std::uint64_t>(src.rows()) * k);
+}
+
+void narrow(const MultiVec& src, MultiVec32& dst) {
+  ensure_shape32(dst, src.rows(), src.cols());
+  std::size_t k = src.cols();
+  static GranularitySite site("kernels.convert");
+  parallel_for(
+      site, 0, src.rows(),
+      [&](std::size_t i) {
+        const double* s = src.row(i);
+        float* d = dst.row(i);
+        for (std::size_t c = 0; c < k; ++c) d[c] = static_cast<float>(s[c]);
+      },
+      0, static_cast<std::uint64_t>(src.rows()) * k);
+}
+
+void widen(const MultiVec32& src, MultiVec& dst) {
+  ensure_shape(dst, src.rows(), src.cols());
+  std::size_t k = src.cols();
+  static GranularitySite site("kernels.convert");
+  parallel_for(
+      site, 0, src.rows(),
+      [&](std::size_t i) {
+        const float* s = src.row(i);
+        double* d = dst.row(i);
+        for (std::size_t c = 0; c < k; ++c) d[c] = static_cast<double>(s[c]);
+      },
+      0, static_cast<std::uint64_t>(src.rows()) * k);
+}
+
+}  // namespace parsdd::kernels

@@ -1,4 +1,5 @@
 #include "linalg/cg.h"
+#include "kernels/kernels.h"
 
 #include <cmath>
 
@@ -12,9 +13,9 @@ IterStats conjugate_gradient(const LinOp& a, const Vec& b, Vec& x,
   Vec ax(n);
   a(x, ax);
   for (std::size_t i = 0; i < n; ++i) r[i] -= ax[i];
-  if (opts.project_constant) project_out_constant(r);
+  if (opts.project_constant) kernels::project_out_constant(r);
 
-  double bnorm = norm2(b);
+  double bnorm = kernels::norm2(b);
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     stats.converged = true;
@@ -25,7 +26,7 @@ IterStats conjugate_gradient(const LinOp& a, const Vec& b, Vec& x,
   auto apply_precond = [&](const Vec& in, Vec& out) {
     if (precond) {
       (*precond)(in, out);
-      if (opts.project_constant) project_out_constant(out);
+      if (opts.project_constant) kernels::project_out_constant(out);
     } else {
       out = in;
     }
@@ -33,42 +34,42 @@ IterStats conjugate_gradient(const LinOp& a, const Vec& b, Vec& x,
   apply_precond(r, z);
   Vec p = z;
   Vec r_prev;       // used by the flexible beta
-  double rz = dot(r, z);
+  double rz = kernels::dot(r, z);
 
   for (std::uint32_t it = 0; it < opts.max_iterations; ++it) {
-    stats.relative_residual = norm2(r) / bnorm;
+    stats.relative_residual = kernels::norm2(r) / bnorm;
     if (stats.relative_residual <= opts.tolerance) {
       stats.converged = true;
       return stats;
     }
     ++stats.iterations;
     a(p, ax);  // ax = A p
-    double pap = dot(p, ax);
+    double pap = kernels::dot(p, ax);
     if (!(pap > 0.0)) break;  // numerical breakdown (or A not PSD on p)
     double alpha = rz / pap;
-    axpy(alpha, p, x);
+    kernels::axpy(alpha, p, x);
     if (opts.flexible) r_prev = r;
-    axpy(-alpha, ax, r);
-    if (opts.project_constant) project_out_constant(r);
+    kernels::axpy(-alpha, ax, r);
+    if (opts.project_constant) kernels::project_out_constant(r);
     apply_precond(r, z);
     double beta;
     double rz_next;
     if (opts.flexible) {
       // Polak–Ribière: beta = z·(r - r_prev) / (z_prev·r_prev); tolerant of
       // a preconditioner that varies between applications.
-      Vec dr = subtract(r, r_prev);
-      beta = dot(z, dr) / rz;
-      rz_next = dot(r, z);
+      Vec dr = kernels::subtract(r, r_prev);
+      beta = kernels::dot(z, dr) / rz;
+      rz_next = kernels::dot(r, z);
     } else {
-      rz_next = dot(r, z);
+      rz_next = kernels::dot(r, z);
       beta = rz_next / rz;
     }
     if (!std::isfinite(beta)) break;
     if (beta < 0.0) beta = 0.0;  // restart direction if PR goes negative
     rz = rz_next;
-    xpay(z, beta, p);
+    kernels::xpay(z, beta, p);
   }
-  stats.relative_residual = norm2(r) / bnorm;
+  stats.relative_residual = kernels::norm2(r) / bnorm;
   stats.converged = stats.relative_residual <= opts.tolerance;
   return stats;
 }
@@ -93,11 +94,11 @@ std::vector<IterStats> block_conjugate_gradient(const BlockLinOp& a,
   const ColScalars minus_one(k, -1.0);
   // r = b - A x
   a(x, s.ap);
-  copy_cols(b, s.r);
-  axpy_cols(minus_one, s.ap, s.r);
-  if (opts.project_constant) project_out_constant_cols(s.r);
+  kernels::copy_cols(b, s.r);
+  kernels::axpy_cols(minus_one, s.ap, s.r);
+  if (opts.project_constant) kernels::project_out_constant_cols(s.r);
 
-  ColScalars bnorm = norm2_cols(b);
+  ColScalars bnorm = kernels::norm2_cols(b);
   ColMask alive(k, 1);
   std::size_t remaining = k;
   for (std::size_t c = 0; c < k; ++c) {
@@ -112,19 +113,19 @@ std::vector<IterStats> block_conjugate_gradient(const BlockLinOp& a,
   auto apply_precond = [&](const MultiVec& in, MultiVec& out) {
     if (precond) {
       (*precond)(in, out);
-      if (opts.project_constant) project_out_constant_cols(out);
+      if (opts.project_constant) kernels::project_out_constant_cols(out);
     } else {
       ensure_shape(out, in.rows(), in.cols());
-      copy_cols(in, out);
+      kernels::copy_cols(in, out);
     }
   };
   apply_precond(s.r, s.z);
-  copy_cols(s.z, s.p);
-  ColScalars rz = dot_cols(s.r, s.z);
+  kernels::copy_cols(s.z, s.p);
+  ColScalars rz = kernels::dot_cols(s.r, s.z);
   ColScalars alpha(k, 0.0), beta(k, 0.0);
 
   for (std::uint32_t it = 0; it < opts.max_iterations && remaining > 0; ++it) {
-    ColScalars rnorm = norm2_cols(s.r);
+    ColScalars rnorm = kernels::norm2_cols(s.r);
     for (std::size_t c = 0; c < k; ++c) {
       if (!alive[c]) continue;
       stats[c].relative_residual = rnorm[c] / bnorm[c];
@@ -139,7 +140,7 @@ std::vector<IterStats> block_conjugate_gradient(const BlockLinOp& a,
       if (alive[c]) ++stats[c].iterations;
     }
     a(s.p, s.ap);
-    ColScalars pap = dot_cols(s.p, s.ap);
+    ColScalars pap = kernels::dot_cols(s.p, s.ap);
     for (std::size_t c = 0; c < k; ++c) {
       if (!alive[c]) continue;
       if (!(pap[c] > 0.0)) {  // numerical breakdown on this column
@@ -151,21 +152,21 @@ std::vector<IterStats> block_conjugate_gradient(const BlockLinOp& a,
       }
     }
     if (remaining == 0) break;
-    axpy_cols(alpha, s.p, x, &alive);
-    if (opts.flexible) copy_cols(s.r, s.r_prev, &alive);
+    kernels::axpy_cols(alpha, s.p, x, &alive);
+    if (opts.flexible) kernels::copy_cols(s.r, s.r_prev, &alive);
     ColScalars neg_alpha(k);
     for (std::size_t c = 0; c < k; ++c) neg_alpha[c] = -alpha[c];
-    axpy_cols(neg_alpha, s.ap, s.r, &alive);
-    if (opts.project_constant) project_out_constant_cols(s.r, &alive);
+    kernels::axpy_cols(neg_alpha, s.ap, s.r, &alive);
+    if (opts.project_constant) kernels::project_out_constant_cols(s.r, &alive);
     apply_precond(s.r, s.z);
     ColScalars rz_next;
     if (opts.flexible) {
       // Polak–Ribière per column, tolerant of the varying preconditioner.
-      ColScalars num = dot_diff_cols(s.z, s.r, s.r_prev);
-      rz_next = dot_cols(s.r, s.z);
+      ColScalars num = kernels::dot_diff_cols(s.z, s.r, s.r_prev);
+      rz_next = kernels::dot_cols(s.r, s.z);
       for (std::size_t c = 0; c < k; ++c) beta[c] = num[c] / rz[c];
     } else {
-      rz_next = dot_cols(s.r, s.z);
+      rz_next = kernels::dot_cols(s.r, s.z);
       for (std::size_t c = 0; c < k; ++c) beta[c] = rz_next[c] / rz[c];
     }
     for (std::size_t c = 0; c < k; ++c) {
@@ -178,12 +179,12 @@ std::vector<IterStats> block_conjugate_gradient(const BlockLinOp& a,
       if (beta[c] < 0.0) beta[c] = 0.0;  // restart direction
       rz[c] = rz_next[c];
     }
-    xpay_cols(s.z, beta, s.p, &alive);
+    kernels::xpay_cols(s.z, beta, s.p, &alive);
   }
 
   // Columns that hit max_iterations or broke down: their r froze with them,
   // so the exit residual matches what a single solve would have reported.
-  ColScalars rnorm = norm2_cols(s.r);
+  ColScalars rnorm = kernels::norm2_cols(s.r);
   for (std::size_t c = 0; c < k; ++c) {
     if (stats[c].converged) continue;
     if (bnorm[c] == 0.0) continue;

@@ -1,4 +1,5 @@
 #include "linalg/chebyshev.h"
+#include "kernels/kernels.h"
 
 #include <algorithm>
 #include <cmath>
@@ -14,7 +15,7 @@ IterStats chebyshev(const LinOp& a, const Vec& b, Vec& x,
   }
   std::size_t n = b.size();
   IterStats stats;
-  double bnorm = norm2(b);
+  double bnorm = kernels::norm2(b);
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     stats.converged = true;
@@ -28,12 +29,12 @@ IterStats chebyshev(const LinOp& a, const Vec& b, Vec& x,
   auto refresh_residual = [&] {
     a(x, ap);
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
-    if (opts.project_constant) project_out_constant(r);
+    if (opts.project_constant) kernels::project_out_constant(r);
   };
   auto apply_precond = [&](const Vec& in, Vec& out) {
     if (precond) {
       (*precond)(in, out);
-      if (opts.project_constant) project_out_constant(out);
+      if (opts.project_constant) kernels::project_out_constant(out);
     } else {
       out = in;
     }
@@ -50,18 +51,18 @@ IterStats chebyshev(const LinOp& a, const Vec& b, Vec& x,
     } else if (it == 1) {
       beta = 0.5 * (delta * alpha) * (delta * alpha);
       alpha = 1.0 / (theta - beta / alpha);
-      xpay(z, beta, p);
+      kernels::xpay(z, beta, p);
     } else {
       beta = (delta * alpha / 2.0) * (delta * alpha / 2.0);
       alpha = 1.0 / (theta - beta / alpha);
-      xpay(z, beta, p);
+      kernels::xpay(z, beta, p);
     }
-    axpy(alpha, p, x);
+    kernels::axpy(alpha, p, x);
     a(p, ap);
-    axpy(-alpha, ap, r);
-    if (opts.project_constant) project_out_constant(r);
+    kernels::axpy(-alpha, ap, r);
+    if (opts.project_constant) kernels::project_out_constant(r);
   }
-  stats.relative_residual = norm2(r) / bnorm;
+  stats.relative_residual = kernels::norm2(r) / bnorm;
   stats.converged = true;  // fixed-iteration method; caller checks residual
   return stats;
 }
@@ -93,18 +94,18 @@ std::vector<IterStats> chebyshev_block(const BlockLinOp& a, const MultiVec& b,
   auto apply_precond = [&](const MultiVec& in, MultiVec& out) {
     if (precond) {
       (*precond)(in, out);
-      if (opts.project_constant) project_out_constant_cols(out);
+      if (opts.project_constant) kernels::project_out_constant_cols(out);
     } else {
       ensure_shape(out, in.rows(), in.cols());
-      copy_cols(in, out);
+      kernels::copy_cols(in, out);
     }
   };
 
   // r = b - A x
   a(x, s.ap);
-  copy_cols(b, s.r);
-  axpy_cols(minus_one, s.ap, s.r);
-  if (opts.project_constant) project_out_constant_cols(s.r);
+  kernels::copy_cols(b, s.r);
+  kernels::axpy_cols(minus_one, s.ap, s.r);
+  if (opts.project_constant) kernels::project_out_constant_cols(s.r);
 
   // The recurrence scalars depend only on the bounds, so the whole block
   // shares one alpha/beta schedule.
@@ -113,29 +114,29 @@ std::vector<IterStats> chebyshev_block(const BlockLinOp& a, const MultiVec& b,
   for (std::uint32_t it = 0; it < opts.iterations; ++it) {
     apply_precond(s.r, s.z);
     if (it == 0) {
-      copy_cols(s.z, s.p);
+      kernels::copy_cols(s.z, s.p);
       alpha = 1.0 / theta;
     } else if (it == 1) {
       beta = 0.5 * (delta * alpha) * (delta * alpha);
       alpha = 1.0 / (theta - beta / alpha);
       std::fill(beta_all.begin(), beta_all.end(), beta);
-      xpay_cols(s.z, beta_all, s.p);
+      kernels::xpay_cols(s.z, beta_all, s.p);
     } else {
       beta = (delta * alpha / 2.0) * (delta * alpha / 2.0);
       alpha = 1.0 / (theta - beta / alpha);
       std::fill(beta_all.begin(), beta_all.end(), beta);
-      xpay_cols(s.z, beta_all, s.p);
+      kernels::xpay_cols(s.z, beta_all, s.p);
     }
     std::fill(alpha_all.begin(), alpha_all.end(), alpha);
     std::fill(neg_alpha.begin(), neg_alpha.end(), -alpha);
-    axpy_cols(alpha_all, s.p, x);
+    kernels::axpy_cols(alpha_all, s.p, x);
     a(s.p, s.ap);
-    axpy_cols(neg_alpha, s.ap, s.r);
-    if (opts.project_constant) project_out_constant_cols(s.r);
+    kernels::axpy_cols(neg_alpha, s.ap, s.r);
+    if (opts.project_constant) kernels::project_out_constant_cols(s.r);
   }
 
-  ColScalars bnorm = norm2_cols(b);
-  ColScalars rnorm = norm2_cols(s.r);
+  ColScalars bnorm = kernels::norm2_cols(b);
+  ColScalars rnorm = kernels::norm2_cols(s.r);
   for (std::size_t c = 0; c < k; ++c) {
     stats[c].iterations = opts.iterations;
     stats[c].relative_residual = bnorm[c] > 0.0 ? rnorm[c] / bnorm[c] : 0.0;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "parallel/primitives.h"
 #include "util/serialize.h"
 
@@ -60,17 +61,7 @@ CsrMatrix CsrMatrix::from_triplets(std::uint32_t n, std::vector<Triplet> ts) {
 
 void CsrMatrix::multiply(const Vec& x, Vec& y) const {
   assert(x.size() == n_ && y.size() == n_);
-  static GranularitySite site("csr.spmv", /*init_ns_per_unit=*/2.0);
-  parallel_for(
-      site, 0, n_,
-      [&](std::size_t i) {
-        double acc = 0.0;
-        for (std::size_t k = off_[i]; k < off_[i + 1]; ++k) {
-          acc += val_[k] * x[col_[k]];
-        }
-        y[i] = acc;
-      },
-      /*grain=*/512, /*work=*/val_.size());
+  kernels::spmv(off_.data(), col_.data(), val_.data(), n_, val_.size(), x, y);
 }
 
 Vec CsrMatrix::apply(const Vec& x) const {
@@ -81,20 +72,7 @@ Vec CsrMatrix::apply(const Vec& x) const {
 
 void CsrMatrix::multiply(const MultiVec& x, MultiVec& y) const {
   assert(x.rows() == n_ && y.rows() == n_ && x.cols() == y.cols());
-  std::size_t k = x.cols();
-  static GranularitySite site("csr.spmm", /*init_ns_per_unit=*/2.0);
-  parallel_for(
-      site, 0, n_,
-      [&](std::size_t i) {
-        double* yr = y.row(i);
-        for (std::size_t c = 0; c < k; ++c) yr[c] = 0.0;
-        for (std::size_t p = off_[i]; p < off_[i + 1]; ++p) {
-          double v = val_[p];
-          const double* xr = x.row(col_[p]);
-          for (std::size_t c = 0; c < k; ++c) yr[c] += v * xr[c];
-        }
-      },
-      /*grain=*/512, /*work=*/val_.size() * k);
+  kernels::spmm(off_.data(), col_.data(), val_.data(), n_, val_.size(), x, y);
 }
 
 MultiVec CsrMatrix::apply_block(const MultiVec& x) const {

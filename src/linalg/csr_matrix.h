@@ -75,6 +75,13 @@ class CsrMatrix {
     return {val_.data() + off_[i], off_[i + 1] - off_[i]};
   }
 
+  /// Raw CSR arrays for the kernel backend (kernels/kernels.h) and for
+  /// building precision-converted value mirrors (the fp32 chain keeps a
+  /// float copy of vals() alongside the shared offsets/cols structure).
+  const std::size_t* offsets() const { return off_.data(); }
+  const std::uint32_t* cols() const { return col_.data(); }
+  const double* vals() const { return val_.data(); }
+
  private:
   std::uint32_t n_ = 0;
   std::vector<std::size_t> off_;

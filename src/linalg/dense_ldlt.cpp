@@ -1,4 +1,5 @@
 #include "linalg/dense_ldlt.h"
+#include "kernels/kernels.h"
 
 #include <cmath>
 #include <stdexcept>
@@ -95,7 +96,7 @@ Vec DenseLdlt::solve(const Vec& b) const {
   }
   if (grounded_) {
     x.push_back(0.0);  // grounded vertex
-    project_out_constant(x);
+    kernels::project_out_constant(x);
   }
   return x;
 }
@@ -140,7 +141,7 @@ void DenseLdlt::solve_block(const MultiVec& b, MultiVec& x) const {
   }
   if (grounded_) {
     // Row n is the grounded vertex (zero), already in place from assign().
-    project_out_constant_cols(x);
+    kernels::project_out_constant_cols(x);
   }
 }
 

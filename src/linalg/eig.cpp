@@ -1,4 +1,5 @@
 #include "linalg/eig.h"
+#include "kernels/kernels.h"
 
 #include <cmath>
 
@@ -13,16 +14,16 @@ double pencil_max_eig(const LinOp& apply_a, const LinOp& apply_b,
   for (std::uint32_t it = 0; it < iterations; ++it) {
     apply_a(x, ax);
     solve_b(ax, y);
-    project_out_constant(y);
-    double nrm = norm2(y);
+    kernels::project_out_constant(y);
+    double nrm = kernels::norm2(y);
     if (nrm == 0.0) break;
-    scale(1.0 / nrm, y);
+    kernels::scale(1.0 / nrm, y);
     x.swap(y);
     apply_a(x, ax);
     apply_b(x, bx);
-    double denom = dot(x, bx);
+    double denom = kernels::dot(x, bx);
     if (denom <= 0.0) break;
-    rayleigh = dot(x, ax) / denom;
+    rayleigh = kernels::dot(x, ax) / denom;
   }
   return rayleigh;
 }

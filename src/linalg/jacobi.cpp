@@ -1,4 +1,5 @@
 #include "linalg/jacobi.h"
+#include "kernels/kernels.h"
 
 #include <stdexcept>
 
@@ -14,7 +15,7 @@ IterStats jacobi(const CsrMatrix& a, const Vec& b, Vec& x,
     if (!(v > 0.0)) throw std::domain_error("jacobi: non-positive diagonal");
   }
   IterStats stats;
-  double bnorm = norm2(b);
+  double bnorm = kernels::norm2(b);
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     stats.converged = true;
@@ -24,8 +25,8 @@ IterStats jacobi(const CsrMatrix& a, const Vec& b, Vec& x,
   for (std::uint32_t it = 0; it < opts.max_iterations; ++it) {
     a.multiply(x, ax);
     parallel_for(0, n, [&](std::size_t i) { r[i] = b[i] - ax[i]; });
-    if (opts.project_constant) project_out_constant(r);
-    stats.relative_residual = norm2(r) / bnorm;
+    if (opts.project_constant) kernels::project_out_constant(r);
+    stats.relative_residual = kernels::norm2(r) / bnorm;
     if (stats.relative_residual <= opts.tolerance) {
       stats.converged = true;
       return stats;

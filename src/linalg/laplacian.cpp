@@ -1,4 +1,5 @@
 #include "linalg/laplacian.h"
+#include "kernels/kernels.h"
 
 #include <cassert>
 #include <cmath>
@@ -52,7 +53,7 @@ double laplacian_quadratic_form(const EdgeList& edges, const Vec& x) {
 double a_norm(const CsrMatrix& a, const Vec& x) {
   double q = a.quadratic_form(x);
   if (q < 0.0) {
-    if (q < -1e-8 * (1.0 + norm2(x))) {
+    if (q < -1e-8 * (1.0 + kernels::norm2(x))) {
       throw std::domain_error("a_norm: matrix is not PSD");
     }
     q = 0.0;

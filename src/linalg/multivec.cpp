@@ -1,63 +1,11 @@
 #include "linalg/multivec.h"
 
 #include <cassert>
-#include <cmath>
 #include <stdexcept>
 
-#include "parallel/primitives.h"
+#include "kernels/kernels.h"
 
 namespace parsdd {
-
-namespace {
-
-inline bool active(const ColMask* mask, std::size_t c) {
-  return mask == nullptr || (*mask)[c] != 0;
-}
-
-// Per-column reduction over rows on the CANONICAL block partition of the
-// row range, which depends only on the row count — never on k, the pool
-// size, or the seq/par decision — so each column accumulates in a fixed
-// order no matter how many columns ride along or how many workers run (the
-// determinism contract in multivec.h).
-template <typename RowAccum>
-ColScalars reduce_cols(std::size_t rows, std::size_t cols, RowAccum&& acc_row) {
-  static GranularitySite site("multivec.reduce_cols");
-  ColScalars acc(cols, 0.0);
-  if (cols == 0) return acc;
-  std::uint64_t work = static_cast<std::uint64_t>(rows) * cols;
-  std::size_t nb = canonical_blocks(rows, 0);
-  if (nb == 1) {
-    detail::SeqTimer timer(site, work);
-    for (std::size_t i = 0; i < rows; ++i) acc_row(i, acc.data());
-    return acc;
-  }
-  std::size_t g = kDefaultGrain;
-  std::vector<ColScalars> partial(nb, ColScalars(cols, 0.0));
-  auto block_fold = [&](std::size_t b) {
-    std::size_t s = b * g, e = std::min(rows, s + g);
-    double* p = partial[b].data();
-    for (std::size_t i = s; i < e; ++i) acc_row(i, p);
-  };
-  if (site.should_parallelize(work)) {
-    ThreadPool::instance().run_blocks(nb, block_fold);
-  } else {
-    detail::SeqTimer timer(site, work);
-    for (std::size_t b = 0; b < nb; ++b) block_fold(b);
-  }
-  for (std::size_t b = 0; b < nb; ++b) {
-    for (std::size_t c = 0; c < cols; ++c) acc[c] += partial[b][c];
-  }
-  return acc;
-}
-
-// Elementwise row kernels share one site: their cost per (row × col) entry
-// is near-identical (stream in, stream out).
-GranularitySite& rowwise_site() {
-  static GranularitySite site("multivec.rowwise");
-  return site;
-}
-
-}  // namespace
 
 MultiVec MultiVec::from_columns(const std::vector<Vec>& columns) {
   if (columns.empty()) return {};
@@ -84,107 +32,43 @@ void MultiVec::set_column(std::size_t c, const Vec& v) {
   for (std::size_t i = 0; i < rows_; ++i) data_[i * cols_ + c] = v[i];
 }
 
+// Deprecated forwarding wrappers.  The real implementations (backend
+// dispatch + canonical-block parallelism) live in kernels/kernels.cpp;
+// these keep the historic free-function surface compiling.
+
 void axpy_cols(const ColScalars& a, const MultiVec& x, MultiVec& y,
                const ColMask* mask) {
-  assert(x.rows() == y.rows() && x.cols() == y.cols());
-  assert(a.size() == x.cols());
-  std::size_t k = x.cols();
-  parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
-    const double* xr = x.row(i);
-    double* yr = y.row(i);
-    for (std::size_t c = 0; c < k; ++c) {
-      if (active(mask, c)) yr[c] += a[c] * xr[c];
-    }
-  }, 0, static_cast<std::uint64_t>(x.rows()) * k);
+  kernels::axpy_cols(a, x, y, mask);
 }
 
 void xpay_cols(const MultiVec& x, const ColScalars& a, MultiVec& y,
                const ColMask* mask) {
-  assert(x.rows() == y.rows() && x.cols() == y.cols());
-  assert(a.size() == x.cols());
-  std::size_t k = x.cols();
-  parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
-    const double* xr = x.row(i);
-    double* yr = y.row(i);
-    for (std::size_t c = 0; c < k; ++c) {
-      if (active(mask, c)) yr[c] = xr[c] + a[c] * yr[c];
-    }
-  }, 0, static_cast<std::uint64_t>(x.rows()) * k);
+  kernels::xpay_cols(x, a, y, mask);
 }
 
 ColScalars dot_cols(const MultiVec& x, const MultiVec& y) {
-  assert(x.rows() == y.rows() && x.cols() == y.cols());
-  std::size_t k = x.cols();
-  return reduce_cols(x.rows(), k, [&](std::size_t i, double* acc) {
-    const double* xr = x.row(i);
-    const double* yr = y.row(i);
-    for (std::size_t c = 0; c < k; ++c) acc[c] += xr[c] * yr[c];
-  });
+  return kernels::dot_cols(x, y);
 }
 
 ColScalars dot_diff_cols(const MultiVec& z, const MultiVec& x,
                          const MultiVec& y) {
-  assert(z.rows() == x.rows() && x.rows() == y.rows());
-  assert(z.cols() == x.cols() && x.cols() == y.cols());
-  std::size_t k = x.cols();
-  return reduce_cols(x.rows(), k, [&](std::size_t i, double* acc) {
-    const double* zr = z.row(i);
-    const double* xr = x.row(i);
-    const double* yr = y.row(i);
-    for (std::size_t c = 0; c < k; ++c) acc[c] += zr[c] * (xr[c] - yr[c]);
-  });
+  return kernels::dot_diff_cols(z, x, y);
 }
 
-ColScalars norm2_cols(const MultiVec& x) {
-  ColScalars n = dot_cols(x, x);
-  for (double& v : n) v = std::sqrt(v);
-  return n;
-}
+ColScalars norm2_cols(const MultiVec& x) { return kernels::norm2_cols(x); }
 
-ColScalars sum_cols(const MultiVec& x) {
-  std::size_t k = x.cols();
-  return reduce_cols(x.rows(), k, [&](std::size_t i, double* acc) {
-    const double* xr = x.row(i);
-    for (std::size_t c = 0; c < k; ++c) acc[c] += xr[c];
-  });
-}
+ColScalars sum_cols(const MultiVec& x) { return kernels::sum_cols(x); }
 
 void scale_cols(const ColScalars& a, MultiVec& x, const ColMask* mask) {
-  assert(a.size() == x.cols());
-  std::size_t k = x.cols();
-  parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
-    double* xr = x.row(i);
-    for (std::size_t c = 0; c < k; ++c) {
-      if (active(mask, c)) xr[c] *= a[c];
-    }
-  }, 0, static_cast<std::uint64_t>(x.rows()) * k);
+  kernels::scale_cols(a, x, mask);
 }
 
 void copy_cols(const MultiVec& src, MultiVec& dst, const ColMask* mask) {
-  assert(src.rows() == dst.rows() && src.cols() == dst.cols());
-  std::size_t k = src.cols();
-  parallel_for(rowwise_site(), 0, src.rows(), [&](std::size_t i) {
-    const double* sr = src.row(i);
-    double* dr = dst.row(i);
-    for (std::size_t c = 0; c < k; ++c) {
-      if (active(mask, c)) dr[c] = sr[c];
-    }
-  }, 0, static_cast<std::uint64_t>(src.rows()) * k);
+  kernels::copy_cols(src, dst, mask);
 }
 
 void project_out_constant_cols(MultiVec& x, const ColMask* mask) {
-  if (x.empty()) return;
-  ColScalars mean = sum_cols(x);
-  // Divide (not multiply by a reciprocal): bitwise-matches the single-column
-  // project_out_constant so batched and single solves stay in lockstep.
-  for (double& m : mean) m /= static_cast<double>(x.rows());
-  std::size_t k = x.cols();
-  parallel_for(rowwise_site(), 0, x.rows(), [&](std::size_t i) {
-    double* xr = x.row(i);
-    for (std::size_t c = 0; c < k; ++c) {
-      if (active(mask, c)) xr[c] -= mean[c];
-    }
-  }, 0, static_cast<std::uint64_t>(x.rows()) * k);
+  kernels::project_out_constant_cols(x, mask);
 }
 
 }  // namespace parsdd

@@ -12,6 +12,12 @@
 // with the same block structure regardless of k, so column c of a batched
 // solve performs the exact arithmetic sequence of an independent single
 // solve of that column.  test_batch_solve relies on this.
+//
+// The free-function kernels declared here are DEPRECATED forwarding
+// wrappers: the sanctioned entry points live in kernels/kernels.h
+// (parsdd::kernels::), which dispatch to the SIMD backend selected at
+// startup.  They remain so external callers keep compiling; in-tree code
+// has migrated.
 #pragma once
 
 #include <cstddef>
@@ -62,6 +68,38 @@ class MultiVec {
   std::vector<double> data_;
 };
 
+/// Single-precision multi-vector, same row-major layout as MultiVec.  Used
+/// only by the opt-in mixed-precision preconditioner path
+/// (Precision::kF32Refined): the fp32 chain applies at half the memory
+/// traffic and twice the SIMD width, inside an fp64 outer iteration.
+class MultiVec32 {
+ public:
+  MultiVec32() = default;
+  explicit MultiVec32(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  void assign(std::size_t rows, std::size_t cols, float fill) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  float* row(std::size_t i) { return data_.data() + i * cols_; }
+  const float* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
 /// One scalar per column (per-RHS alpha/beta/dot).
 using ColScalars = std::vector<double>;
 /// Per-column activity mask; nonzero = column participates.  Block CG
@@ -70,34 +108,49 @@ using ColScalars = std::vector<double>;
 using ColMask = std::vector<std::uint8_t>;
 
 /// y[:,c] += a[c] * x[:,c]  (active columns only when mask is given).
+[[deprecated("use parsdd::kernels::axpy_cols (kernels/kernels.h)")]]
 void axpy_cols(const ColScalars& a, const MultiVec& x, MultiVec& y,
                const ColMask* mask = nullptr);
 /// y[:,c] = x[:,c] + a[c] * y[:,c]
+[[deprecated("use parsdd::kernels::xpay_cols (kernels/kernels.h)")]]
 void xpay_cols(const MultiVec& x, const ColScalars& a, MultiVec& y,
                const ColMask* mask = nullptr);
 /// Per-column inner products <x_c, y_c>.
+[[deprecated("use parsdd::kernels::dot_cols (kernels/kernels.h)")]]
 ColScalars dot_cols(const MultiVec& x, const MultiVec& y);
 /// Per-column <z_c, x_c - y_c> (the flexible-CG Polak–Ribière numerator,
 /// fused so no difference block is materialized).
+[[deprecated("use parsdd::kernels::dot_diff_cols (kernels/kernels.h)")]]
 ColScalars dot_diff_cols(const MultiVec& z, const MultiVec& x,
                          const MultiVec& y);
 /// Per-column Euclidean norms.
+[[deprecated("use parsdd::kernels::norm2_cols (kernels/kernels.h)")]]
 ColScalars norm2_cols(const MultiVec& x);
 /// Per-column entry sums.
+[[deprecated("use parsdd::kernels::sum_cols (kernels/kernels.h)")]]
 ColScalars sum_cols(const MultiVec& x);
 /// x[:,c] *= a[c]
+[[deprecated("use parsdd::kernels::scale_cols (kernels/kernels.h)")]]
 void scale_cols(const ColScalars& a, MultiVec& x,
                 const ColMask* mask = nullptr);
 /// dst[:,c] = src[:,c] for active columns.
+[[deprecated("use parsdd::kernels::copy_cols (kernels/kernels.h)")]]
 void copy_cols(const MultiVec& src, MultiVec& dst,
                const ColMask* mask = nullptr);
 /// Subtracts each column's mean (projection onto 1-perp per column).
+[[deprecated(
+    "use parsdd::kernels::project_out_constant_cols (kernels/kernels.h)")]]
 void project_out_constant_cols(MultiVec& x, const ColMask* mask = nullptr);
 
 /// Resizes `m` to rows x cols if its shape differs; contents are otherwise
 /// left alone (solver kernels fully overwrite their scratch before reading).
 inline void ensure_shape(MultiVec& m, std::size_t rows, std::size_t cols) {
   if (m.rows() != rows || m.cols() != cols) m.assign(rows, cols, 0.0);
+}
+
+/// ensure_shape for the f32 twin.
+inline void ensure_shape32(MultiVec32& m, std::size_t rows, std::size_t cols) {
+  if (m.rows() != rows || m.cols() != cols) m.assign(rows, cols, 0.0f);
 }
 
 }  // namespace parsdd

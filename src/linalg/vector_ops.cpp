@@ -1,62 +1,39 @@
 #include "linalg/vector_ops.h"
 
 #include <cassert>
-#include <cmath>
 
+#include "kernels/kernels.h"
 #include "parallel/primitives.h"
 #include "parallel/rng.h"
 
 namespace parsdd {
 
-void axpy(double a, const Vec& x, Vec& y) {
-  assert(x.size() == y.size());
-  parallel_for(0, x.size(), [&](std::size_t i) { y[i] += a * x[i]; });
-}
+// Deprecated forwarding wrappers; the dispatchable implementations live in
+// kernels/kernels.cpp.
 
-void xpay(const Vec& x, double a, Vec& y) {
-  assert(x.size() == y.size());
-  parallel_for(0, x.size(), [&](std::size_t i) { y[i] = x[i] + a * y[i]; });
-}
+void axpy(double a, const Vec& x, Vec& y) { kernels::axpy(a, x, y); }
 
-double dot(const Vec& x, const Vec& y) {
-  assert(x.size() == y.size());
-  return parallel_reduce(
-      0, x.size(), 0.0, [&](std::size_t i) { return x[i] * y[i]; },
-      [](double a, double b) { return a + b; });
-}
+void xpay(const Vec& x, double a, Vec& y) { kernels::xpay(x, a, y); }
 
-double norm2(const Vec& x) { return std::sqrt(dot(x, x)); }
+double dot(const Vec& x, const Vec& y) { return kernels::dot(x, y); }
 
-void scale(double a, Vec& x) {
-  parallel_for(0, x.size(), [&](std::size_t i) { x[i] *= a; });
-}
+double norm2(const Vec& x) { return kernels::norm2(x); }
 
-Vec subtract(const Vec& x, const Vec& y) {
-  assert(x.size() == y.size());
-  Vec out(x.size());
-  parallel_for(0, x.size(), [&](std::size_t i) { out[i] = x[i] - y[i]; });
-  return out;
-}
+void scale(double a, Vec& x) { kernels::scale(a, x); }
 
-double sum(const Vec& x) {
-  return parallel_reduce(
-      0, x.size(), 0.0, [&](std::size_t i) { return x[i]; },
-      [](double a, double b) { return a + b; });
-}
+Vec subtract(const Vec& x, const Vec& y) { return kernels::subtract(x, y); }
 
-void project_out_constant(Vec& x) {
-  if (x.empty()) return;
-  double mean = sum(x) / static_cast<double>(x.size());
-  parallel_for(0, x.size(), [&](std::size_t i) { x[i] -= mean; });
-}
+double sum(const Vec& x) { return kernels::sum(x); }
+
+void project_out_constant(Vec& x) { kernels::project_out_constant(x); }
 
 Vec random_unit_like(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
   Vec v(n);
   parallel_for(0, n, [&](std::size_t i) { v[i] = 2.0 * rng.uniform(i) - 1.0; });
-  project_out_constant(v);
-  double nrm = norm2(v);
-  if (nrm > 0) scale(1.0 / nrm, v);
+  kernels::project_out_constant(v);
+  double nrm = kernels::norm2(v);
+  if (nrm > 0) kernels::scale(1.0 / nrm, v);
   return v;
 }
 

@@ -4,6 +4,11 @@
 // O(n)-work, O(log n)-depth operations plus one SpMV, matching the paper's
 // accounting ("O(1) matrix-vector multiplications ... and other simple
 // vector-vector operations", Section 6).
+//
+// DEPRECATED surface: these free functions are thin forwarders onto the
+// dispatchable SIMD backend in kernels/kernels.h (parsdd::kernels::).  New
+// code should call the kernels:: entry points directly; the wrappers remain
+// so external callers keep compiling.
 #pragma once
 
 #include <cstddef>
@@ -15,23 +20,32 @@ namespace parsdd {
 using Vec = std::vector<double>;
 
 /// y += a * x
+[[deprecated("use parsdd::kernels::axpy (kernels/kernels.h)")]]
 void axpy(double a, const Vec& x, Vec& y);
 /// y = x + a * y
+[[deprecated("use parsdd::kernels::xpay (kernels/kernels.h)")]]
 void xpay(const Vec& x, double a, Vec& y);
 /// Inner product <x, y>.
+[[deprecated("use parsdd::kernels::dot (kernels/kernels.h)")]]
 double dot(const Vec& x, const Vec& y);
 /// Euclidean norm.
+[[deprecated("use parsdd::kernels::norm2 (kernels/kernels.h)")]]
 double norm2(const Vec& x);
 /// x *= a
+[[deprecated("use parsdd::kernels::scale (kernels/kernels.h)")]]
 void scale(double a, Vec& x);
 /// out = x - y
+[[deprecated("use parsdd::kernels::subtract (kernels/kernels.h)")]]
 Vec subtract(const Vec& x, const Vec& y);
 /// Sum of entries.
+[[deprecated("use parsdd::kernels::sum (kernels/kernels.h)")]]
 double sum(const Vec& x);
 /// Subtracts the mean from every entry (projection onto 1-perp, the image of
 /// a connected Laplacian).
+[[deprecated("use parsdd::kernels::project_out_constant (kernels/kernels.h)")]]
 void project_out_constant(Vec& x);
 /// Deterministic pseudo-random vector with entries in [-1, 1], mean removed.
+/// (Not deprecated: it is not a hot-loop kernel, just a seeded generator.)
 Vec random_unit_like(std::size_t n, std::uint64_t seed);
 
 }  // namespace parsdd

@@ -36,7 +36,8 @@ class Mix {
 };
 
 void mix_options(Mix& m, const SddSolverOptions& o) {
-  m << o.tolerance << o.max_iterations << static_cast<std::uint32_t>(o.method);
+  m << o.tolerance << o.max_iterations << static_cast<std::uint32_t>(o.method)
+    << static_cast<std::uint8_t>(o.precision);
   const ChainOptions& c = o.chain;
   m << c.seed << static_cast<std::uint32_t>(c.mode) << c.kappa
     << c.kappa_growth << c.bottom_size << c.max_levels << c.oversample

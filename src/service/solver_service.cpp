@@ -277,11 +277,18 @@ StatusOr<SetupInfo> SolverService::info(SetupHandle handle) const {
   out.components = it->second->num_components();
   out.chain_levels = it->second->chain_levels();
   out.chain_edges = it->second->chain_edges();
+  out.precision = it->second->precision();
   return out;
 }
 
-std::future<StatusOr<SolveResult>> SolverService::submit(SetupHandle handle,
-                                                         Vec b) {
+namespace {
+const char* precision_name(Precision p) {
+  return p == Precision::kF32Refined ? "f32-refined" : "f64-bitwise";
+}
+}  // namespace
+
+std::future<StatusOr<SolveResult>> SolverService::submit(
+    SetupHandle handle, Vec b, std::optional<Precision> require) {
   std::promise<StatusOr<SolveResult>> promise;
   std::future<StatusOr<SolveResult>> future = promise.get_future();
   bool notify = false;
@@ -301,6 +308,13 @@ std::future<StatusOr<SolveResult>> SolverService::submit(SetupHandle handle,
       promise.set_value(InvalidArgumentError(
           "submit: rhs has size " + std::to_string(b.size()) +
           ", setup has dimension " + std::to_string(it->second->dimension())));
+      return future;
+    }
+    if (require && *require != it->second->precision()) {
+      promise.set_value(InvalidArgumentError(
+          std::string("submit: request requires ") + precision_name(*require) +
+          " but the setup was built " +
+          precision_name(it->second->precision())));
       return future;
     }
     if (impl_->at_capacity()) {
@@ -323,7 +337,7 @@ std::future<StatusOr<SolveResult>> SolverService::submit(SetupHandle handle,
 }
 
 std::future<StatusOr<BatchSolveResult>> SolverService::submit_batch(
-    SetupHandle handle, MultiVec b) {
+    SetupHandle handle, MultiVec b, std::optional<Precision> require) {
   std::promise<StatusOr<BatchSolveResult>> promise;
   std::future<StatusOr<BatchSolveResult>> future = promise.get_future();
   bool notify = false;
@@ -349,6 +363,13 @@ std::future<StatusOr<BatchSolveResult>> SolverService::submit_batch(
           "submit_batch: block has " + std::to_string(b.rows()) +
           " rows, setup has dimension " +
           std::to_string(it->second->dimension())));
+      return future;
+    }
+    if (require && *require != it->second->precision()) {
+      promise.set_value(InvalidArgumentError(
+          std::string("submit_batch: request requires ") +
+          precision_name(*require) + " but the setup was built " +
+          precision_name(it->second->precision())));
       return future;
     }
     if (impl_->at_capacity()) {

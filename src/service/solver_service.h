@@ -51,6 +51,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -135,6 +136,10 @@ struct SetupInfo {
   std::uint32_t components = 0;
   std::uint32_t chain_levels = 0;
   std::size_t chain_edges = 0;
+  /// Arithmetic contract of the setup (solver_setup.h); clients that care
+  /// about bitwise reproducibility check this — or pin it per request with
+  /// submit's `require` parameter.
+  Precision precision = Precision::kF64Bitwise;
 };
 
 class SolverService {
@@ -181,12 +186,19 @@ class SolverService {
   /// Enqueues one right-hand side.  The future resolves to the solution
   /// (bitwise identical to an isolated solve of b) or to a Status error.
   /// Never blocks on the solve; may briefly take the service mutex.
-  std::future<StatusOr<SolveResult>> submit(SetupHandle handle, Vec b);
+  /// `require` pins the arithmetic contract: a request that requires a
+  /// precision the handle's setup was not built with is refused up front
+  /// with InvalidArgument (nullopt accepts any).
+  std::future<StatusOr<SolveResult>> submit(
+      SetupHandle handle, Vec b,
+      std::optional<Precision> require = std::nullopt);
 
   /// Enqueues a pre-assembled k-column block; dispatched as its own
-  /// solve_batch (already amortized — no re-coalescing).
-  std::future<StatusOr<BatchSolveResult>> submit_batch(SetupHandle handle,
-                                                       MultiVec b);
+  /// solve_batch (already amortized — no re-coalescing).  `require` as in
+  /// submit().
+  std::future<StatusOr<BatchSolveResult>> submit_batch(
+      SetupHandle handle, MultiVec b,
+      std::optional<Precision> require = std::nullopt);
 
   /// Blocks until every accepted request has been answered.
   void drain();

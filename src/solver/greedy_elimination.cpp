@@ -210,50 +210,15 @@ Vec GreedyEliminationResult::back_substitute(const Vec& folded_b,
   return x;
 }
 
-// Column-chunk width for batched fold/backsub.  Columns are arithmetically
-// independent (every step reads and writes single rows, mixing nothing
-// across columns), so parallelizing over column chunks cannot change any
-// bit of the result; a full cache line of doubles per chunk avoids false
-// sharing between workers on the same row.
-constexpr std::size_t kColChunk = 8;
-
 void GreedyEliminationResult::fold_rhs_block(const MultiVec& b,
                                              MultiVec& folded,
                                              MultiVec& reduced_rhs) const {
   std::size_t k = b.cols();
   ensure_shape(folded, b.rows(), k);
-  copy_cols(b, folded);
-  static GranularitySite site("greedy.fold_block", /*init_ns_per_unit=*/3.0);
-  std::size_t nchunks = (k + kColChunk - 1) / kColChunk;
-  parallel_for(
-      site, 0, nchunks,
-      [&](std::size_t ch) {
-        std::size_t c0 = ch * kColChunk, c1 = std::min(k, c0 + kColChunk);
-        for (const EliminationStep& s : steps) {
-          const double* fv = folded.row(s.v);
-          if (s.degree >= 1) {
-            double f = s.w1 / s.pivot;
-            double* fu = folded.row(s.u1);
-            for (std::size_t c = c0; c < c1; ++c) fu[c] += f * fv[c];
-          }
-          if (s.degree == 2) {
-            double f = s.w2 / s.pivot;
-            double* fu = folded.row(s.u2);
-            for (std::size_t c = c0; c < c1; ++c) fu[c] += f * fv[c];
-          }
-        }
-      },
-      /*grain=*/1, /*work=*/steps.size() * k);
+  kernels::copy_cols(b, folded);
+  kernels::fold_steps(steps.data(), steps.size(), folded);
   ensure_shape(reduced_rhs, reduced_n, k);
-  static GranularitySite gather_site("greedy.gather");
-  parallel_for(
-      gather_site, 0, reduced_n,
-      [&](std::size_t i) {
-        const double* src = folded.row(orig_of_reduced[i]);
-        double* dst = reduced_rhs.row(i);
-        for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
-      },
-      0, static_cast<std::uint64_t>(reduced_n) * k);
+  kernels::gather_rows(folded, orig_of_reduced.data(), reduced_rhs);
 }
 
 void GreedyEliminationResult::back_substitute_block(const MultiVec& folded_b,
@@ -261,43 +226,28 @@ void GreedyEliminationResult::back_substitute_block(const MultiVec& folded_b,
                                                     MultiVec& x) const {
   std::size_t k = folded_b.cols();
   x.assign(folded_b.rows(), k, 0.0);
-  static GranularitySite scatter_site("greedy.scatter");
-  parallel_for(
-      scatter_site, 0, reduced_n,
-      [&](std::size_t i) {
-        const double* src = x_reduced.row(i);
-        double* dst = x.row(orig_of_reduced[i]);
-        for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
-      },
-      0, static_cast<std::uint64_t>(reduced_n) * k);
-  static GranularitySite site("greedy.backsub_block",
-                              /*init_ns_per_unit=*/3.0);
-  std::size_t nchunks = (k + kColChunk - 1) / kColChunk;
-  parallel_for(
-      site, 0, nchunks,
-      [&](std::size_t ch) {
-        std::size_t c0 = ch * kColChunk, c1 = std::min(k, c0 + kColChunk);
-        for (std::size_t s_idx = steps.size(); s_idx-- > 0;) {
-          const EliminationStep& s = steps[s_idx];
-          double* xv = x.row(s.v);
-          const double* fb = folded_b.row(s.v);
-          if (s.degree == 0) {
-            for (std::size_t c = c0; c < c1; ++c) xv[c] = 0.0;
-          } else if (s.degree == 1) {
-            const double* xu1 = x.row(s.u1);
-            for (std::size_t c = c0; c < c1; ++c) {
-              xv[c] = fb[c] / s.pivot + xu1[c];
-            }
-          } else {
-            const double* xu1 = x.row(s.u1);
-            const double* xu2 = x.row(s.u2);
-            for (std::size_t c = c0; c < c1; ++c) {
-              xv[c] = (fb[c] + s.w1 * xu1[c] + s.w2 * xu2[c]) / s.pivot;
-            }
-          }
-        }
-      },
-      /*grain=*/1, /*work=*/steps.size() * k);
+  kernels::scatter_rows(x_reduced, orig_of_reduced.data(), x);
+  kernels::backsub_steps(steps.data(), steps.size(), folded_b, x);
+}
+
+void GreedyEliminationResult::fold_rhs_block32(const MultiVec32& b,
+                                               MultiVec32& folded,
+                                               MultiVec32& reduced_rhs) const {
+  std::size_t k = b.cols();
+  ensure_shape32(folded, b.rows(), k);
+  kernels::copy_cols32(b, folded);
+  kernels::fold_steps32(steps.data(), steps.size(), folded);
+  ensure_shape32(reduced_rhs, reduced_n, k);
+  kernels::gather_rows32(folded, orig_of_reduced.data(), reduced_rhs);
+}
+
+void GreedyEliminationResult::back_substitute_block32(
+    const MultiVec32& folded_b, const MultiVec32& x_reduced,
+    MultiVec32& x) const {
+  std::size_t k = folded_b.cols();
+  x.assign(folded_b.rows(), k, 0.0f);
+  kernels::scatter_rows32(x_reduced, orig_of_reduced.data(), x);
+  kernels::backsub_steps32(steps.data(), steps.size(), folded_b, x);
 }
 
 void GreedyEliminationResult::save(serialize::Writer& w) const {

@@ -22,18 +22,15 @@
 #include <vector>
 
 #include "graph/edge_list.h"
+#include "kernels/kernels.h"
 #include "linalg/multivec.h"
 #include "linalg/vector_ops.h"
 
 namespace parsdd {
 
-struct EliminationStep {
-  std::uint32_t v = 0;       // eliminated vertex
-  std::uint32_t degree = 0;  // 0, 1 or 2 at elimination time
-  std::uint32_t u1 = 0, u2 = 0;
-  double w1 = 0.0, w2 = 0.0;
-  double pivot = 0.0;  // w1 + w2 (weighted degree of v)
-};
+/// The step record lives in kernels/kernels.h so the fold/backsub backend
+/// kernels can walk it; this alias keeps the historic solver-layer name.
+using EliminationStep = kernels::ElimStep;
 
 class GreedyEliminationResult {
  public:
@@ -71,6 +68,15 @@ class GreedyEliminationResult {
   /// column.
   void back_substitute_block(const MultiVec& folded_b,
                              const MultiVec& x_reduced, MultiVec& x) const;
+
+  /// fp32 twins of the batched fold/back-substitution, used by the opt-in
+  /// mixed-precision preconditioner chain (Precision::kF32Refined).  Same
+  /// step walk and canonical column-chunk parallelism, float arithmetic.
+  void fold_rhs_block32(const MultiVec32& b, MultiVec32& folded,
+                        MultiVec32& reduced_rhs) const;
+  void back_substitute_block32(const MultiVec32& folded_b,
+                               const MultiVec32& x_reduced,
+                               MultiVec32& x) const;
 
   /// Snapshot encoding (util/serialize.h): the step record as parallel
   /// field arrays (EliminationStep has padding), plus the reduced graph and

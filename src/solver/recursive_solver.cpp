@@ -1,4 +1,5 @@
 #include "solver/recursive_solver.h"
+#include "kernels/kernels.h"
 
 #include <cmath>
 
@@ -24,12 +25,12 @@ RecursiveSolver::RecursiveSolver(const SolverChain& chain,
     for (std::uint32_t it = 0; it < opts_.power_iterations; ++it) {
       lvl.laplacian.multiply(y, ay);
       apply_preconditioner(i, ay, z);
-      double nrm = norm2(z);
+      double nrm = kernels::norm2(z);
       if (!(nrm > 0.0)) break;
-      scale(1.0 / nrm, z);
+      kernels::scale(1.0 / nrm, z);
       y.swap(z);
       lvl.laplacian.multiply(y, ay);
-      double num = dot(y, ay);
+      double num = kernels::dot(y, ay);
       double den = laplacian_quadratic_form(lvl.b_edges, y);
       if (den > 0.0) lmax = std::max(lmax, num / den);
     }
@@ -55,7 +56,7 @@ void RecursiveSolver::apply_preconditioner(std::size_t i, const Vec& r,
     apply_level(i + 1, reduced_rhs, x_reduced);
   }
   z = lvl.elimination.back_substitute(folded, x_reduced);
-  project_out_constant(z);
+  kernels::project_out_constant(z);
 }
 
 void RecursiveSolver::apply_level(std::size_t i, const Vec& b, Vec& x) const {
@@ -66,7 +67,7 @@ void RecursiveSolver::apply_level(std::size_t i, const Vec& b, Vec& x) const {
     bottom_visits_.fetch_add(1, std::memory_order_relaxed);
     if (chain_.bottom) {
       Vec rhs = b;
-      project_out_constant(rhs);
+      kernels::project_out_constant(rhs);
       x = chain_.bottom->solve(rhs);
     }
     return;
@@ -118,7 +119,7 @@ void RecursiveSolver::apply_preconditioner_block(std::size_t i,
     sc.x_reduced.assign(0, r.cols(), 0.0);
   }
   lvl.elimination.back_substitute_block(sc.folded, sc.x_reduced, z);
-  project_out_constant_cols(z);
+  kernels::project_out_constant_cols(z);
 }
 
 void RecursiveSolver::apply_level_block(std::size_t i, const MultiVec& b,
@@ -132,8 +133,8 @@ void RecursiveSolver::apply_level_block(std::size_t i, const MultiVec& b,
     if (chain_.bottom) {
       MultiVec& rhs = ws.levels[i].folded;  // unused by this level otherwise
       ensure_shape(rhs, b.rows(), k);
-      copy_cols(b, rhs);
-      project_out_constant_cols(rhs);
+      kernels::copy_cols(b, rhs);
+      kernels::project_out_constant_cols(rhs);
       chain_.bottom->solve_block(rhs, x);
     }
     return;
@@ -170,6 +171,170 @@ void RecursiveSolver::apply_level_block(std::size_t i, const MultiVec& b,
   }
 }
 
+void RecursiveSolver::enable_f32() {
+  if (f32_) return;
+  val32_.resize(chain_.levels.size());
+  for (std::size_t i = 0; i < chain_.levels.size(); ++i) {
+    const CsrMatrix& a = chain_.levels[i].laplacian;
+    const double* v = a.vals();
+    val32_[i].resize(a.num_nonzeros());
+    for (std::size_t p = 0; p < val32_[i].size(); ++p) {
+      val32_[i][p] = static_cast<float>(v[p]);
+    }
+  }
+  f32_ = true;
+}
+
+void RecursiveSolver::apply_preconditioner_block_f32(std::size_t i,
+                                                     const MultiVec32& r,
+                                                     MultiVec32& z,
+                                                     Workspace& ws) const {
+  const ChainLevel& lvl = chain_.levels[i];
+  Workspace::Level32& sc = ws.levels32[i];
+  lvl.elimination.fold_rhs_block32(r, sc.folded, sc.reduced_rhs);
+  if (lvl.elimination.reduced_n > 0) {
+    apply_level_block_f32(i + 1, sc.reduced_rhs, sc.x_reduced, ws);
+  } else {
+    sc.x_reduced.assign(0, r.cols(), 0.0f);
+  }
+  lvl.elimination.back_substitute_block32(sc.folded, sc.x_reduced, z);
+  kernels::project_out_constant_cols32(z);
+}
+
+void RecursiveSolver::apply_level_block_f32(std::size_t i, const MultiVec32& b,
+                                            MultiVec32& x,
+                                            Workspace& ws) const {
+  const ChainLevel& lvl = chain_.levels[i];
+  std::size_t k = b.cols();
+  x.assign(lvl.n, k, 0.0f);
+  if (!lvl.has_preconditioner) {
+    // Bottom level: the dense factor stays fp64 (accuracy at the chain's
+    // base is cheap — the bottom is ~m^{1/3} — and it spares a float LDLᵀ);
+    // widen/narrow at its boundary, staging in the unused fp64 scratch.
+    bottom_visits_.fetch_add(1, std::memory_order_relaxed);
+    if (chain_.bottom) {
+      Workspace::Level& st = ws.levels[i];
+      kernels::widen(b, st.folded);
+      kernels::project_out_constant_cols(st.folded);
+      ensure_shape(st.reduced_rhs, b.rows(), k);
+      chain_.bottom->solve_block(st.folded, st.reduced_rhs);
+      kernels::narrow(st.reduced_rhs, x);
+    }
+    return;
+  }
+
+  const std::size_t* off = lvl.laplacian.offsets();
+  const std::uint32_t* col = lvl.laplacian.cols();
+  const float* val = val32_[i].data();
+  std::size_t nnz = val32_[i].size();
+  std::uint32_t iters = level_iterations(i);
+  Workspace::Level32& sc = ws.levels32[i];
+  ensure_shape32(sc.r, lvl.n, k);
+  ensure_shape32(sc.z, lvl.n, k);
+  ensure_shape32(sc.p, lvl.n, k);
+  ensure_shape32(sc.ap, lvl.n, k);
+
+  // x = 0, so the initial residual is b itself (projected).
+  kernels::copy_cols32(b, sc.r);
+  kernels::project_out_constant_cols32(sc.r);
+
+  if (opts_.inner == InnerMethod::kChebyshev) {
+    // fp32 mirror of chebyshev_block: the recurrence scalars stay fp64
+    // (they depend only on the bounds), the vectors are fp32.
+    double lambda_min = level_bounds_[i].first;
+    double lambda_max = level_bounds_[i].second;
+    if (!(lambda_max > 0.0)) {
+      lambda_min = 1.0 / std::max(lvl.kappa, 2.0);
+      lambda_max = 8.0;
+    }
+    const double theta = 0.5 * (lambda_max + lambda_min);
+    const double delta = 0.5 * (lambda_max - lambda_min);
+    double alpha = 0.0, beta = 0.0;
+    std::vector<float> alpha_all(k), neg_alpha(k), beta_all(k);
+    for (std::uint32_t it = 0; it < iters; ++it) {
+      apply_preconditioner_block_f32(i, sc.r, sc.z, ws);
+      if (it == 0) {
+        kernels::copy_cols32(sc.z, sc.p);
+        alpha = 1.0 / theta;
+      } else {
+        beta = it == 1 ? 0.5 * (delta * alpha) * (delta * alpha)
+                       : (delta * alpha / 2.0) * (delta * alpha / 2.0);
+        alpha = 1.0 / (theta - beta / alpha);
+        std::fill(beta_all.begin(), beta_all.end(),
+                  static_cast<float>(beta));
+        kernels::xpay_cols32(sc.z, beta_all, sc.p);
+      }
+      std::fill(alpha_all.begin(), alpha_all.end(),
+                static_cast<float>(alpha));
+      std::fill(neg_alpha.begin(), neg_alpha.end(),
+                static_cast<float>(-alpha));
+      kernels::axpy_cols32(alpha_all, sc.p, x);
+      kernels::spmm32(off, col, val, lvl.n, nnz, sc.p, sc.ap);
+      kernels::axpy_cols32(neg_alpha, sc.ap, sc.r);
+      kernels::project_out_constant_cols32(sc.r);
+    }
+    return;
+  }
+
+  // fp32 mirror of the flexible block CG inner solve.  No per-column freeze
+  // masks (the fp32 kernel surface is maskless); a column that converges or
+  // breaks down keeps iterating with zero coefficients, which leaves its x
+  // and r fixed.
+  ensure_shape32(sc.r_prev, lvl.n, k);
+  std::vector<float> bnorm = kernels::norm2_cols32(sc.r);
+  apply_preconditioner_block_f32(i, sc.r, sc.z, ws);
+  kernels::copy_cols32(sc.z, sc.p);
+  std::vector<float> rz = kernels::dot_cols32(sc.r, sc.z);
+  std::vector<float> alpha(k, 0.0f), beta(k, 0.0f);
+  std::vector<char> alive(k, 1);
+  float tol = static_cast<float>(opts_.inner_tolerance);
+  for (std::uint32_t it = 0; it < opts_.inner_max_iterations; ++it) {
+    std::vector<float> rnorm = kernels::norm2_cols32(sc.r);
+    std::size_t remaining = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (alive[c] && (bnorm[c] == 0.0f || rnorm[c] <= tol * bnorm[c])) {
+        alive[c] = 0;
+      }
+      remaining += alive[c];
+    }
+    if (remaining == 0) break;
+    kernels::spmm32(off, col, val, lvl.n, nnz, sc.p, sc.ap);
+    std::vector<float> pap = kernels::dot_cols32(sc.p, sc.ap);
+    for (std::size_t c = 0; c < k; ++c) {
+      alpha[c] = 0.0f;
+      if (alive[c]) {
+        if (!(pap[c] > 0.0f)) {
+          alive[c] = 0;  // breakdown: freeze via zero coefficients
+        } else {
+          alpha[c] = rz[c] / pap[c];
+        }
+      }
+    }
+    kernels::axpy_cols32(alpha, sc.p, x);
+    kernels::copy_cols32(sc.r, sc.r_prev);
+    std::vector<float> neg_alpha(k);
+    for (std::size_t c = 0; c < k; ++c) neg_alpha[c] = -alpha[c];
+    kernels::axpy_cols32(neg_alpha, sc.ap, sc.r);
+    kernels::project_out_constant_cols32(sc.r);
+    apply_preconditioner_block_f32(i, sc.r, sc.z, ws);
+    // Polak–Ribière per column (flexible), as in the fp64 inner solve.
+    std::vector<float> num = kernels::dot_diff_cols32(sc.z, sc.r, sc.r_prev);
+    std::vector<float> rz_next = kernels::dot_cols32(sc.r, sc.z);
+    for (std::size_t c = 0; c < k; ++c) {
+      beta[c] = 0.0f;
+      if (!alive[c]) continue;
+      float bc = num[c] / rz[c];
+      if (!std::isfinite(bc)) {
+        alive[c] = 0;
+        continue;
+      }
+      beta[c] = bc < 0.0f ? 0.0f : bc;
+      rz[c] = rz_next[c];
+    }
+    kernels::xpay_cols32(sc.z, beta, sc.p);
+  }
+}
+
 void RecursiveSolver::apply_block(const MultiVec& b, MultiVec& x,
                                   Workspace& ws) const {
   apply_level_block(0, b, x, ws);
@@ -185,8 +350,17 @@ std::vector<IterStats> RecursiveSolver::solve_batch(
     top.laplacian.multiply(in, out);
   };
   // As in solve(): precondition with the B₁ solve directly when available.
+  // In mixed-precision mode the chain application runs in fp32 (narrowed on
+  // entry, widened on exit); the outer flexible CG below stays fp64 and
+  // iteratively refines, so the convergence test is still the fp64 residual.
   BlockLinOp precond;
-  if (top.has_preconditioner) {
+  if (f32_ && top.has_preconditioner) {
+    precond = [this, &ws](const MultiVec& in, MultiVec& out) {
+      kernels::narrow(in, ws.narrowed);
+      apply_preconditioner_block_f32(0, ws.narrowed, ws.chain_out, ws);
+      kernels::widen(ws.chain_out, out);
+    };
+  } else if (top.has_preconditioner) {
     precond = [this, &ws](const MultiVec& in, MultiVec& out) {
       apply_preconditioner_block(0, in, out, ws);
     };
@@ -220,7 +394,7 @@ std::vector<IterStats> RecursiveSolver::solve_rpch_batch(
   std::size_t k = b.cols();
   std::vector<IterStats> stats(k);
   if (x.rows() != top.n || x.cols() != k) x.assign(top.n, k, 0.0);
-  ColScalars bnorm = norm2_cols(b);
+  ColScalars bnorm = kernels::norm2_cols(b);
   ColMask alive(k, 1);
   std::size_t remaining = k;
   for (std::size_t c = 0; c < k; ++c) {
@@ -234,13 +408,13 @@ std::vector<IterStats> RecursiveSolver::solve_rpch_batch(
   MultiVec r(top.n, k), ax(top.n, k), dx;
   auto refresh_residual = [&] {
     top.laplacian.multiply(x, ax);
-    copy_cols(b, r);
-    axpy_cols(minus_one, ax, r);
-    project_out_constant_cols(r);
+    kernels::copy_cols(b, r);
+    kernels::axpy_cols(minus_one, ax, r);
+    kernels::project_out_constant_cols(r);
   };
   for (std::uint32_t pass = 0; pass < max_passes && remaining > 0; ++pass) {
     refresh_residual();
-    ColScalars rnorm = norm2_cols(r);
+    ColScalars rnorm = kernels::norm2_cols(r);
     for (std::size_t c = 0; c < k; ++c) {
       if (!alive[c]) continue;
       stats[c].relative_residual = rnorm[c] / bnorm[c];
@@ -255,10 +429,10 @@ std::vector<IterStats> RecursiveSolver::solve_rpch_batch(
       if (alive[c]) ++stats[c].iterations;
     }
     apply_block(r, dx, ws);
-    axpy_cols(one, dx, x, &alive);
+    kernels::axpy_cols(one, dx, x, &alive);
   }
   refresh_residual();
-  ColScalars rnorm = norm2_cols(r);
+  ColScalars rnorm = kernels::norm2_cols(r);
   for (std::size_t c = 0; c < k; ++c) {
     if (stats[c].converged || bnorm[c] == 0.0) continue;
     stats[c].relative_residual = rnorm[c] / bnorm[c];
@@ -301,11 +475,11 @@ IterStats RecursiveSolver::solve(const Vec& b, Vec& x, double tolerance,
     Vec r(top.n);
     a_op(x, r);
     for (std::size_t k = 0; k < r.size(); ++k) r[k] = b[k] - r[k];
-    project_out_constant(r);
+    kernels::project_out_constant(r);
     IterStats st;
     st.iterations = 1;
-    double bn = norm2(b);
-    st.relative_residual = bn > 0 ? norm2(r) / bn : 0.0;
+    double bn = kernels::norm2(b);
+    st.relative_residual = bn > 0 ? kernels::norm2(r) / bn : 0.0;
     st.converged = st.relative_residual <= tolerance;
     if (st.converged) return st;
   }
@@ -317,7 +491,7 @@ IterStats RecursiveSolver::solve_rpch(const Vec& b, Vec& x, double tolerance,
   const ChainLevel& top = chain_.levels.front();
   if (x.size() != top.n) x.assign(top.n, 0.0);
   IterStats stats;
-  double bnorm = norm2(b);
+  double bnorm = kernels::norm2(b);
   if (bnorm == 0.0) {
     stats.converged = true;
     return stats;
@@ -326,20 +500,20 @@ IterStats RecursiveSolver::solve_rpch(const Vec& b, Vec& x, double tolerance,
   for (std::uint32_t pass = 0; pass < max_passes; ++pass) {
     top.laplacian.multiply(x, ax);
     for (std::size_t k = 0; k < r.size(); ++k) r[k] = b[k] - ax[k];
-    project_out_constant(r);
-    stats.relative_residual = norm2(r) / bnorm;
+    kernels::project_out_constant(r);
+    stats.relative_residual = kernels::norm2(r) / bnorm;
     if (stats.relative_residual <= tolerance) {
       stats.converged = true;
       return stats;
     }
     ++stats.iterations;
     apply(r, dx);
-    axpy(1.0, dx, x);
+    kernels::axpy(1.0, dx, x);
   }
   top.laplacian.multiply(x, ax);
   for (std::size_t k = 0; k < r.size(); ++k) r[k] = b[k] - ax[k];
-  project_out_constant(r);
-  stats.relative_residual = norm2(r) / bnorm;
+  kernels::project_out_constant(r);
+  stats.relative_residual = kernels::norm2(r) / bnorm;
   stats.converged = stats.relative_residual <= tolerance;
   return stats;
 }

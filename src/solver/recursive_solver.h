@@ -82,11 +82,33 @@ class RecursiveSolver {
       MultiVec folded, reduced_rhs, x_reduced;  // elimination fold scratch
       BlockScratch iter;                        // inner Chebyshev/FCG buffers
     };
+    /// fp32 mirrors of the per-level scratch, allocated only in
+    /// mixed-precision mode (enable_f32); the fp64 bottom solve borrows the
+    /// matching Level's fp64 buffers for its widen/narrow staging.
+    struct Level32 {
+      MultiVec32 folded, reduced_rhs, x_reduced;  // elimination fold scratch
+      MultiVec32 r, z, p, ap, r_prev;             // inner f32 FCG/Chebyshev
+    };
     std::vector<Level> levels;
+    std::vector<Level32> levels32;
+    /// Top-level narrow/widen staging around the f32 chain application.
+    MultiVec32 narrowed, chain_out;
   };
   Workspace make_workspace() const {
-    return Workspace{std::vector<Workspace::Level>(chain_.levels.size())};
+    Workspace ws{std::vector<Workspace::Level>(chain_.levels.size()), {}, {}, {}};
+    if (f32_) ws.levels32.resize(chain_.levels.size());
+    return ws;
   }
+
+  /// Opt-in mixed precision (Precision::kF32Refined): builds fp32 mirrors
+  /// of every level's CSR values (the offsets/cols structure is shared with
+  /// the fp64 matrix) so solve_batch applies the whole preconditioner chain
+  /// in fp32 — only the bottom dense solve stays fp64, widened/narrowed at
+  /// its boundary.  The outer flexible CG remains fp64 iterative
+  /// refinement.  Call once, before any concurrent solves; workspaces made
+  /// earlier lack the fp32 scratch and must be re-made.
+  void enable_f32();
+  bool f32_enabled() const { return f32_; }
 
   /// One pass of the chain: x ≈ A₁⁺ b (constant-factor error reduction).
   /// Usable directly as a preconditioner LinOp.
@@ -144,11 +166,19 @@ class RecursiveSolver {
                          Workspace& ws) const;
   void apply_preconditioner_block(std::size_t i, const MultiVec& r,
                                   MultiVec& z, Workspace& ws) const;
+  void apply_level_block_f32(std::size_t i, const MultiVec32& b, MultiVec32& x,
+                             Workspace& ws) const;
+  void apply_preconditioner_block_f32(std::size_t i, const MultiVec32& r,
+                                      MultiVec32& z, Workspace& ws) const;
   std::uint32_t level_iterations(std::size_t i) const;
 
   const SolverChain& chain_;
   RecursiveSolverOptions opts_;
   std::vector<std::pair<double, double>> level_bounds_;  // (lmin, lmax)
+  /// Mixed-precision state: per-level fp32 value mirrors of the level
+  /// Laplacians (empty until enable_f32).
+  bool f32_ = false;
+  std::vector<std::vector<float>> val32_;
   mutable std::atomic<std::uint64_t> bottom_visits_{0};
 };
 

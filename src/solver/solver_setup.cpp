@@ -1,4 +1,5 @@
 #include "solver/solver_setup.h"
+#include "kernels/kernels.h"
 
 #include <algorithm>
 #include <string>
@@ -14,12 +15,6 @@
 namespace parsdd {
 
 namespace {
-
-// Component row gather/scatter kernels share a site (same streaming shape).
-GranularitySite& gather_site() {
-  static GranularitySite site("setup.gather");
-  return site;
-}
 
 // One connected component's RHS-independent state.
 struct ComponentSetup {
@@ -85,6 +80,9 @@ void SolverSetup::Impl::build(std::uint32_t num_vertices,
           build_chain(cn, cs.local_edges, opts.chain));
       cs.recursive =
           std::make_unique<RecursiveSolver>(*cs.chain, opts.recursion);
+      if (opts.precision == Precision::kF32Refined) {
+        cs.recursive->enable_f32();
+      }
     }
   }
 }
@@ -104,15 +102,8 @@ MultiVec SolverSetup::Impl::solve_batch_laplacian(
     std::uint32_t cn = static_cast<std::uint32_t>(cs.vertices.size());
     if (cn < 2) continue;
     MultiVec cb(cn, k);
-    parallel_for(
-        gather_site(), 0, cn,
-        [&](std::size_t i) {
-          const double* src = b.row(cs.vertices[i]);
-          double* dst = cb.row(i);
-          for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
-        },
-        0, static_cast<std::uint64_t>(cn) * k);
-    project_out_constant_cols(cb);  // consistency for the singular Laplacian
+    kernels::gather_rows(b, cs.vertices.data(), cb);
+    kernels::project_out_constant_cols(cb);  // consistency for the singular Laplacian
     MultiVec cx(cn, k, 0.0);
     std::vector<IterStats> st;
     std::uint64_t visits_before =
@@ -156,15 +147,8 @@ MultiVec SolverSetup::Impl::solve_batch_laplacian(
         break;
       }
     }
-    project_out_constant_cols(cx);
-    parallel_for(
-        gather_site(), 0, cn,
-        [&](std::size_t i) {
-          const double* src = cx.row(i);
-          double* dst = x.row(cs.vertices[i]);
-          for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
-        },
-        0, static_cast<std::uint64_t>(cn) * k);
+    kernels::project_out_constant_cols(cx);
+    kernels::scatter_rows(cx, cs.vertices.data(), x);
     if (report) {
       for (std::size_t c = 0; c < k; ++c) {
         if (st[c].iterations >= report->column_stats[c].iterations) {
@@ -228,6 +212,8 @@ std::uint32_t SolverSetup::chain_levels() const {
   return levels;
 }
 
+Precision SolverSetup::precision() const { return impl_->opts.precision; }
+
 std::size_t SolverSetup::chain_edges() const {
   std::size_t edges = 0;
   for (const ComponentSetup& cs : impl_->components) {
@@ -272,6 +258,7 @@ void save_options(serialize::Writer& w, const SddSolverOptions& o) {
   w.f64(o.tolerance);
   w.u32(o.max_iterations);
   w.u32(static_cast<std::uint32_t>(o.method));
+  w.u8(static_cast<std::uint8_t>(o.precision));
   const ChainOptions& c = o.chain;
   w.u64(c.seed);
   w.u32(static_cast<std::uint32_t>(c.mode));
@@ -306,6 +293,12 @@ SddSolverOptions load_options(serialize::Reader& r) {
     r.fail("unknown SolveMethod value " + std::to_string(method));
   } else {
     o.method = static_cast<SolveMethod>(method);
+  }
+  std::uint8_t precision = r.u8();
+  if (precision > static_cast<std::uint8_t>(Precision::kF32Refined)) {
+    r.fail("unknown Precision value " + std::to_string(precision));
+  } else {
+    o.precision = static_cast<Precision>(precision);
   }
   ChainOptions& c = o.chain;
   c.seed = r.u64();
@@ -445,6 +438,9 @@ StatusOr<SolverSetup> SolverSetup::load_from(serialize::Reader& r) {
       }
       cs.recursive = std::make_unique<RecursiveSolver>(
           *cs.chain, s.impl_->opts.recursion, std::move(bounds));
+      if (s.impl_->opts.precision == Precision::kF32Refined) {
+        cs.recursive->enable_f32();
+      }
     }
     // The chain-method solve dereferences cs.recursive unconditionally for
     // every non-trivial component; a forged snapshot must not be able to

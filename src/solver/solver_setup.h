@@ -44,10 +44,25 @@ enum class SolveMethod {
   kJacobiPcg,   // diagonally preconditioned CG (baseline)
 };
 
+/// Arithmetic contract of the solve phase.
+enum class Precision : std::uint8_t {
+  /// Default: everything in fp64 with the bitwise-determinism guarantees
+  /// (batch == single, snapshot replay, cross-backend identity).
+  kF64Bitwise = 0,
+  /// Opt-in: the preconditioner chain (elimination folds, inner iterations,
+  /// level SpMMs) runs in fp32; the outer flexible CG stays fp64 and
+  /// iteratively refines, so convergence is still measured against the fp64
+  /// residual and the returned x meets `tolerance` in fp64.  Results are
+  /// deterministic for a fixed pool/backend but NOT bitwise-comparable to
+  /// kF64Bitwise; only affects SolveMethod::kChainPcg.  See DESIGN.md §9.
+  kF32Refined = 1,
+};
+
 struct SddSolverOptions {
   double tolerance = 1e-8;
   std::uint32_t max_iterations = 5000;
   SolveMethod method = SolveMethod::kChainPcg;
+  Precision precision = Precision::kF64Bitwise;
   ChainOptions chain;
   RecursiveSolverOptions recursion;
 };
@@ -92,6 +107,8 @@ class SolverSetup {
   std::uint32_t num_components() const;
   std::uint32_t chain_levels() const;
   std::size_t chain_edges() const;
+  /// The arithmetic contract this setup was built with (see Precision).
+  Precision precision() const;
 
   /// Solves A x = b.  For Laplacian blocks b is projected per component.
   /// Thread-safe: concurrent calls share the setup, never the scratch.

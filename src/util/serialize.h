@@ -45,7 +45,8 @@ inline constexpr std::uint32_t kMagic = 0x50534444u;
 inline constexpr std::uint16_t kEndianMark = 0x0102u;
 /// Bumped whenever the payload layout changes; readers refuse any version
 /// they were not built for (see DESIGN.md, "Snapshot format").
-inline constexpr std::uint16_t kFormatVersion = 1;
+/// v2: SddSolverOptions gained the Precision field (mixed-precision solve).
+inline constexpr std::uint16_t kFormatVersion = 2;
 
 /// 64-bit FNV-1a-style hash over a byte range (the snapshot trailer
 /// checksum; also the mixer behind the service's SetupCache fingerprints).

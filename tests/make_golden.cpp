@@ -14,6 +14,7 @@
 #include <string>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "linalg/laplacian.h"
 #include "solver/solver_setup.h"
 #include "util/serialize.h"
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
   GeneratedGraph g = grid2d(16, 16);
   SolverSetup setup = SolverSetup::for_laplacian(g.n, g.edges);
   Vec b = random_unit_like(g.n, 2024);
-  project_out_constant(b);
+  kernels::project_out_constant(b);
   StatusOr<Vec> x = setup.solve(b);
   if (!x.ok()) {
     std::fprintf(stderr, "make_golden: solve failed: %s\n",
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
-  double rel = norm2(subtract(lap.apply(*x), b)) / norm2(b);
+  double rel = kernels::norm2(kernels::subtract(lap.apply(*x), b)) / kernels::norm2(b);
   std::printf("wrote %s (n=%u, residual %.3e, %zu bytes)\n", path.c_str(),
               g.n, rel, w.buffer().size() + 8);
   return 0;

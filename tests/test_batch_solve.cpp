@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "apps/effective_resistance.h"
+#include "kernels/kernels.h"
 #include "apps/harmonic.h"
 #include "graph/generators.h"
 #include "linalg/dense_ldlt.h"
@@ -30,7 +31,7 @@ double max_col_diff(const MultiVec& batch, std::size_t c, const Vec& single) {
 }
 
 double rel_residual(const CsrMatrix& lap, const Vec& x, const Vec& b) {
-  return norm2(subtract(lap.apply(x), b)) / norm2(b);
+  return kernels::norm2(kernels::subtract(lap.apply(x), b)) / kernels::norm2(b);
 }
 
 TEST(BatchSolve, MatchesIndependentSingleSolves) {
@@ -55,7 +56,7 @@ TEST(BatchSolve, MatchesIndependentSingleSolves) {
     Vec xs = solver.solve(cols[c]).value();
     EXPECT_LT(max_col_diff(x, c, xs), 1e-10) << "column " << c;
     Vec x_ref = ref.solve(cols[c]);
-    Vec diff = subtract(x.column(c), x_ref);
+    Vec diff = kernels::subtract(x.column(c), x_ref);
     EXPECT_LT(a_norm(lap, diff) / std::max(a_norm(lap, x_ref), 1e-30), 1e-6)
         << "column " << c << " vs dense reference";
   }
@@ -187,7 +188,7 @@ TEST(BatchSolve, AgreesWithLegacySingleVectorPath) {
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges);
   MultiVec x = solver.solve_batch(MultiVec::from_columns({b})).value();
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
-  Vec diff = subtract(x.column(0), x_legacy);
+  Vec diff = kernels::subtract(x.column(0), x_legacy);
   EXPECT_LT(a_norm(lap, diff) / std::max(a_norm(lap, x_legacy), 1e-30), 1e-6);
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "file_test_util.h"
+#include "kernels/kernels.h"
 #include "graph/generators.h"
 #include "linalg/laplacian.h"
 #include "solver/solver_setup.h"
@@ -43,7 +44,7 @@ MultiVec child_solve() {
   MultiVec b(g.n, 3);
   for (std::size_t c = 0; c < 3; ++c) {
     Vec col = random_unit_like(g.n, 13 + c);
-    project_out_constant(col);
+    kernels::project_out_constant(col);
     b.set_column(c, col);
   }
   return setup.solve_batch(b).value();

@@ -169,6 +169,43 @@ TEST(DistCoordinator, BatchRoundTripsBitwise) {
   }
 }
 
+TEST(DistCoordinator, RequiredPrecisionTravelsTheWire) {
+  // The wire-v2 required-precision byte: the worker's refusal (typed
+  // InvalidArgument) and the RegisterAck's precision field both cross the
+  // process boundary intact.
+  TempDir dir("precision");
+  GeneratedGraph g = grid2d(8, 8);
+  SddSolverOptions f32_opts;
+  f32_opts.precision = Precision::kF32Refined;
+  SolverSetup setup = SolverSetup::for_laplacian(g.n, g.edges, f32_opts);
+  ASSERT_TRUE(setup.Save(dir.path() + "/setup.snap").ok());
+
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 1));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h =
+      (*c)->register_from_snapshot(dir.path() + "/setup.snap").value();
+  // info() is served from the RegisterAck the worker sent back.
+  EXPECT_EQ((*c)->info(h).value().precision, Precision::kF32Refined);
+
+  Vec b = random_unit_like(setup.dimension(), 42);
+  EXPECT_EQ((*c)->submit(h, b, Precision::kF64Bitwise).get().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*c)
+                ->submit_batch(h, MultiVec(setup.dimension(), 2),
+                               Precision::kF64Bitwise)
+                .get()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  StatusOr<SolveResult> ok = (*c)->submit(h, b, Precision::kF32Refined).get();
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_TRUE(ok->stats.converged);
+  // And the worker's answer still matches the in-process f32 solve bitwise
+  // (same backend, same process-independent arithmetic).
+  EXPECT_TRUE(bitwise_equal(ok->x, setup.solve(b).value()));
+}
+
 TEST(DistCoordinator, RegisterBuildsSaveAndCollide) {
   TempDir dir("build");
   GeneratedGraph g = grid2d(6, 6);

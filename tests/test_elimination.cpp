@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "graph/mst.h"
 #include "linalg/dense_ldlt.h"
 #include "linalg/laplacian.h"
@@ -22,12 +23,12 @@ double eliminate_and_solve(std::uint32_t n, const EdgeList& edges,
   if (ge.reduced_n >= 2) {
     CsrMatrix rlap = laplacian_from_edges(ge.reduced_n, ge.reduced_edges);
     DenseLdlt f = DenseLdlt::factor_laplacian(rlap);
-    project_out_constant(reduced_rhs);
+    kernels::project_out_constant(reduced_rhs);
     x_red = f.solve(reduced_rhs);
   }
   Vec x = ge.back_substitute(folded, x_red);
   CsrMatrix lap = laplacian_from_edges(n, edges);
-  return norm2(subtract(lap.apply(x), b)) / norm2(b);
+  return kernels::norm2(kernels::subtract(lap.apply(x), b)) / kernels::norm2(b);
 }
 
 TEST(GreedyElimination, TreeEliminatesCompletely) {

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "linalg/laplacian.h"
 #include "solver/solver_setup.h"
 #include "util/serialize.h"
@@ -56,7 +57,7 @@ TEST(Golden, Grid16SnapshotReproducesCommittedSolutionBitwise) {
   // The committed solution must also still be a genuine solution.
   GeneratedGraph g = grid2d(16, 16);
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
-  double rel = norm2(subtract(lap.apply(expected), b)) / norm2(b);
+  double rel = kernels::norm2(kernels::subtract(lap.apply(expected), b)) / kernels::norm2(b);
   EXPECT_LE(rel, 1e-6);
 }
 

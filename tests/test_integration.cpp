@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "linalg/dense_ldlt.h"
 #include "linalg/laplacian.h"
 #include "solver/sdd_solver.h"
@@ -62,7 +63,7 @@ TEST_P(EndToEnd, ANormErrorMeetsEpsilon) {
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
   Vec x = solver.solve(b).value();
 
-  Vec diff = subtract(x, x_ref);
+  Vec diff = kernels::subtract(x, x_ref);
   double denom = a_norm(lap, x_ref);
   ASSERT_GT(denom, 0.0);
   EXPECT_LT(a_norm(lap, diff) / denom, 1e-5)
@@ -106,7 +107,7 @@ TEST(EndToEnd, HighContrastWeightsStillConverge) {
   Vec x = solver.solve(b, &report).value();
   EXPECT_TRUE(report.stats.converged);
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
-  EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
+  EXPECT_LT(kernels::norm2(kernels::subtract(lap.apply(x), b)) / kernels::norm2(b), 1e-6);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "linalg/cg.h"
 #include "linalg/chebyshev.h"
 #include "linalg/dense_ldlt.h"
@@ -42,7 +43,7 @@ TEST(Cg, ZeroRhsGivesZero) {
   CgOptions o;
   IterStats st = conjugate_gradient(aop, b, x, o);
   EXPECT_TRUE(st.converged);
-  EXPECT_DOUBLE_EQ(norm2(x), 0.0);
+  EXPECT_DOUBLE_EQ(kernels::norm2(x), 0.0);
 }
 
 TEST(Cg, LaplacianWithProjection) {
@@ -56,7 +57,7 @@ TEST(Cg, LaplacianWithProjection) {
   LinOp aop = op_of(lap);
   IterStats st = conjugate_gradient(aop, b, x, o);
   EXPECT_TRUE(st.converged);
-  EXPECT_NEAR(norm2(subtract(lap.apply(x), b)) / norm2(b), 0.0, 1e-8);
+  EXPECT_NEAR(kernels::norm2(kernels::subtract(lap.apply(x), b)) / kernels::norm2(b), 0.0, 1e-8);
 }
 
 TEST(Cg, ExactPreconditionerConvergesInFewIterations) {
@@ -65,7 +66,7 @@ TEST(Cg, ExactPreconditionerConvergesInFewIterations) {
   DenseLdlt f = DenseLdlt::factor_laplacian(lap);
   LinOp pre = [&f](const Vec& in, Vec& out) {
     Vec t = in;
-    project_out_constant(t);
+    kernels::project_out_constant(t);
     out = f.solve(t);
   };
   Vec b = random_unit_like(g.n, 4);
@@ -124,7 +125,7 @@ TEST(Chebyshev, PreconditionedLaplacian) {
   DenseLdlt f = DenseLdlt::factor_laplacian(lap);
   LinOp pre = [&f](const Vec& in, Vec& out) {
     Vec t = in;
-    project_out_constant(t);
+    kernels::project_out_constant(t);
     out = f.solve(t);
   };
   Vec b = random_unit_like(g.n, 6);
@@ -178,7 +179,7 @@ TEST(Jacobi, ConvergesOnStrictlyDominantSystem) {
   o.tolerance = 1e-8;
   IterStats st = jacobi(a, b, x, o);
   EXPECT_TRUE(st.converged);
-  EXPECT_NEAR(norm2(subtract(a.apply(x), b)) / norm2(b), 0.0, 1e-7);
+  EXPECT_NEAR(kernels::norm2(kernels::subtract(a.apply(x), b)) / kernels::norm2(b), 0.0, 1e-7);
 }
 
 TEST(Jacobi, PreconditionerDividesByDiagonal) {
@@ -202,9 +203,9 @@ TEST(Eig, PencilOfScaledMatricesIsTheScale) {
   LinOp solve_b = [&](const Vec& in, Vec& out) {
     // solve lap (= lap2 / 2): x = 2 * lap2^+ in
     Vec t = in;
-    project_out_constant(t);
+    kernels::project_out_constant(t);
     out = f2.solve(t);
-    scale(2.0, out);
+    kernels::scale(2.0, out);
   };
   // pencil (2L, L): all eigenvalues are 2.
   double mx = pencil_max_eig(a, bop, solve_b, g.n, 50, 1);
@@ -223,7 +224,7 @@ TEST(Eig, MinEigOfSandwich) {
   LinOp aop = op_of(la), bop = op_of(lb);
   LinOp solve_b = [&](const Vec& in, Vec& out) {
     Vec t = in;
-    project_out_constant(t);
+    kernels::project_out_constant(t);
     out = fb.solve(t);
   };
   double mx = pencil_max_eig(aop, bop, solve_b, g.n, 100, 3);

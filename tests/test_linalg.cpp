@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "linalg/csr_matrix.h"
 #include "linalg/dense_ldlt.h"
 #include "linalg/gremban.h"
@@ -16,26 +17,26 @@ namespace {
 
 TEST(VectorOps, BasicIdentities) {
   Vec x = {1, 2, 3}, y = {4, 5, 6};
-  axpy(2.0, x, y);
+  kernels::axpy(2.0, x, y);
   EXPECT_EQ(y, (Vec{6, 9, 12}));
-  EXPECT_DOUBLE_EQ(dot(x, x), 14.0);
-  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
-  Vec z = subtract(x, x);
-  EXPECT_DOUBLE_EQ(norm2(z), 0.0);
-  EXPECT_DOUBLE_EQ(sum(x), 6.0);
+  EXPECT_DOUBLE_EQ(kernels::dot(x, x), 14.0);
+  EXPECT_DOUBLE_EQ(kernels::norm2({3, 4}), 5.0);
+  Vec z = kernels::subtract(x, x);
+  EXPECT_DOUBLE_EQ(kernels::norm2(z), 0.0);
+  EXPECT_DOUBLE_EQ(kernels::sum(x), 6.0);
 }
 
 TEST(VectorOps, ProjectOutConstant) {
   Vec x = {1, 2, 3, 6};
-  project_out_constant(x);
-  EXPECT_NEAR(sum(x), 0.0, 1e-12);
+  kernels::project_out_constant(x);
+  EXPECT_NEAR(kernels::sum(x), 0.0, 1e-12);
   EXPECT_DOUBLE_EQ(x[0], -2.0);
 }
 
 TEST(VectorOps, RandomUnitLikeIsMeanZeroUnit) {
   Vec v = random_unit_like(1000, 5);
-  EXPECT_NEAR(sum(v), 0.0, 1e-9);
-  EXPECT_NEAR(norm2(v), 1.0, 1e-12);
+  EXPECT_NEAR(kernels::sum(v), 0.0, 1e-9);
+  EXPECT_NEAR(kernels::norm2(v), 1.0, 1e-12);
 }
 
 TEST(CsrMatrix, FromTripletsMergesDuplicates) {
@@ -71,7 +72,7 @@ TEST(CsrMatrix, MultiplyMatchesDense) {
     for (std::uint32_t j = 0; j < n; ++j) expect += dense[i * n + j] * x[j];
     EXPECT_NEAR(y[i], expect, 1e-12);
   }
-  EXPECT_NEAR(a.quadratic_form(x), dot(x, y), 1e-12);
+  EXPECT_NEAR(a.quadratic_form(x), kernels::dot(x, y), 1e-12);
 }
 
 TEST(CsrMatrix, DiagonalExtraction) {
@@ -109,7 +110,7 @@ TEST(Laplacian, AssemblyAndRoundTrip) {
   CsrMatrix lap = laplacian_from_edges(3, e);
   Vec ones(3, 1.0);
   Vec y = lap.apply(ones);
-  EXPECT_NEAR(norm2(y), 0.0, 1e-12);  // null space
+  EXPECT_NEAR(kernels::norm2(y), 0.0, 1e-12);  // null space
   EdgeList back = edges_from_laplacian(lap);
   ASSERT_EQ(back.size(), 2u);
   EXPECT_DOUBLE_EQ(back[0].w, 2.0);
@@ -164,9 +165,9 @@ TEST(DenseLdlt, LaplacianGroundedSolve) {
   DenseLdlt f = DenseLdlt::factor_laplacian(lap);
   Vec b = random_unit_like(g.n, 6);
   Vec x = f.solve(b);
-  EXPECT_NEAR(sum(x), 0.0, 1e-9);  // pseudo-inverse solution is mean-zero
+  EXPECT_NEAR(kernels::sum(x), 0.0, 1e-9);  // pseudo-inverse solution is mean-zero
   Vec ax = lap.apply(x);
-  EXPECT_NEAR(norm2(subtract(ax, b)) / norm2(b), 0.0, 1e-10);
+  EXPECT_NEAR(kernels::norm2(kernels::subtract(ax, b)) / kernels::norm2(b), 0.0, 1e-10);
 }
 
 TEST(Gremban, LaplacianInputDetected) {

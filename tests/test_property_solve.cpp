@@ -17,6 +17,7 @@
 #include <string>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "linalg/laplacian.h"
 #include "parallel/rng.h"
 #include "solver/solver_setup.h"
@@ -109,7 +110,7 @@ TEST(PropertySolve, RandomDrawsMeetResidualContract) {
     MultiVec b(d.graph.n, k);
     for (std::uint32_t c = 0; c < k; ++c) {
       Vec col = random_unit_like(d.graph.n, rng.u64(8 * i + 7) + c);
-      project_out_constant(col);  // consistent RHS for the singular system
+      kernels::project_out_constant(col);  // consistent RHS for the singular system
       b.set_column(c, col);
     }
     StatusOr<MultiVec> x = setup.solve_batch(b);
@@ -119,13 +120,62 @@ TEST(PropertySolve, RandomDrawsMeetResidualContract) {
     CsrMatrix lap = laplacian_from_edges(d.graph.n, d.graph.edges);
     MultiVec ax = lap.apply_block(*x);
     for (std::uint32_t c = 0; c < k; ++c) {
-      Vec r = subtract(b.column(c), ax.column(c));
-      double rel = norm2(r) / std::max(norm2(b.column(c)), 1e-300);
+      Vec r = kernels::subtract(b.column(c), ax.column(c));
+      double rel = kernels::norm2(r) / std::max(kernels::norm2(b.column(c)), 1e-300);
       // Headroom over the solver's target: convergence is measured in the
       // preconditioned norm, so the Euclidean residual can sit a small
       // factor above tol.
       EXPECT_LE(rel, 100 * tol)
           << "column " << c << " of k=" << k << "\n  draw " << i << ": "
+          << repro;
+    }
+  }
+}
+
+// Same harness, mixed precision: every draw that converges under
+// Precision::kF64Bitwise must also converge under kF32Refined — the fp32
+// chain is a preconditioner, and the fp64 outer iteration owns the
+// residual contract.  A smaller draw budget keeps tier-1 time flat; the
+// fuzz lane scales both loops with PARSDD_FUZZ_ITERS.
+TEST(PropertySolve, F32RefinedDrawsMeetResidualContract) {
+  const std::uint64_t master_seed = env_u64("PARSDD_FUZZ_SEED", 0xF00DF00D);
+  const std::uint64_t iters = env_u64("PARSDD_FUZZ_ITERS", 50) / 2 + 1;
+  const double tol = 1e-8;
+  Rng rng(master_seed ^ 0x32f10a7ull);
+
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    Draw d = make_draw(rng, i);
+    const std::string repro = d.family +
+                              "; reproduce with PARSDD_FUZZ_SEED=" +
+                              std::to_string(master_seed) +
+                              " PARSDD_FUZZ_ITERS=" + std::to_string(i + 1);
+    std::uint32_t k = 1 + static_cast<std::uint32_t>(rng.below(8 * i + 7, 4));
+
+    SddSolverOptions opts;
+    opts.tolerance = tol;
+    opts.precision = Precision::kF32Refined;
+    SolverSetup setup = SolverSetup::for_laplacian(d.graph.n, d.graph.edges,
+                                                   opts);
+    MultiVec b(d.graph.n, k);
+    for (std::uint32_t c = 0; c < k; ++c) {
+      Vec col = random_unit_like(d.graph.n, rng.u64(8 * i + 7) + c);
+      kernels::project_out_constant(col);
+      b.set_column(c, col);
+    }
+    StatusOr<MultiVec> x = setup.solve_batch(b);
+    ASSERT_TRUE(x.ok()) << x.status().to_string() << "\n  f32 draw " << i
+                        << ": " << repro;
+
+    CsrMatrix lap = laplacian_from_edges(d.graph.n, d.graph.edges);
+    MultiVec ax = lap.apply_block(*x);
+    for (std::uint32_t c = 0; c < k; ++c) {
+      Vec r = kernels::subtract(b.column(c), ax.column(c));
+      double rel =
+          kernels::norm2(r) / std::max(kernels::norm2(b.column(c)), 1e-300);
+      // The residual is computed and tested in fp64: iterative refinement
+      // means fp32 preconditioning costs iterations, not accuracy.
+      EXPECT_LE(rel, 100 * tol)
+          << "column " << c << " of k=" << k << "\n  f32 draw " << i << ": "
           << repro;
     }
   }

@@ -70,6 +70,40 @@ TEST(SolverService, SubmitValidatesDimensions) {
       StatusCode::kInvalidArgument);
 }
 
+TEST(SolverService, RequiredPrecisionRefusedUpFront) {
+  SolverService service;
+  GeneratedGraph g = grid2d(6, 6);
+  SetupHandle h64 = service.register_laplacian(g.n, g.edges).value();
+  SddSolverOptions f32_opts;
+  f32_opts.precision = Precision::kF32Refined;
+  SetupHandle h32 = service.register_laplacian(g.n, g.edges, f32_opts).value();
+
+  EXPECT_EQ(service.info(h64)->precision, Precision::kF64Bitwise);
+  EXPECT_EQ(service.info(h32)->precision, Precision::kF32Refined);
+  // Differing precision means differing arithmetic: the two registrations
+  // must not alias in the setup cache.
+  EXPECT_NE(service.info(h64)->precision, service.info(h32)->precision);
+
+  Vec b = random_unit_like(g.n, 3);
+  // Mismatched requirement: refused before queueing, typed InvalidArgument.
+  EXPECT_EQ(
+      service.submit(h64, b, Precision::kF32Refined).get().status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      service.submit(h32, b, Precision::kF64Bitwise).get().status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(service
+                .submit_batch(h64, MultiVec(g.n, 2), Precision::kF32Refined)
+                .get()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Matching or absent requirement: served.
+  EXPECT_TRUE(service.submit(h64, b, Precision::kF64Bitwise).get().ok());
+  EXPECT_TRUE(service.submit(h32, b, Precision::kF32Refined).get().ok());
+  EXPECT_TRUE(service.submit(h32, b).get().ok());
+}
+
 TEST(SolverService, SingleSubmitMatchesDirectSolveBitwise) {
   SolverService service;
   GeneratedGraph g = grid2d(12, 12);

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "linalg/laplacian.h"
 #include "solver/sdd_solver.h"
 
@@ -16,7 +17,7 @@ TEST(Smoke, GridSolve) {
   Vec x = solver.solve(b, &report).value();
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
   Vec ax = lap.apply(x);
-  double err = norm2(subtract(ax, b)) / norm2(b);
+  double err = kernels::norm2(kernels::subtract(ax, b)) / kernels::norm2(b);
   EXPECT_LT(err, 1e-6);
   EXPECT_TRUE(report.stats.converged);
 }

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "kernels/kernels.h"
 #include "linalg/dense_ldlt.h"
 #include "linalg/eig.h"
 #include "linalg/laplacian.h"
@@ -50,7 +51,7 @@ TEST(IncrementalSparsify, SpectralSandwichOnSmallGraph) {
   LinOp hop = [&](const Vec& in, Vec& out) { out.resize(in.size()); lh.multiply(in, out); };
   LinOp hsolve = [&](const Vec& in, Vec& out) {
     Vec t = in;
-    project_out_constant(t);
+    kernels::project_out_constant(t);
     out = fh.solve(t);
   };
   double lmax = pencil_max_eig(aop, hop, hsolve, g.n, 150, 5);
@@ -164,7 +165,7 @@ TEST_P(RecursiveSolverFamily, SolvesToTolerance) {
   Vec x(g.n, 0.0);
   IterStats st = rs.solve(b, x, 1e-8, 3000);
   EXPECT_TRUE(st.converged) << "family=" << family;
-  EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
+  EXPECT_LT(kernels::norm2(kernels::subtract(lap.apply(x), b)) / kernels::norm2(b), 1e-6);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -179,7 +180,7 @@ TEST(RecursiveSolver, OnePassReducesResidual) {
   Vec b = random_unit_like(g.n, 12);
   Vec x;
   rs.apply(b, x);
-  double rel = norm2(subtract(lap.apply(x), b)) / norm2(b);
+  double rel = kernels::norm2(kernels::subtract(lap.apply(x), b)) / kernels::norm2(b);
   EXPECT_LT(rel, 0.9);
   // bottom_visits is 0 when the chain's B collapses to a tree (fully
   // eliminated, no dense level) — both shapes are valid.
@@ -211,7 +212,7 @@ TEST(SddSolver, LaplacianGridMatchesDenseReference) {
   SddSolver solver = SddSolver::for_laplacian(g.n, g.edges, opts);
   Vec x = solver.solve(b).value();
   // A-norm error (Theorem 1.1's metric).
-  Vec diff = subtract(x, x_ref);
+  Vec diff = kernels::subtract(x, x_ref);
   double err = a_norm(lap, diff) / std::max(a_norm(lap, x_ref), 1e-30);
   EXPECT_LT(err, 1e-6);
 }
@@ -234,7 +235,7 @@ TEST(SddSolver, DisconnectedComponentsSolvedIndependently) {
   EXPECT_EQ(report.components, 3u);
   EXPECT_DOUBLE_EQ(x[20], 0.0);
   CsrMatrix lap = laplacian_from_edges(n, e);
-  EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
+  EXPECT_LT(kernels::norm2(kernels::subtract(lap.apply(x), b)) / kernels::norm2(b), 1e-6);
 }
 
 TEST(SddSolver, GrembanSddSolve) {
@@ -251,7 +252,7 @@ TEST(SddSolver, GrembanSddSolve) {
   Vec b = {1.0, 0.0, -1.0};
   Vec x = solver.solve(b).value();
   Vec ax = a.apply(x);
-  EXPECT_LT(norm2(subtract(ax, b)) / norm2(b), 1e-7);
+  EXPECT_LT(kernels::norm2(kernels::subtract(ax, b)) / kernels::norm2(b), 1e-7);
 }
 
 TEST(SddSolver, SddLaplacianInputSkipsGremban) {
@@ -260,7 +261,7 @@ TEST(SddSolver, SddLaplacianInputSkipsGremban) {
   SddSolver solver = SddSolver::for_sdd(lap);
   Vec b = random_unit_like(g.n, 15);
   Vec x = solver.solve(b).value();
-  EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
+  EXPECT_LT(kernels::norm2(kernels::subtract(lap.apply(x), b)) / kernels::norm2(b), 1e-6);
 }
 
 class SddMethods : public ::testing::TestWithParam<SolveMethod> {};
@@ -278,7 +279,7 @@ TEST_P(SddMethods, AllMethodsConvergeOnWeightedGrid) {
   Vec x = solver.solve(b, &report).value();
   EXPECT_TRUE(report.stats.converged);
   CsrMatrix lap = laplacian_from_edges(g.n, g.edges);
-  EXPECT_LT(norm2(subtract(lap.apply(x), b)) / norm2(b), 1e-6);
+  EXPECT_LT(kernels::norm2(kernels::subtract(lap.apply(x), b)) / kernels::norm2(b), 1e-6);
 }
 
 INSTANTIATE_TEST_SUITE_P(Methods, SddMethods,

@@ -32,6 +32,13 @@ Rules (each finding names one):
                    dispatches bypass the oracular spawn decision and — worse
                    — tend to grow ad-hoc sequential fallbacks whose block
                    geometry silently diverges from the parallel path.
+  multivec-raw     Raw .row()/->row() access outside src/kernels/.  Hot
+                   loops over Vec/MultiVec data must route through the
+                   kernels::Backend dispatch surface (kernels/kernels.h) so
+                   the SIMD backends, the canonical block partition, and the
+                   bitwise-SIMD contract cover them; a hand-rolled row loop
+                   silently opts out of all three.  Cold or genuinely serial
+                   loops (dense factor, boundary assembly) are allowlisted.
 
 Findings are suppressed by tools/lint/determinism_allowlist.txt entries of
 the form `<path> <rule>  # justification`.  Stale entries (matching no
@@ -64,6 +71,13 @@ RAW_DISPATCH_EXEMPT = {
     "src/parallel/thread_pool.h",
     "src/parallel/thread_pool.cpp",
 }
+
+# The sanctioned kernel surface itself, plus the container definition: raw
+# row access IS the implementation there.
+MULTIVEC_RAW_EXEMPT_PREFIXES = (
+    "src/kernels/",
+    "src/linalg/multivec.h",
+)
 
 # How many preceding (comment-stripped) lines may separate a run_blocks
 # call from its GranularitySite gate.
@@ -100,6 +114,7 @@ RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;:)]*?:\s*\*?([A-Za-z_]\w*)\s*\)")
 BEGIN_CALL = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(?:c?begin|c?end)\s*\(")
 RUN_BLOCKS = re.compile(r"\brun_blocks\s*\(")
 GATE = re.compile(r"\b(GranularitySite|should_parallelize)\b")
+ROW_ACCESS = re.compile(r"(?:\.|->)\s*row\s*\(")
 
 
 class Finding:
@@ -218,6 +233,16 @@ def lint_text(rel_path: str, raw: str) -> list[Finding]:
                     "run_blocks dispatch with no GranularitySite gate within "
                     f"{WINDOW} lines — route the spawn decision through a "
                     "site (DESIGN.md §6)"))
+
+    if not rel_path.startswith(MULTIVEC_RAW_EXEMPT_PREFIXES):
+        for lineno, line in enumerate(lines, 1):
+            if ROW_ACCESS.search(line):
+                findings.append(Finding(
+                    rel_path, lineno, "multivec-raw",
+                    "raw .row() access outside src/kernels/ — hot loops must "
+                    "go through the kernels::Backend surface "
+                    "(kernels/kernels.h, DESIGN.md §9); allowlist cold/serial "
+                    "loops"))
     return findings
 
 
@@ -299,7 +324,18 @@ def run_self_test() -> int:
               parsdd::ThreadPool::instance().run_blocks(nb, [](std::size_t) {});
             }
         """),
+        "multivec-raw": ("src/solver/bad_row.cpp", """
+            #include "linalg/multivec.h"
+            double first(const parsdd::MultiVec& m) { return m.row(0)[0]; }
+        """),
     }
+    # Raw row access under src/kernels/ is the implementation, not a
+    # violation; the exemption must hold.
+    kernels_ok = ("src/kernels/backend_fake.cpp", """
+        #include "linalg/multivec.h"
+        double first(const parsdd::MultiVec& m) { return m.row(0)[0]; }
+    """)
+
     clean = ("src/solver/good.cpp", """
         // rand() in a comment and "random_device" in a string are fine.
         #include "parallel/granularity.h"
@@ -321,20 +357,22 @@ def run_self_test() -> int:
             p = root / rel
             p.parent.mkdir(parents=True, exist_ok=True)
             p.write_text(code)
-        p = root / clean[0]
-        p.parent.mkdir(parents=True, exist_ok=True)
-        p.write_text(clean[1])
+        for rel, code in (clean, kernels_ok):
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(code)
 
         empty_allow = root / "allow.txt"
         kept, stale, nfiles = lint_tree(root, empty_allow)
-        assert nfiles == len(samples) + 1, f"scanned {nfiles} files"
+        assert nfiles == len(samples) + 2, f"scanned {nfiles} files"
 
         for rule, (rel, _) in samples.items():
             hits = [f for f in kept if f.rule == rule and f.path == rel]
             if not hits:
                 failures.append(f"rule '{rule}' did not fire on seeded "
                                 f"violation {rel}")
-        noise = [f for f in kept if f.path == clean[0]]
+        noise = [f for f in kept
+                 if f.path in (clean[0], kernels_ok[0])]
         if noise:
             failures.append(f"false positives on clean file: "
                             f"{[str(f) for f in noise]}")
