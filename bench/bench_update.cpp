@@ -1,0 +1,285 @@
+// E16: dynamic-graph updates (ROADMAP item 4, DESIGN.md section 10).
+//
+// Two claims, two tables:
+//
+//   A. Sustained update throughput under load: a SolverService handle
+//      absorbs a stream of weight-only delta batches while concurrent
+//      clients keep solving against it, with ZERO failed solves — the
+//      stale-chain tier never blocks the solve path, and the structural
+//      tier swaps rebuilt setups in asynchronously.
+//
+//   B. Staleness-vs-rebuild crossover: how many solves of a perturbed
+//      system amortize a full rebuild?  For growing perturbation
+//      magnitudes we time the stale-chain solve (old preconditioner,
+//      updated matrix) against rebuild cost + fresh solve, and report
+//      the break-even solve count rebuild_ms / (stale_ms - fresh_ms).
+//
+// Emits BENCH_update.json for cross-PR tracking.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "service/solver_service.h"
+#include "solver/solver_setup.h"
+
+namespace {
+
+using namespace parsdd;
+using parsdd_bench::BenchJson;
+using parsdd_bench::Timer;
+
+// Part A: one handle, `clients` solver threads hammering submit() while the
+// main thread streams `batches` weight-only delta batches, then a short
+// structural phase (insert/remove a chord) to exercise the async swap.
+struct SustainedResult {
+  double weight_updates_per_s = 0.0;
+  double solves_per_s = 0.0;
+  std::uint64_t solves_ok = 0;
+  std::uint64_t solves_failed = 0;
+  std::uint64_t update_failures = 0;
+  std::uint64_t updates_applied = 0;
+  std::uint64_t updates_deferred = 0;
+  std::uint64_t rebuilds_completed = 0;
+};
+
+SustainedResult run_sustained(const GeneratedGraph& g, int clients,
+                              int batches, int structural_pairs) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  SolverService service(opts);
+  SetupHandle h = service.register_laplacian(g.n, g.edges).value();
+
+  std::vector<Vec> rhs;
+  for (int j = 0; j < 8; ++j) rhs.push_back(random_unit_like(g.n, 100 + j));
+  // Warm the handle so the first timed solve is not the first-touch one.
+  (void)service.submit(h, rhs[0]).get();
+  service.drain();
+  ServiceStats before = service.stats();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ok{0}, failed{0};
+  std::vector<std::thread> solvers;
+  solvers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    solvers.emplace_back([&, c] {
+      for (std::uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        StatusOr<SolveResult> r =
+            service.submit(h, rhs[(static_cast<std::uint64_t>(c) + i) % 8])
+                .get();
+        (r.ok() ? ok : failed).fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  SustainedResult out;
+  Timer total;
+
+  // Weight-only stream: rescale the same 8 edges up and back down, so the
+  // weights stay bounded and every batch classifies as stale-chain.
+  Timer t;
+  for (int i = 0; i < batches; ++i) {
+    std::vector<EdgeDelta> batch;
+    const double scale = (i % 2 == 0) ? 1.5 : 1.0;
+    for (std::size_t e = 0; e < 8 && e < g.edges.size(); ++e) {
+      batch.push_back({g.edges[e].u, g.edges[e].v, g.edges[e].w * scale});
+    }
+    StatusOr<UpdateAck> ack = service.update(h, batch);
+    if (!ack.ok()) {
+      std::fprintf(stderr, "E16: weight update failed: %s\n",
+                   ack.status().to_string().c_str());
+      ++out.update_failures;
+      break;
+    }
+  }
+  const double weight_s = t.seconds();
+
+  // Structural phase: insert a chord, then remove it again, while the same
+  // clients keep solving.  Each half schedules an async rebuild; dependent
+  // batches (the removal references the inserted chord) must wait for the
+  // previous rebuild to swap in — a batch deferred behind a rebuild is
+  // validated against the still-serving setup (DESIGN.md section 10).
+  auto await_swap = [&service] {
+    for (int tries = 0; tries < 2000; ++tries) {
+      if (service.stats().rebuilds_in_flight == 0) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  const EdgeDelta chord{0, g.n > 40 ? 40u : g.n - 1, 2.0};
+  for (int i = 0; i < structural_pairs; ++i) {
+    StatusOr<UpdateAck> ins = service.update(h, {chord});
+    await_swap();
+    StatusOr<UpdateAck> rem = service.update(h, {{chord.u, chord.v, 0.0}});
+    await_swap();
+    if (!ins.ok() || !rem.ok()) {
+      std::fprintf(stderr, "E16: structural update failed: %s\n",
+                   (!ins.ok() ? ins.status() : rem.status())
+                       .to_string()
+                       .c_str());
+      ++out.update_failures;
+      break;
+    }
+  }
+
+  stop.store(true);
+  for (auto& th : solvers) th.join();
+  const double total_s = total.seconds();
+  service.drain();
+  ServiceStats after = service.stats();
+
+  out.weight_updates_per_s =
+      weight_s > 0.0 ? static_cast<double>(batches) / weight_s : 0.0;
+  out.solves_ok = ok.load();
+  out.solves_failed = failed.load();
+  out.solves_per_s = total_s > 0.0
+                         ? static_cast<double>(out.solves_ok) / total_s
+                         : 0.0;
+  out.updates_applied = after.updates_applied - before.updates_applied;
+  out.updates_deferred = after.updates_deferred - before.updates_deferred;
+  out.rebuilds_completed =
+      after.rebuilds_completed - before.rebuilds_completed;
+  return out;
+}
+
+double best_of_3_solve_ms(const SolverSetup& setup, const Vec& b,
+                          std::uint32_t* iters) {
+  double best = 1e300;
+  for (int r = 0; r < 3; ++r) {
+    Timer t;
+    SddSolveReport rep;
+    (void)setup.solve(b, &rep).value();
+    best = std::min(best, 1e3 * t.seconds());
+    if (iters != nullptr) *iters = rep.stats.iterations;
+  }
+  return best;
+}
+
+double rel_residual(const CsrMatrix& lap, const Vec& x, const Vec& b) {
+  return kernels::norm2(kernels::subtract(lap.apply(x), b)) /
+         kernels::norm2(b);
+}
+
+}  // namespace
+
+int main() {
+  parsdd_bench::header(
+      "E16: dynamic-graph updates",
+      "A: sustained update stream under concurrent solves (zero failures); "
+      "B: stale-chain solve vs rebuild crossover (2D grid Laplacian)");
+
+  BenchJson json("update");
+  int exit_code = 0;
+
+  // --- Part A: sustained updates/sec under concurrent solve load. -------
+  {
+    const std::uint32_t side = 64;
+    const int clients = 4, batches = 200, structural_pairs = 3;
+    GeneratedGraph g = grid2d(side, side);
+    SustainedResult r = run_sustained(g, clients, batches, structural_pairs);
+
+    std::printf("%-14s %8s %8s %12s %12s %9s %9s %9s\n", "graph", "n",
+                "clients", "upd/s", "solves/s", "solve-ok", "failed",
+                "rebuilds");
+    std::printf("%-14s %8u %8d %12.1f %12.1f %9llu %9llu %9llu\n",
+                "grid 64x64", g.n, clients, r.weight_updates_per_s,
+                r.solves_per_s, static_cast<unsigned long long>(r.solves_ok),
+                static_cast<unsigned long long>(r.solves_failed),
+                static_cast<unsigned long long>(r.rebuilds_completed));
+    if (r.solves_failed != 0 || r.update_failures != 0) {
+      std::fprintf(stderr,
+                   "E16: %llu solve(s), %llu update(s) failed under the "
+                   "update stream\n",
+                   static_cast<unsigned long long>(r.solves_failed),
+                   static_cast<unsigned long long>(r.update_failures));
+      exit_code = 1;
+    }
+    json.record()
+        .str("experiment", "E16-sustained")
+        .str("graph", "grid 64x64")
+        .num("n", g.n)
+        .num("clients", clients)
+        .num("weight_batches", batches)
+        .num("structural_pairs", structural_pairs)
+        .num("updates_per_s", r.weight_updates_per_s)
+        .num("solves_per_s", r.solves_per_s)
+        .num("solves_ok", static_cast<double>(r.solves_ok))
+        .num("solves_failed", static_cast<double>(r.solves_failed))
+        .num("updates_applied", static_cast<double>(r.updates_applied))
+        .num("updates_deferred", static_cast<double>(r.updates_deferred))
+        .num("rebuilds_completed", static_cast<double>(r.rebuilds_completed));
+  }
+
+  // --- Part B: staleness-vs-rebuild crossover. --------------------------
+  {
+    const std::uint32_t side = 48;
+    GeneratedGraph g = grid2d(side, side);
+    SolverSetup setup = SolverSetup::for_laplacian(g.n, g.edges);
+    Vec b = random_unit_like(g.n, 7);
+
+    std::printf("\n%-10s %10s %10s %10s %10s %10s %12s\n", "scale",
+                "stale ms", "stale it", "fresh ms", "fresh it", "rebuild ms",
+                "crossover");
+    const double scales[] = {1.5, 4.0, 16.0, 64.0, 256.0};
+    const std::size_t perturbed = 64;
+    for (double scale : scales) {
+      std::vector<EdgeDelta> deltas;
+      EdgeList updated_edges = g.edges;
+      for (std::size_t e = 0; e < perturbed && e < g.edges.size(); ++e) {
+        deltas.push_back({g.edges[e].u, g.edges[e].v, g.edges[e].w * scale});
+        updated_edges[e].w = g.edges[e].w * scale;
+      }
+      CsrMatrix lap = laplacian_from_edges(g.n, updated_edges);
+
+      SolverSetup stale = setup.update(deltas).value();
+      std::uint32_t stale_iters = 0, fresh_iters = 0;
+      double stale_ms = best_of_3_solve_ms(stale, b, &stale_iters);
+
+      Timer tr;
+      SolverSetup fresh = stale.rebuild();
+      double rebuild_ms = 1e3 * tr.seconds();
+      double fresh_ms = best_of_3_solve_ms(fresh, b, &fresh_iters);
+
+      // Both paths must still answer the *updated* system.
+      double stale_res = rel_residual(lap, stale.solve(b).value(), b);
+      double fresh_res = rel_residual(lap, fresh.solve(b).value(), b);
+      if (stale_res > 1e-6 || fresh_res > 1e-6) {
+        std::fprintf(stderr,
+                     "E16: scale %g residual regression (stale %.3e, "
+                     "fresh %.3e)\n",
+                     scale, stale_res, fresh_res);
+        exit_code = 1;
+      }
+
+      // Break-even solve count: below this many solves, keep the stale
+      // chain; above it, the rebuild has paid for itself.
+      double penalty_ms = stale_ms - fresh_ms;
+      double crossover =
+          penalty_ms > 0.0 ? rebuild_ms / penalty_ms : 0.0;
+      std::printf("%-10g %10.3f %10u %10.3f %10u %10.3f %12.1f\n", scale,
+                  stale_ms, stale_iters, fresh_ms, fresh_iters, rebuild_ms,
+                  crossover);
+      json.record()
+          .str("experiment", "E16-crossover")
+          .str("graph", "grid 48x48")
+          .num("n", g.n)
+          .num("scale", scale)
+          .num("perturbed_edges", static_cast<double>(perturbed))
+          .num("stale_solve_ms", stale_ms)
+          .num("stale_iterations", stale_iters)
+          .num("fresh_solve_ms", fresh_ms)
+          .num("fresh_iterations", fresh_iters)
+          .num("rebuild_ms", rebuild_ms)
+          .num("crossover_solves", crossover)
+          .num("stale_residual", stale_res)
+          .num("fresh_residual", fresh_res);
+    }
+  }
+
+  json.write();
+  return exit_code;
+}

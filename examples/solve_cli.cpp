@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   using namespace parsdd;
   std::string save_path, load_path;
   Precision precision = Precision::kF64Bitwise;
+  bool precision_explicit = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
       load_path = arg.substr(std::strlen("--load-setup="));
     } else if (arg.rfind("--precision=", 0) == 0) {
       std::string p = arg.substr(std::strlen("--precision="));
+      precision_explicit = true;
       if (p == "f64") {
         precision = Precision::kF64Bitwise;
       } else if (p == "f32") {
@@ -93,10 +95,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("graph: n=%u m=%zu backend=%s precision=%s\n", g.n,
-              g.edges.size(), kernels::backend_name(),
-              precision == Precision::kF32Refined ? "f32-refined"
-                                                  : "f64-bitwise");
   SolverSetup setup = [&] {
     if (!load_path.empty()) {
       if (positional.size() > 1) {
@@ -128,6 +126,24 @@ int main(int argc, char** argv) {
                  setup.dimension(), g.n);
     return 2;
   }
+  if (!load_path.empty() && precision_explicit &&
+      setup.precision() != precision) {
+    // The snapshot's arithmetic contract is baked in at build time; solving
+    // anyway while the banner claims the requested precision would misreport
+    // what actually ran.  Refuse so scripts cannot depend on the lie.
+    std::fprintf(stderr,
+                 "--precision=%s contradicts the snapshot (built with %s); "
+                 "rebuild with --save-setup or drop the flag\n",
+                 precision == Precision::kF32Refined ? "f32" : "f64",
+                 setup.precision() == Precision::kF32Refined ? "f32" : "f64");
+    return 2;
+  }
+  // Printed from the setup, not the flag: with --load-setup the snapshot's
+  // embedded precision is what actually runs.
+  std::printf("graph: n=%u m=%zu backend=%s precision=%s\n", g.n,
+              g.edges.size(), kernels::backend_name(),
+              setup.precision() == Precision::kF32Refined ? "f32-refined"
+                                                          : "f64-bitwise");
   if (!save_path.empty()) {
     Status saved = setup.Save(save_path);
     if (!saved.ok()) {

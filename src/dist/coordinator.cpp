@@ -33,11 +33,12 @@ using SinglePromise = std::promise<StatusOr<SolveResult>>;
 using BatchPromise = std::promise<StatusOr<BatchSolveResult>>;
 using RegisterPromise = std::promise<RegisterAck>;
 using StatsPromise = std::promise<StatusOr<ServiceStats>>;
+using UpdatePromise = std::promise<WireUpdateAck>;
 
 // One caller waiting on a req_id; which alternative is live tells the
 // receiver how to decode the matching ack.
 using PendingCall = std::variant<SinglePromise, BatchPromise, RegisterPromise,
-                                 StatsPromise>;
+                                 StatsPromise, UpdatePromise>;
 
 void fail_call(PendingCall& call, const Status& status) {
   struct Visitor {
@@ -55,6 +56,11 @@ void fail_call(PendingCall& call, const Status& status) {
     }
     void operator()(StatsPromise& p) {
       p.set_value(StatusOr<ServiceStats>(s));
+    }
+    void operator()(UpdatePromise& p) {
+      WireUpdateAck a;
+      a.status = s;
+      p.set_value(std::move(a));
     }
   };
   std::visit(Visitor{status}, call);
@@ -106,8 +112,14 @@ struct Coordinator::Impl {
     std::string snapshot_path;
     SetupInfo info;
     std::uint64_t digest = 0;
-    /// The snapshot could not be re-registered during recovery; submits
-    /// fail Unavailable with lost_why until the handle is unregistered.
+    /// Every delta batch the handle absorbed, in acknowledgement order.
+    /// The snapshot on disk is the PRE-update setup, so whenever the setup
+    /// must be reconstructed from it (respawn replay, rebalance) this log
+    /// is replayed on top — the recovered shard serves the updated graph.
+    std::vector<EdgeDelta> update_log;
+    /// The snapshot could not be re-registered (or its update log could
+    /// not be replayed) during recovery; submits fail Unavailable with
+    /// lost_why until the handle is unregistered.
     bool lost = false;
     std::string lost_why;
   };
@@ -421,6 +433,18 @@ struct Coordinator::Impl {
         p->set_value(StatusOr<ServiceStats>(std::move(stats)));
         return;
       }
+      case MsgType::kUpdateAck: {
+        auto* p = std::get_if<UpdatePromise>(&call);
+        if (p == nullptr) return;
+        WireUpdateAck ack = read_update_ack(r);
+        if (!r.status().ok()) {
+          ack = WireUpdateAck{};
+          ack.status = InternalError("dist: malformed update ack: " +
+                                     r.status().message());
+        }
+        p->set_value(std::move(ack));
+        return;
+      }
       default:
         return;  // coordinator-bound types only; anything else is noise
     }
@@ -469,28 +493,38 @@ struct Coordinator::Impl {
       s.state = Shard::State::kStopped;
       return false;
     }
-    // Replay every handle this shard owns from its snapshot.  Direct
+    // Replay every handle this shard owns: re-register its snapshot, then
+    // re-apply its accumulated update log (the snapshot is the PRE-update
+    // setup) so the recovered shard serves the updated graph.  Direct
     // request/response on the fresh socket is safe: the shard is still
     // kDown so nothing else writes to it, and this thread is the only
     // reader the socket has ever had.
-    std::vector<std::pair<std::uint64_t, std::string>> owned;
+    struct Owned {
+      std::uint64_t id;
+      std::string path;
+      std::vector<EdgeDelta> update_log;
+    };
+    std::vector<Owned> owned;
     {
       MutexLock lock(mu);
       for (const auto& [id, hi] : handles) {
-        if (hi.shard == s.index) owned.emplace_back(id, hi.snapshot_path);
+        if (hi.shard == s.index) {
+          owned.push_back(Owned{id, hi.snapshot_path, hi.update_log});
+        }
       }
     }
     struct Replayed {
       std::uint64_t id;
       RegisterAck ack;
+      Status update_status;
     };
     std::vector<Replayed> acks;
     acks.reserve(owned.size());
     bool channel_ok = true;
-    for (const auto& [id, path] : owned) {
+    for (const Owned& o : owned) {
       serialize::Writer w;
-      write_frame_header(w, MsgType::kRegisterSnapshot, id);
-      write_string(w, path);
+      write_frame_header(w, MsgType::kRegisterSnapshot, o.id);
+      write_string(w, o.path);
       if (!serialize::write_frame(nw->fd, w).ok()) {
         channel_ok = false;
         break;
@@ -508,7 +542,34 @@ struct Coordinator::Impl {
         channel_ok = false;
         break;
       }
-      acks.push_back(Replayed{id, std::move(ack)});
+      Status upd = OkStatus();
+      if (ack.status.ok() && !o.update_log.empty()) {
+        // The whole log travels as one batch; the worker's update tiering
+        // collapses it the same way incremental application would have.
+        serialize::Writer uw;
+        write_frame_header(uw, MsgType::kUpdate, o.id);
+        uw.u64(ack.worker_handle);
+        write_edge_deltas(uw, o.update_log);
+        if (!serialize::write_frame(nw->fd, uw).ok()) {
+          channel_ok = false;
+          break;
+        }
+        StatusOr<std::vector<std::uint8_t>> uframe =
+            serialize::read_frame(nw->fd);
+        if (!uframe.ok()) {
+          channel_ok = false;
+          break;
+        }
+        serialize::Reader ur(std::move(*uframe));
+        FrameHeader uh = read_frame_header(ur);
+        WireUpdateAck uack = read_update_ack(ur);
+        if (!ur.status().ok() || uh.type != MsgType::kUpdateAck) {
+          channel_ok = false;
+          break;
+        }
+        upd = uack.status;
+      }
+      acks.push_back(Replayed{o.id, std::move(ack), std::move(upd)});
     }
     if (!channel_ok) {
       // The replacement died during recovery.  Treat like a failed spawn;
@@ -533,14 +594,20 @@ struct Coordinator::Impl {
     for (const Replayed& rp : acks) {
       auto it = handles.find(rp.id);
       if (it == handles.end()) continue;  // unregistered during recovery
-      if (rp.ack.status.ok()) {
+      if (rp.ack.status.ok() && rp.update_status.ok()) {
         it->second.worker_handle = rp.ack.worker_handle;
         it->second.lost = false;
-      } else {
+      } else if (!rp.ack.status.ok()) {
         // Snapshot vanished or went bad underneath us: the handle stays
         // addressable but answers Unavailable with the reason.
         it->second.lost = true;
         it->second.lost_why = rp.ack.status.message();
+      } else {
+        // The snapshot reloaded but its update log no longer applies —
+        // serving the stale pre-update setup would be silent corruption.
+        it->second.lost = true;
+        it->second.lost_why =
+            "update-log replay failed: " + rp.update_status.message();
       }
     }
     s.proc = *nw;
@@ -743,6 +810,60 @@ std::future<StatusOr<BatchSolveResult>> Coordinator::submit_batch(
   return fut;
 }
 
+StatusOr<UpdateAck> Coordinator::update(SetupHandle handle,
+                                        const std::vector<EdgeDelta>& deltas) {
+  Impl& im = *impl_;
+  UpdatePromise p;
+  std::future<WireUpdateAck> fut = p.get_future();
+  {
+    MutexLock lock(im.mu);
+    if (im.stopping) {
+      return UnavailableError("dist: coordinator is shutting down");
+    }
+    auto it = im.handles.find(handle.id);
+    if (it == im.handles.end()) {
+      return NotFoundError("dist: unknown handle " +
+                           std::to_string(handle.id));
+    }
+    const Impl::HandleInfo& hi = it->second;
+    if (hi.lost) {
+      return UnavailableError("dist: setup for handle " +
+                              std::to_string(handle.id) +
+                              " was lost in recovery: " + hi.lost_why);
+    }
+    Impl::Shard& s = *im.shards[hi.shard];
+    if (s.state != Impl::Shard::State::kUp) {
+      return UnavailableError("dist: worker " + std::to_string(hi.shard) +
+                              " is down; retry");
+    }
+    std::uint64_t req = im.next_req++;
+    serialize::Writer w;
+    write_frame_header(w, MsgType::kUpdate, req);
+    w.u64(hi.worker_handle);
+    write_edge_deltas(w, deltas);
+    Status sent = serialize::write_frame(s.proc.fd, w);
+    if (!sent.ok()) {
+      return UnavailableError("dist: worker " + std::to_string(hi.shard) +
+                              " hung up: " + sent.message());
+    }
+    s.pending.emplace(req, std::move(p));
+    ++im.total_pending;
+    ++im.submitted;
+  }
+  WireUpdateAck ack = fut.get();
+  if (!ack.status.ok()) return ack.status;
+  // Acknowledged: extend the handle's update log so every future
+  // reconstruction from the (pre-update) snapshot replays this batch.
+  MutexLock lock(im.mu);
+  auto it = im.handles.find(handle.id);
+  if (it != im.handles.end()) {
+    it->second.update_log.insert(it->second.update_log.end(), deltas.begin(),
+                                 deltas.end());
+    it->second.info.update_seq += deltas.size();
+  }
+  return ack.ack;
+}
+
 void Coordinator::drain() {
   Impl& im = *impl_;
   MutexLock lock(im.mu);
@@ -769,6 +890,7 @@ DistStats Coordinator::stats() const {
   }
   for (const auto& [id, hi] : im.handles) {
     ++out.workers[hi.shard].handles;
+    if (hi.lost) out.lost_handles.emplace_back(id, hi.lost_why);
   }
   return out;
 }
@@ -826,6 +948,7 @@ Status Coordinator::rebalance(SetupHandle handle, std::uint32_t worker) {
   }
   RegisterPromise p;
   std::future<RegisterAck> fut = p.get_future();
+  std::vector<EdgeDelta> log;
   {
     MutexLock lock(im.mu);
     if (im.stopping) {
@@ -842,6 +965,7 @@ Status Coordinator::rebalance(SetupHandle handle, std::uint32_t worker) {
                               " was lost in recovery; cannot migrate it");
     }
     if (it->second.shard == worker) return OkStatus();
+    log = it->second.update_log;
     Impl::Shard& target = *im.shards[worker];
     if (target.state != Impl::Shard::State::kUp) {
       return UnavailableError("dist: target worker " +
@@ -863,8 +987,6 @@ Status Coordinator::rebalance(SetupHandle handle, std::uint32_t worker) {
   }
   RegisterAck ack = fut.get();
   if (!ack.status.ok()) return ack.status;  // placement untouched
-  MutexLock lock(im.mu);
-  auto it = im.handles.find(handle.id);
   auto abandon_target = [&]() PARSDD_REQUIRES(im.mu) {
     Impl::Shard& target = *im.shards[worker];
     if (target.state == Impl::Shard::State::kUp) {
@@ -874,6 +996,42 @@ Status Coordinator::rebalance(SetupHandle handle, std::uint32_t worker) {
       (void)serialize::write_frame(target.proc.fd, w);
     }
   };
+  // The target loaded the pre-update snapshot; replay the update log it
+  // accumulated before handing traffic over.
+  if (!log.empty()) {
+    UpdatePromise up;
+    std::future<WireUpdateAck> ufut = up.get_future();
+    Status err;
+    {
+      MutexLock lock(im.mu);
+      Impl::Shard& target = *im.shards[worker];
+      if (im.stopping || target.state != Impl::Shard::State::kUp) {
+        err = UnavailableError("dist: target worker " +
+                               std::to_string(worker) +
+                               " went down during rebalance");
+      } else {
+        std::uint64_t req = im.next_req++;
+        serialize::Writer w;
+        write_frame_header(w, MsgType::kUpdate, req);
+        w.u64(ack.worker_handle);
+        write_edge_deltas(w, log);
+        err = serialize::write_frame(target.proc.fd, w);
+        if (err.ok()) {
+          target.pending.emplace(req, std::move(up));
+          ++im.total_pending;
+          ++im.submitted;
+        }
+      }
+    }
+    if (err.ok()) err = ufut.get().status;
+    if (!err.ok()) {
+      MutexLock lock(im.mu);
+      abandon_target();
+      return err;  // placement untouched
+    }
+  }
+  MutexLock lock(im.mu);
+  auto it = im.handles.find(handle.id);
   if (it == im.handles.end()) {
     abandon_target();
     return NotFoundError("dist: handle " + std::to_string(handle.id) +
@@ -883,6 +1041,13 @@ Status Coordinator::rebalance(SetupHandle handle, std::uint32_t worker) {
     // Raced another rebalance to the same destination; keep theirs.
     abandon_target();
     return OkStatus();
+  }
+  if (it->second.update_log.size() != log.size()) {
+    // An update() landed on the source while the target was warming up;
+    // the copy we shipped is stale.  Caller retries.
+    abandon_target();
+    return UnavailableError("dist: handle " + std::to_string(handle.id) +
+                            " absorbed updates during rebalance; retry");
   }
   std::uint32_t old_shard = it->second.shard;
   std::uint64_t old_worker_handle = it->second.worker_handle;

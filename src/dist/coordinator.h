@@ -95,6 +95,11 @@ struct DistStats {
   double last_recovery_ms = 0.0;
   std::uint64_t in_flight = 0;  // gauge: accepted, not yet answered
   std::vector<DistWorkerInfo> workers;
+  /// Handles whose setup could not be restored during recovery (typically
+  /// the backing snapshot was deleted from snapshot_dir), with the typed
+  /// reason: submits against them fail Unavailable (never NotFound — the
+  /// handle is still registered) until they are unregistered.
+  std::vector<std::pair<std::uint64_t, std::string>> lost_handles;
 };
 
 class Coordinator {
@@ -149,6 +154,17 @@ class Coordinator {
   std::future<StatusOr<BatchSolveResult>> submit_batch(
       SetupHandle handle, MultiVec b,
       std::optional<Precision> require = std::nullopt);
+
+  /// Forwards a dynamic edge-delta batch (solver_setup.h) to the worker
+  /// owning the handle and blocks for its acknowledgement.  On success the
+  /// batch is appended to the handle's update log, which the coordinator
+  /// replays after the snapshot registration whenever the setup must be
+  /// reconstructed — worker respawn and rebalance — so a recovered shard
+  /// serves the *updated* graph, never the stale snapshot.  Same error
+  /// contract as SolverService::update, plus Unavailable while the owning
+  /// shard is down.
+  StatusOr<UpdateAck> update(SetupHandle handle,
+                             const std::vector<EdgeDelta>& deltas);
 
   /// Blocks until every accepted request and RPC has been answered.
   void drain();

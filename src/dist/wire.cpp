@@ -16,7 +16,7 @@ FrameHeader read_frame_header(serialize::Reader& r) {
   h.req_id = r.varint();
   if (!r.status().ok()) return h;
   if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+      type > static_cast<std::uint8_t>(MsgType::kUpdateAck)) {
     r.fail("unknown wire message type " + std::to_string(type));
     return h;
   }
@@ -114,9 +114,16 @@ void write_service_stats(serialize::Writer& w, const ServiceStats& s) {
   w.u64(s.dispatched_cols);
   w.u64(s.setup_cache_hits);
   w.u64(s.setup_cache_misses);
+  w.u64(s.updates_applied);
+  w.u64(s.updates_deferred);
+  w.u64(s.rebuilds_completed);
+  w.u64(s.quality_rebuilds);
+  w.u64(s.rebuild_failures);
+  w.u64(s.last_rebuild_ms);
   w.u64(s.queue_depth);
   w.u64(s.in_flight_cols);
   w.u64(s.in_flight_blocks);
+  w.u64(s.rebuilds_in_flight);
   w.varint(s.per_handle_pending.size());
   for (const auto& [handle, pending] : s.per_handle_pending) {
     w.varint(handle);
@@ -133,9 +140,16 @@ ServiceStats read_service_stats(serialize::Reader& r) {
   s.dispatched_cols = r.u64();
   s.setup_cache_hits = r.u64();
   s.setup_cache_misses = r.u64();
+  s.updates_applied = r.u64();
+  s.updates_deferred = r.u64();
+  s.rebuilds_completed = r.u64();
+  s.quality_rebuilds = r.u64();
+  s.rebuild_failures = r.u64();
+  s.last_rebuild_ms = r.u64();
   s.queue_depth = r.u64();
   s.in_flight_cols = r.u64();
   s.in_flight_blocks = r.u64();
+  s.rebuilds_in_flight = r.u64();
   std::uint64_t entries = r.varint();
   if (!r.status().ok()) return s;
   // Two varints (>= 2 bytes) per entry bound the claimed count.
@@ -188,6 +202,8 @@ void write_register_ack(serialize::Writer& w, const RegisterAck& a) {
   w.u32(a.info.chain_levels);
   w.u64(a.info.chain_edges);
   w.u8(static_cast<std::uint8_t>(a.info.precision));
+  w.u64(a.info.update_seq);
+  w.u32(a.info.stale_components);
 }
 
 RegisterAck read_register_ack(serialize::Reader& r) {
@@ -204,6 +220,62 @@ RegisterAck read_register_ack(serialize::Reader& r) {
     return a;
   }
   a.info.precision = static_cast<Precision>(prec);
+  a.info.update_seq = r.u64();
+  a.info.stale_components = r.u32();
+  return a;
+}
+
+void write_edge_deltas(serialize::Writer& w,
+                       const std::vector<EdgeDelta>& deltas) {
+  w.varint(deltas.size());
+  for (const EdgeDelta& d : deltas) {
+    w.u32(d.u);
+    w.u32(d.v);
+    w.f64(d.w);
+  }
+}
+
+std::vector<EdgeDelta> read_edge_deltas(serialize::Reader& r) {
+  std::vector<EdgeDelta> out;
+  std::uint64_t count = r.varint();
+  if (!r.status().ok()) return out;
+  // 16 bytes (two u32 + one f64) per delta bound the claimed count.
+  if (count > r.remaining() / 16) {
+    r.fail("edge-delta count " + std::to_string(count) + " exceeds frame");
+    return out;
+  }
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    EdgeDelta d;
+    d.u = r.u32();
+    d.v = r.u32();
+    d.w = r.f64();
+    out.push_back(d);
+  }
+  return out;
+}
+
+void write_update_ack(serialize::Writer& w, const WireUpdateAck& a) {
+  write_status(w, a.status);
+  w.u8(static_cast<std::uint8_t>(a.ack.tier));
+  w.boolean(a.ack.deferred);
+  w.boolean(a.ack.rebuild_scheduled);
+  w.u64(a.ack.update_seq);
+}
+
+WireUpdateAck read_update_ack(serialize::Reader& r) {
+  WireUpdateAck a;
+  a.status = read_status(r);
+  std::uint8_t tier = r.u8();
+  if (r.status().ok() &&
+      tier > static_cast<std::uint8_t>(UpdateTier::kFullRebuild)) {
+    r.fail("update ack: unknown UpdateTier value " + std::to_string(tier));
+    return a;
+  }
+  a.ack.tier = static_cast<UpdateTier>(tier);
+  a.ack.deferred = r.boolean();
+  a.ack.rebuild_scheduled = r.boolean();
+  a.ack.update_seq = r.u64();
   return a;
 }
 

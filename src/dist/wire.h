@@ -40,7 +40,10 @@ namespace parsdd::dist {
 /// v2: kSubmit/kSubmitBatch carry a required-precision byte (0 = any,
 /// 1 = f64-bitwise, 2 = f32-refined) after the worker handle, and
 /// kRegisterAck carries the setup's Precision.
-inline constexpr std::uint16_t kWireVersion = 2;
+/// v3: dynamic updates — kUpdate/kUpdateAck forward edge-delta batches to
+/// the owning shard, kRegisterAck carries update_seq + stale_components,
+/// and kStatsAck carries the update/rebuild counters and gauge.
+inline constexpr std::uint16_t kWireVersion = 3;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,             // worker -> coordinator, first frame on connect
@@ -54,6 +57,8 @@ enum class MsgType : std::uint8_t {
   kStats = 9,             // coordinator -> worker: sample ServiceStats
   kStatsAck = 10,         // worker -> coordinator: counters + live gauges
   kShutdown = 11,         // coordinator -> worker, one-way: drain and exit
+  kUpdate = 12,           // coordinator -> worker: edge-delta batch
+  kUpdateAck = 13,        // worker -> coordinator: status + UpdateAck
 };
 
 struct FrameHeader {
@@ -101,5 +106,20 @@ struct RegisterAck {
 };
 void write_register_ack(serialize::Writer& w, const RegisterAck& a);
 RegisterAck read_register_ack(serialize::Reader& r);
+
+/// kUpdate payload body (after the worker handle): an edge-delta batch.
+void write_edge_deltas(serialize::Writer& w,
+                       const std::vector<EdgeDelta>& deltas);
+/// Frame-bounded: a forged count larger than the remaining bytes fails the
+/// Reader instead of allocating.
+std::vector<EdgeDelta> read_edge_deltas(serialize::Reader& r);
+
+/// kUpdateAck: typed status plus the service's UpdateAck fields.
+struct WireUpdateAck {
+  Status status = OkStatus();
+  UpdateAck ack;
+};
+void write_update_ack(serialize::Writer& w, const WireUpdateAck& a);
+WireUpdateAck read_update_ack(serialize::Reader& r);
 
 }  // namespace parsdd::dist

@@ -153,6 +153,30 @@ void handle_submit_batch(SolverService& service, FrameSink& sink,
   }
 }
 
+void handle_update(SolverService& service, FrameSink& sink,
+                   std::uint64_t req_id, serialize::Reader& r) {
+  std::uint64_t handle = r.u64();
+  std::vector<EdgeDelta> deltas = read_edge_deltas(r);
+  WireUpdateAck ack;
+  if (!r.status().ok()) {
+    ack.status = r.status();
+  } else {
+    // update() is synchronous from the worker's point of view (a structural
+    // batch returns as soon as the rebuild is scheduled), so it answers
+    // inline rather than through the responder pool.
+    StatusOr<UpdateAck> res = service.update(SetupHandle{handle}, deltas);
+    if (res.ok()) {
+      ack.ack = *res;
+    } else {
+      ack.status = res.status();
+    }
+  }
+  serialize::Writer w;
+  write_frame_header(w, MsgType::kUpdateAck, req_id);
+  write_update_ack(w, ack);
+  sink.send(w);
+}
+
 }  // namespace
 
 int run_worker(const WorkerOptions& opts) {
@@ -195,6 +219,9 @@ int run_worker(const WorkerOptions& opts) {
           sink.send(w);
           break;
         }
+        case MsgType::kUpdate:
+          handle_update(service, sink, h.req_id, r);
+          break;
         case MsgType::kShutdown:
           return 0;  // responders + service drain via destructors
         case MsgType::kHello:
@@ -202,6 +229,7 @@ int run_worker(const WorkerOptions& opts) {
         case MsgType::kSubmitAck:
         case MsgType::kSubmitBatchAck:
         case MsgType::kStatsAck:
+        case MsgType::kUpdateAck:
           break;  // coordinator-bound types: ignore, keep serving
       }
     }

@@ -86,6 +86,17 @@ SetupFingerprint fingerprint_sdd_setup(const CsrMatrix& a,
   return m.hash();
 }
 
+SetupFingerprint extend_fingerprint(const SetupFingerprint& base,
+                                    const std::vector<EdgeDelta>& deltas) {
+  Mix m;
+  m << std::uint8_t{0x55}  // 'U': an update chain never aliases a build
+    << base.lo << base.hi << static_cast<std::uint64_t>(deltas.size());
+  for (const EdgeDelta& d : deltas) {
+    m << d.u << d.v << d.w;
+  }
+  return m.hash();
+}
+
 std::shared_ptr<const SolverSetup> SetupCache::get(const SetupFingerprint& key) {
   auto it = index_.find(slot(key));
   if (it == index_.end() || it->second->first != key) return nullptr;

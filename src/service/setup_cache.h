@@ -63,6 +63,16 @@ SetupFingerprint fingerprint_laplacian_setup(std::uint32_t n,
 SetupFingerprint fingerprint_sdd_setup(const CsrMatrix& a,
                                        const SddSolverOptions& opts);
 
+/// Fingerprint of a setup after a dynamic update (solver_setup.h): the
+/// pre-update fingerprint chained with the delta stream.  Deterministic —
+/// the same base and deltas always extend to the same value — and never
+/// equal to the base for a non-empty batch, so an updated handle can never
+/// alias its pre-update cache entry (the service tracks the extended value
+/// per handle and surfaces it via SetupInfo; updated setups are never
+/// inserted into the cache).
+SetupFingerprint extend_fingerprint(const SetupFingerprint& base,
+                                    const std::vector<EdgeDelta>& deltas);
+
 class SetupCache {
  public:
   /// capacity 0 disables caching (get always misses, put is a no-op).

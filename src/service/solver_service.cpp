@@ -33,6 +33,7 @@ struct SolverService::Impl {
     std::shared_ptr<const SolverSetup> setup;
     MultiVec b;
     std::promise<StatusOr<BatchSolveResult>> promise;
+    std::uint64_t handle_id = 0;
   };
   struct HandleQueues {
     std::deque<PendingSingle> singles;
@@ -47,9 +48,33 @@ struct SolverService::Impl {
     bool is_batch;
   };
   // A coalesced block in flight: k requests answered by one solve_batch.
+  // handle_id feeds the post-solve quality check (maybe_quality_rebuild);
+  // the solve itself only ever touches the snapshotted setup.
   struct SingleBlockJob {
     std::shared_ptr<const SolverSetup> setup;
     std::vector<PendingSingle> reqs;
+    std::uint64_t handle_id = 0;
+  };
+
+  // A registered handle.  `setup` is what solves snapshot at submit time;
+  // update() swaps it for a new immutable setup under `mu`, which is the
+  // atomic-swap point of the update protocol — requests already holding the
+  // old pointer finish against it, later submits see the new one.
+  struct Registration {
+    std::shared_ptr<const SolverSetup> setup;
+    /// The handle's cache fingerprint, extended per absorbed delta batch
+    /// (extend_fingerprint); has_fp is false for register_setup /
+    /// register_from_snapshot handles, whose build inputs are unknown.
+    SetupFingerprint fp;
+    bool has_fp = false;
+    /// An async rebuild for this handle is queued or running; new delta
+    /// batches append to pending_deltas instead of applying directly.
+    bool rebuild_inflight = false;
+    /// Quality monitor asked for a fresh re-setup (chains rebuilt, drift
+    /// baseline reset) before replaying pending_deltas.
+    bool refresh_requested = false;
+    /// Delta batches awaiting the in-flight rebuild, in arrival order.
+    std::vector<EdgeDelta> pending_deltas;
   };
 
   explicit Impl(const ServiceOptions& options)
@@ -63,8 +88,13 @@ struct SolverService::Impl {
   mutable Mutex mu;
   CondVar cv_dispatch;  // work for the dispatcher
   CondVar cv_idle;      // a request finished (for drain)
-  std::unordered_map<std::uint64_t, std::shared_ptr<const SolverSetup>>
-      registry PARSDD_GUARDED_BY(mu);
+  /// Serializes update() callers so synchronous (stale-chain) delta batches
+  /// apply in call order.  Lock order: update_mu strictly before mu; the
+  /// rebuild thread and the quality monitor take only mu, so they can make
+  /// progress while an updater builds outside both locks.
+  Mutex update_mu;
+  std::unordered_map<std::uint64_t, Registration> registry
+      PARSDD_GUARDED_BY(mu);
   std::uint64_t next_id PARSDD_GUARDED_BY(mu) = 1;
   // Ordered map: stats() walks it to report per-handle gauges, and the
   // determinism contract forbids iterating an unordered container.
@@ -77,18 +107,25 @@ struct SolverService::Impl {
   /// Dispatched blocks not yet answered (the in-flight batch gauge).
   std::size_t in_flight_blocks PARSDD_GUARDED_BY(mu) = 0;
   bool stopping PARSDD_GUARDED_BY(mu) = false;
+  /// Async rebuilds queued or running (drain() waits for zero).
+  std::size_t rebuilds_inflight_n PARSDD_GUARDED_BY(mu) = 0;
   ServiceStats counters PARSDD_GUARDED_BY(mu);
   SetupCache setup_cache PARSDD_GUARDED_BY(mu);
 
   std::unique_ptr<TaskQueue> exec;
+  /// Dedicated single-thread queue for async setup rebuilds, so a ~1 s
+  /// chain rebuild never occupies a solve executor.
+  std::unique_ptr<TaskQueue> rebuild_exec;
   std::thread dispatcher;
 
   StatusOr<SetupHandle> add_setup(std::shared_ptr<const SolverSetup> setup)
       PARSDD_EXCLUDES(mu);
   /// Registry insertion shared by every registration path.  One definition
   /// of handle allocation, so the cache-hit and build paths cannot diverge.
-  StatusOr<SetupHandle> add_setup_locked(
-      std::shared_ptr<const SolverSetup> setup) PARSDD_REQUIRES(mu);
+  /// `fp` non-null records the build fingerprint for later extension.
+  StatusOr<SetupHandle> add_setup_locked(std::shared_ptr<const SolverSetup> setup,
+                                         const SetupFingerprint* fp = nullptr)
+      PARSDD_REQUIRES(mu);
   /// Cache-aware build-and-register shared by register_laplacian and
   /// register_sdd: `fp` keys the cache, `build` runs the chain
   /// construction on a miss.  The build runs outside the service mutex, so
@@ -121,6 +158,24 @@ struct SolverService::Impl {
   void execute_single_block(SingleBlockJob& job);
   void finish(std::size_t count) PARSDD_EXCLUDES(mu);
 
+  /// The update() entry point body (handle resolution, tier dispatch,
+  /// atomic swap / rebuild scheduling).  Takes update_mu, then mu.
+  StatusOr<UpdateAck> apply_update(std::uint64_t id,
+                                   const std::vector<EdgeDelta>& deltas)
+      PARSDD_EXCLUDES(mu);
+  /// Rebuild-thread body: repeatedly absorbs this handle's pending delta
+  /// batches (optionally after a fresh re-setup) and swaps the result in;
+  /// returns once nothing is pending or the handle/service went away.
+  void run_rebuild(std::uint64_t id) PARSDD_EXCLUDES(mu);
+  /// Posts run_rebuild(id); unwinds the in-flight marker if the queue has
+  /// already stopped.
+  void post_rebuild(std::uint64_t id) PARSDD_EXCLUDES(mu);
+  /// Called by executors after a solve: schedules a quality rebuild when
+  /// the handle's stale-chain drift crossed opts.stale_rebuild_factor.
+  void maybe_quality_rebuild(std::uint64_t id,
+                             const std::shared_ptr<const SolverSetup>& setup)
+      PARSDD_EXCLUDES(mu);
+
   /// Backpressure measures the whole pipeline: accepted-but-undispatched
   /// PLUS dispatched-but-unanswered.  Counting only the former would let
   /// the executor queue grow without bound whenever solves are the
@@ -146,6 +201,7 @@ SolverService::SolverService(const ServiceOptions& opts)
     : impl_(std::make_unique<Impl>(opts)) {
   impl_->exec = std::make_unique<TaskQueue>(
       std::max<std::uint32_t>(impl_->opts.workers, 1));
+  impl_->rebuild_exec = std::make_unique<TaskQueue>(1);
   impl_->dispatcher = std::thread([this] { impl_->dispatcher_loop(); });
 }
 
@@ -155,17 +211,24 @@ SolverService::~SolverService() {
     impl_->stopping = true;
   }
   impl_->cv_dispatch.notify_all();
-  impl_->dispatcher.join();  // dispatches everything still queued
-  impl_->exec->stop();       // runs every dispatched block to completion
+  impl_->dispatcher.join();    // dispatches everything still queued
+  impl_->exec->stop();         // runs every dispatched block to completion
+  impl_->rebuild_exec->stop();  // rebuild tasks see `stopping` and abandon
 }
 
 StatusOr<SetupHandle> SolverService::Impl::add_setup_locked(
-    std::shared_ptr<const SolverSetup> setup) {
+    std::shared_ptr<const SolverSetup> setup, const SetupFingerprint* fp) {
   if (stopping) {
     return UnavailableError("SolverService: shutting down");
   }
   std::uint64_t id = next_id++;
-  registry.emplace(id, std::move(setup));
+  Registration reg;
+  reg.setup = std::move(setup);
+  if (fp != nullptr) {
+    reg.fp = *fp;
+    reg.has_fp = true;
+  }
+  registry.emplace(id, std::move(reg));
   return SetupHandle{id};
 }
 
@@ -188,7 +251,7 @@ StatusOr<SetupHandle> SolverService::Impl::register_built(
     }
     if (std::shared_ptr<const SolverSetup> cached = setup_cache.get(fp)) {
       ++counters.setup_cache_hits;
-      return add_setup_locked(std::move(cached));
+      return add_setup_locked(std::move(cached), &fp);
     }
     ++counters.setup_cache_misses;
   }
@@ -202,7 +265,7 @@ StatusOr<SetupHandle> SolverService::Impl::register_built(
   }
   MutexLock lock(mu);
   setup_cache.put(fp, setup);
-  return add_setup_locked(std::move(setup));
+  return add_setup_locked(std::move(setup), &fp);
 }
 
 StatusOr<SetupHandle> SolverService::register_laplacian(
@@ -242,7 +305,7 @@ Status SolverService::snapshot(SetupHandle handle,
       return NotFoundError("snapshot: unknown handle " +
                            std::to_string(handle.id));
     }
-    setup = it->second;
+    setup = it->second.setup;
   }
   // Serialization runs outside the service mutex: the setup is immutable
   // and the local shared_ptr keeps it alive even across an unregister.
@@ -273,11 +336,18 @@ StatusOr<SetupInfo> SolverService::info(SetupHandle handle) const {
     return NotFoundError("info: unknown handle " + std::to_string(handle.id));
   }
   SetupInfo out;
-  out.dimension = it->second->dimension();
-  out.components = it->second->num_components();
-  out.chain_levels = it->second->chain_levels();
-  out.chain_edges = it->second->chain_edges();
-  out.precision = it->second->precision();
+  const SolverSetup& s = *it->second.setup;
+  out.dimension = s.dimension();
+  out.components = s.num_components();
+  out.chain_levels = s.chain_levels();
+  out.chain_edges = s.chain_edges();
+  out.precision = s.precision();
+  out.update_seq = s.update_seq();
+  out.stale_components = s.quality().stale_components;
+  if (it->second.has_fp) {
+    out.fingerprint_lo = it->second.fp.lo;
+    out.fingerprint_hi = it->second.fp.hi;
+  }
   return out;
 }
 
@@ -304,17 +374,17 @@ std::future<StatusOr<SolveResult>> SolverService::submit(
           NotFoundError("submit: unknown handle " + std::to_string(handle.id)));
       return future;
     }
-    if (b.size() != it->second->dimension()) {
+    const std::shared_ptr<const SolverSetup>& setup = it->second.setup;
+    if (b.size() != setup->dimension()) {
       promise.set_value(InvalidArgumentError(
           "submit: rhs has size " + std::to_string(b.size()) +
-          ", setup has dimension " + std::to_string(it->second->dimension())));
+          ", setup has dimension " + std::to_string(setup->dimension())));
       return future;
     }
-    if (require && *require != it->second->precision()) {
+    if (require && *require != setup->precision()) {
       promise.set_value(InvalidArgumentError(
           std::string("submit: request requires ") + precision_name(*require) +
-          " but the setup was built " +
-          precision_name(it->second->precision())));
+          " but the setup was built " + precision_name(setup->precision())));
       return future;
     }
     if (impl_->at_capacity()) {
@@ -326,7 +396,7 @@ std::future<StatusOr<SolveResult>> SolverService::submit(
       return future;
     }
     impl_->queues[handle.id].singles.push_back(Impl::PendingSingle{
-        it->second, std::move(b), std::move(promise), Clock::now()});
+        setup, std::move(b), std::move(promise), Clock::now()});
     impl_->tokens.push_back(Impl::Token{handle.id, /*is_batch=*/false});
     ++impl_->queued;
     ++impl_->counters.submitted;
@@ -358,18 +428,18 @@ std::future<StatusOr<BatchSolveResult>> SolverService::submit_batch(
           InvalidArgumentError("submit_batch: empty batch (k=0)"));
       return future;
     }
-    if (b.rows() != it->second->dimension()) {
+    const std::shared_ptr<const SolverSetup>& setup = it->second.setup;
+    if (b.rows() != setup->dimension()) {
       promise.set_value(InvalidArgumentError(
           "submit_batch: block has " + std::to_string(b.rows()) +
-          " rows, setup has dimension " +
-          std::to_string(it->second->dimension())));
+          " rows, setup has dimension " + std::to_string(setup->dimension())));
       return future;
     }
-    if (require && *require != it->second->precision()) {
+    if (require && *require != setup->precision()) {
       promise.set_value(InvalidArgumentError(
           std::string("submit_batch: request requires ") +
           precision_name(*require) + " but the setup was built " +
-          precision_name(it->second->precision())));
+          precision_name(setup->precision())));
       return future;
     }
     if (impl_->at_capacity()) {
@@ -378,8 +448,8 @@ std::future<StatusOr<BatchSolveResult>> SolverService::submit_batch(
           ResourceExhaustedError("submit_batch: queue full, retry later"));
       return future;
     }
-    impl_->queues[handle.id].batches.push_back(
-        Impl::PendingBatch{it->second, std::move(b), std::move(promise)});
+    impl_->queues[handle.id].batches.push_back(Impl::PendingBatch{
+        setup, std::move(b), std::move(promise), handle.id});
     impl_->tokens.push_back(Impl::Token{handle.id, /*is_batch=*/true});
     ++impl_->queued;
     ++impl_->counters.submitted;
@@ -391,7 +461,8 @@ std::future<StatusOr<BatchSolveResult>> SolverService::submit_batch(
 
 void SolverService::drain() {
   MutexLock lock(impl_->mu);
-  while (impl_->queued != 0 || impl_->in_flight != 0) {
+  while (impl_->queued != 0 || impl_->in_flight != 0 ||
+         impl_->rebuilds_inflight_n != 0) {
     impl_->cv_idle.wait(lock);
   }
 }
@@ -402,6 +473,7 @@ ServiceStats SolverService::stats() const {
   out.queue_depth = impl_->queued;
   out.in_flight_cols = impl_->in_flight;
   out.in_flight_blocks = impl_->in_flight_blocks;
+  out.rebuilds_in_flight = impl_->rebuilds_inflight_n;
   for (const auto& [id, q] : impl_->queues) {
     std::uint64_t pending = q.singles.size() + q.batches.size();
     if (pending != 0) out.per_handle_pending.emplace_back(id, pending);
@@ -474,6 +546,7 @@ SolverService::Impl::collect_singles(MutexLock& lock, std::uint64_t id,
                     : 1;
   auto job = std::make_shared<SingleBlockJob>();
   job->setup = singles.front().setup;
+  job->handle_id = id;
   job->reqs.reserve(take);
   for (std::size_t i = 0; i < take; ++i) {
     job->reqs.push_back(std::move(singles.front()));
@@ -504,6 +577,7 @@ void SolverService::Impl::post_single_block(
     std::shared_ptr<SingleBlockJob> job) {
   bool posted = exec->post([this, job] {
     execute_single_block(*job);
+    maybe_quality_rebuild(job->handle_id, job->setup);
     finish(job->reqs.size());
   });
   if (!posted) {
@@ -524,6 +598,7 @@ void SolverService::Impl::post_batch(std::shared_ptr<PendingBatch> job) {
     } else {
       job->promise.set_value(x.status());
     }
+    maybe_quality_rebuild(job->handle_id, job->setup);
     finish(1);
   });
   if (!posted) {
@@ -563,6 +638,269 @@ void SolverService::Impl::finish(std::size_t count) {
     counters.completed += count;
   }
   cv_idle.notify_all();
+}
+
+StatusOr<UpdateAck> SolverService::update(SetupHandle handle,
+                                          const std::vector<EdgeDelta>& deltas) {
+  return impl_->apply_update(handle.id, deltas);
+}
+
+StatusOr<UpdateAck> SolverService::Impl::apply_update(
+    std::uint64_t id, const std::vector<EdgeDelta>& deltas) {
+  // Serialize updaters: synchronous batches apply in call order, and at
+  // most one caller at a time builds an updated setup.  The rebuild thread
+  // and the quality monitor take only `mu`, so they stay live while an
+  // updater builds outside both locks.
+  MutexLock ulock(update_mu);
+  std::shared_ptr<const SolverSetup> base;
+  bool behind_rebuild = false;
+  {
+    MutexLock lock(mu);
+    if (stopping) return UnavailableError("update: shutting down");
+    auto it = registry.find(id);
+    if (it == registry.end()) {
+      return NotFoundError("update: unknown handle " + std::to_string(id));
+    }
+    base = it->second.setup;
+    behind_rebuild = it->second.rebuild_inflight;
+  }
+  for (;;) {
+    StatusOr<UpdateTier> tier = base->plan_update(deltas);
+    if (!tier.ok()) return tier.status();
+    if (behind_rebuild) {
+      // An async rebuild is already absorbing this handle's deltas.  The
+      // batch was validated against the current serving setup (best
+      // effort: the rebuild may still reject it when replaying against its
+      // own result) and queues for that rebuild to replay before the swap.
+      MutexLock lock(mu);
+      if (stopping) return UnavailableError("update: shutting down");
+      auto it = registry.find(id);
+      if (it == registry.end()) {
+        return NotFoundError("update: unknown handle " + std::to_string(id));
+      }
+      if (!it->second.rebuild_inflight) {
+        // The rebuild finished while we validated; apply directly.
+        base = it->second.setup;
+        behind_rebuild = false;
+        continue;
+      }
+      it->second.pending_deltas.insert(it->second.pending_deltas.end(),
+                                       deltas.begin(), deltas.end());
+      ++counters.updates_deferred;
+      UpdateAck ack;
+      ack.tier = *tier;
+      ack.deferred = true;
+      ack.rebuild_scheduled = true;
+      return ack;
+    }
+    if (*tier != UpdateTier::kStaleChain) {
+      // Structural: hand the batch to the rebuild thread.  Solves keep
+      // dispatching against the old setup until the rebuilt one swaps in.
+      bool schedule = false;
+      {
+        MutexLock lock(mu);
+        if (stopping) return UnavailableError("update: shutting down");
+        auto it = registry.find(id);
+        if (it == registry.end()) {
+          return NotFoundError("update: unknown handle " + std::to_string(id));
+        }
+        it->second.pending_deltas.insert(it->second.pending_deltas.end(),
+                                         deltas.begin(), deltas.end());
+        if (it->second.rebuild_inflight) {
+          // A quality rebuild started since our snapshot; it replays the
+          // queued batch before swapping.
+          ++counters.updates_deferred;
+        } else {
+          it->second.rebuild_inflight = true;
+          ++rebuilds_inflight_n;
+          schedule = true;
+        }
+      }
+      if (schedule) post_rebuild(id);
+      UpdateAck ack;
+      ack.tier = *tier;
+      ack.deferred = !schedule;
+      ack.rebuild_scheduled = true;
+      return ack;
+    }
+    // Stale-chain tier: build the updated setup outside every lock, then
+    // swap it in atomically under `mu`.
+    StatusOr<SolverSetup> next = base->update(deltas);
+    if (!next.ok()) return next.status();
+    auto next_sp = std::make_shared<const SolverSetup>(std::move(*next));
+    {
+      MutexLock lock(mu);
+      if (stopping) return UnavailableError("update: shutting down");
+      auto it = registry.find(id);
+      if (it == registry.end()) {
+        return NotFoundError("update: unknown handle " + std::to_string(id));
+      }
+      if (it->second.rebuild_inflight) {
+        // A quality rebuild started while we built: our result would race
+        // its swap (lost-update), so defer the batch to it instead.
+        it->second.pending_deltas.insert(it->second.pending_deltas.end(),
+                                         deltas.begin(), deltas.end());
+        ++counters.updates_deferred;
+        UpdateAck ack;
+        ack.tier = *tier;
+        ack.deferred = true;
+        ack.rebuild_scheduled = true;
+        return ack;
+      }
+      if (it->second.setup != base) {
+        // A rebuild swapped in between our snapshot and now; redo the
+        // apply against the fresh setup.
+        base = it->second.setup;
+        behind_rebuild = false;
+        continue;
+      }
+      it->second.setup = next_sp;
+      if (it->second.has_fp) {
+        it->second.fp = extend_fingerprint(it->second.fp, deltas);
+      }
+      ++counters.updates_applied;
+    }
+    UpdateAck ack;
+    ack.tier = *tier;
+    ack.update_seq = next_sp->update_seq();
+    return ack;
+  }
+}
+
+void SolverService::Impl::post_rebuild(std::uint64_t id) {
+  bool posted = rebuild_exec->post([this, id] { run_rebuild(id); });
+  if (posted) return;
+  // The queue already stopped: unwind the in-flight marker so drain() and
+  // the destructor do not wait on a rebuild that will never run.
+  {
+    MutexLock lock(mu);
+    auto it = registry.find(id);
+    if (it != registry.end()) {
+      it->second.rebuild_inflight = false;
+      it->second.refresh_requested = false;
+      it->second.pending_deltas.clear();
+    }
+    --rebuilds_inflight_n;
+  }
+  cv_idle.notify_all();
+}
+
+void SolverService::Impl::run_rebuild(std::uint64_t id) {
+  Clock::time_point t0 = Clock::now();
+  for (;;) {
+    std::shared_ptr<const SolverSetup> base;
+    std::vector<EdgeDelta> batch;
+    bool refresh = false;
+    {
+      MutexLock lock(mu);
+      auto it = registry.find(id);
+      if (stopping || it == registry.end()) {
+        // Teardown or unregistered mid-rebuild: abandon.
+        if (it != registry.end()) {
+          it->second.rebuild_inflight = false;
+          it->second.refresh_requested = false;
+          it->second.pending_deltas.clear();
+        }
+        --rebuilds_inflight_n;
+        break;
+      }
+      Registration& reg = it->second;
+      if (reg.pending_deltas.empty() && !reg.refresh_requested) {
+        // Everything absorbed: the rebuild is complete.
+        reg.rebuild_inflight = false;
+        --rebuilds_inflight_n;
+        ++counters.rebuilds_completed;
+        counters.last_rebuild_ms = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                  t0)
+                .count());
+        break;
+      }
+      base = reg.setup;
+      batch.swap(reg.pending_deltas);
+      refresh = reg.refresh_requested;
+      reg.refresh_requested = false;
+    }
+    // Build outside the locks; solves keep dispatching against `base`.
+    std::shared_ptr<const SolverSetup> next;
+    bool batch_applied = !batch.empty();
+    try {
+      if (refresh) {
+        SolverSetup fresh = base->rebuild();
+        if (!batch.empty()) {
+          StatusOr<SolverSetup> up = fresh.update(batch);
+          if (up.ok()) {
+            next = std::make_shared<const SolverSetup>(std::move(*up));
+          } else {
+            // Keep the fresh re-setup, drop the unreplayable batch.
+            next = std::make_shared<const SolverSetup>(std::move(fresh));
+            batch_applied = false;
+            MutexLock lock(mu);
+            ++counters.rebuild_failures;
+          }
+        } else {
+          next = std::make_shared<const SolverSetup>(std::move(fresh));
+        }
+      } else {
+        StatusOr<SolverSetup> up = base->update(batch);
+        if (!up.ok()) {
+          MutexLock lock(mu);
+          ++counters.rebuild_failures;
+          continue;  // batch dropped; loop to absorb anything newer
+        }
+        next = std::make_shared<const SolverSetup>(std::move(*up));
+      }
+    } catch (const std::exception&) {
+      MutexLock lock(mu);
+      ++counters.rebuild_failures;
+      continue;
+    }
+    {
+      MutexLock lock(mu);
+      auto it = registry.find(id);
+      if (it == registry.end()) {
+        --rebuilds_inflight_n;
+        break;
+      }
+      // The atomic swap: submits from here on snapshot the rebuilt setup;
+      // requests already in flight finish against the old one (they hold
+      // their own shared_ptr), so no in-flight solve can fail.
+      it->second.setup = next;
+      if (it->second.has_fp && batch_applied) {
+        it->second.fp = extend_fingerprint(it->second.fp, batch);
+      }
+      if (batch_applied) ++counters.updates_applied;
+    }
+    // Loop: absorb batches that arrived while building, then complete.
+  }
+  cv_idle.notify_all();
+}
+
+void SolverService::Impl::maybe_quality_rebuild(
+    std::uint64_t id, const std::shared_ptr<const SolverSetup>& setup) {
+  if (opts.stale_rebuild_factor <= 0.0 || id == 0) return;
+  SetupQuality q = setup->quality();
+  if (q.stale_components == 0 || q.baseline_iterations == 0) return;
+  if (q.drift < opts.stale_rebuild_factor) return;
+  bool schedule = false;
+  {
+    MutexLock lock(mu);
+    if (stopping) return;
+    auto it = registry.find(id);
+    // Only rebuild what is still serving: the handle must exist, still
+    // point at the setup whose drift we measured, and not already be
+    // rebuilding.
+    if (it == registry.end() || it->second.setup != setup ||
+        it->second.rebuild_inflight) {
+      return;
+    }
+    it->second.rebuild_inflight = true;
+    it->second.refresh_requested = true;
+    ++rebuilds_inflight_n;
+    ++counters.quality_rebuilds;
+    schedule = true;
+  }
+  if (schedule) post_rebuild(id);
 }
 
 }  // namespace parsdd

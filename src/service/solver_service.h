@@ -93,6 +93,12 @@ struct ServiceOptions {
   /// (service/setup_cache.h); 0 disables the cache.  Snapshot-loaded
   /// setups bypass it (their build inputs are not known to the service).
   std::size_t setup_cache_capacity = 8;
+  /// Stale-chain quality threshold (DESIGN.md §10): when a handle that took
+  /// weight-only updates sees its outer-CG iteration count drift to >= this
+  /// factor times the fresh-chain baseline, the service schedules an async
+  /// full rebuild (fresh chains, reset baseline) that swaps in atomically
+  /// while the stale setup keeps serving.  <= 0 disables the monitor.
+  double stale_rebuild_factor = 2.0;
 };
 
 /// One client's answer: the solution column plus its iteration stats and
@@ -121,10 +127,17 @@ struct ServiceStats {
   std::uint64_t dispatched_cols = 0;    // columns across those blocks
   std::uint64_t setup_cache_hits = 0;   // registrations served from cache
   std::uint64_t setup_cache_misses = 0;  // registrations that built a setup
+  std::uint64_t updates_applied = 0;    // delta batches absorbed into serving
+  std::uint64_t updates_deferred = 0;   // batches queued behind a rebuild
+  std::uint64_t rebuilds_completed = 0;  // async rebuilds swapped in
+  std::uint64_t quality_rebuilds = 0;   // rebuilds the drift monitor started
+  std::uint64_t rebuild_failures = 0;   // delta batches dropped by a rebuild
+  std::uint64_t last_rebuild_ms = 0;    // duration of the last swap-in
   // Live gauges (not monotone).
   std::uint64_t queue_depth = 0;       // accepted, not yet dispatched
   std::uint64_t in_flight_cols = 0;    // dispatched, not yet answered
   std::uint64_t in_flight_blocks = 0;  // solve_batch blocks executing now
+  std::uint64_t rebuilds_in_flight = 0;  // async rebuilds running now
   /// Queued (undispatched) requests per handle, ascending handle id;
   /// handles with nothing queued are omitted.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> per_handle_pending;
@@ -140,6 +153,33 @@ struct SetupInfo {
   /// about bitwise reproducibility check this — or pin it per request with
   /// submit's `require` parameter.
   Precision precision = Precision::kF64Bitwise;
+  /// Deltas absorbed via update() since the setup was first built.
+  std::uint64_t update_seq = 0;
+  /// Components currently preconditioned by a stale chain (quality monitor).
+  std::uint32_t stale_components = 0;
+  /// The handle's current 128-bit fingerprint (setup_cache.h), extended by
+  /// every absorbed delta batch so an updated handle never aliases its
+  /// pre-update cache entry.  Both zero when the service has no fingerprint
+  /// for the handle (register_setup / register_from_snapshot paths).
+  std::uint64_t fingerprint_lo = 0;
+  std::uint64_t fingerprint_hi = 0;
+};
+
+/// What SolverService::update did with a delta batch.
+struct UpdateAck {
+  /// The tier the batch classified as (solver_setup.h).
+  UpdateTier tier = UpdateTier::kStaleChain;
+  /// True when an async rebuild was already absorbing this handle's deltas:
+  /// the batch was validated, queued, and will be replayed by that rebuild
+  /// before it swaps in — update_seq below is 0 (unknown until the swap).
+  bool deferred = false;
+  /// True when this call left an async rebuild running (structural batch or
+  /// deferred behind one); solves keep running against the old setup until
+  /// the rebuilt one swaps in atomically (drain() waits for the swap).
+  bool rebuild_scheduled = false;
+  /// The handle's update_seq after the batch was absorbed (synchronous
+  /// stale-chain tier only; 0 when the apply is asynchronous).
+  std::uint64_t update_seq = 0;
 };
 
 class SolverService {
@@ -200,7 +240,24 @@ class SolverService {
       SetupHandle handle, MultiVec b,
       std::optional<Precision> require = std::nullopt);
 
-  /// Blocks until every accepted request has been answered.
+  /// Applies a dynamic edge-delta batch to a registered handle (ROADMAP
+  /// item 4; DESIGN.md §10).  Weight-only batches apply synchronously on
+  /// the stale-chain tier — the handle keeps its preconditioner chains and
+  /// only the measured Laplacian changes, so no solve ever waits on a
+  /// rebuild.  Structural batches (or batches arriving while a rebuild is
+  /// in flight) are absorbed by an async rebuild on a dedicated thread;
+  /// in-flight and future solves keep using the old setup until the new one
+  /// swaps in atomically under the registry mutex.  Updated handles get an
+  /// extended fingerprint and are never inserted into the setup cache, so a
+  /// stale pre-update cache entry can never be served for this handle (nor
+  /// the updated setup for a fresh registration of the original graph).
+  /// Errors: NotFound for stale handles, InvalidArgument for malformed
+  /// deltas or a Gremban-lifted SDD setup, Unavailable during shutdown.
+  StatusOr<UpdateAck> update(SetupHandle handle,
+                             const std::vector<EdgeDelta>& deltas);
+
+  /// Blocks until every accepted request has been answered and every async
+  /// rebuild has swapped in (or been abandoned).
   void drain();
 
   ServiceStats stats() const;

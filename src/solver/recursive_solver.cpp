@@ -342,12 +342,19 @@ void RecursiveSolver::apply_block(const MultiVec& b, MultiVec& x,
 
 std::vector<IterStats> RecursiveSolver::solve_batch(
     const MultiVec& b, MultiVec& x, double tolerance,
-    std::uint32_t max_iterations, Workspace& ws) const {
+    std::uint32_t max_iterations, Workspace& ws,
+    const CsrMatrix* a_top) const {
   const ChainLevel& top = chain_.levels.front();
   std::size_t k = b.cols();
-  BlockLinOp a_op = [&top](const MultiVec& in, MultiVec& out) {
+  // Outer operator: the caller's override (stale-chain update tier) or the
+  // chain's own top Laplacian.  A mismatched override cannot be honored
+  // safely; fall back to the chain so the solve stays well-defined.
+  const CsrMatrix& amat =
+      (a_top != nullptr && a_top->dimension() == top.n) ? *a_top
+                                                        : top.laplacian;
+  BlockLinOp a_op = [&amat](const MultiVec& in, MultiVec& out) {
     ensure_shape(out, in.rows(), in.cols());
-    top.laplacian.multiply(in, out);
+    amat.multiply(in, out);
   };
   // As in solve(): precondition with the B₁ solve directly when available.
   // In mixed-precision mode the chain application runs in fp32 (narrowed on
@@ -389,8 +396,12 @@ std::vector<IterStats> RecursiveSolver::solve_batch(
 
 std::vector<IterStats> RecursiveSolver::solve_rpch_batch(
     const MultiVec& b, MultiVec& x, double tolerance,
-    std::uint32_t max_passes, Workspace& ws) const {
+    std::uint32_t max_passes, Workspace& ws,
+    const CsrMatrix* a_top) const {
   const ChainLevel& top = chain_.levels.front();
+  const CsrMatrix& amat =
+      (a_top != nullptr && a_top->dimension() == top.n) ? *a_top
+                                                        : top.laplacian;
   std::size_t k = b.cols();
   std::vector<IterStats> stats(k);
   if (x.rows() != top.n || x.cols() != k) x.assign(top.n, k, 0.0);
@@ -407,7 +418,7 @@ std::vector<IterStats> RecursiveSolver::solve_rpch_batch(
   const ColScalars minus_one(k, -1.0), one(k, 1.0);
   MultiVec r(top.n, k), ax(top.n, k), dx;
   auto refresh_residual = [&] {
-    top.laplacian.multiply(x, ax);
+    amat.multiply(x, ax);
     kernels::copy_cols(b, r);
     kernels::axpy_cols(minus_one, ax, r);
     kernels::project_out_constant_cols(r);

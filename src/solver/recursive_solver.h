@@ -133,16 +133,28 @@ class RecursiveSolver {
   /// cosmetically on degenerate single-level chains (the direct-solve path
   /// counts its pass as 1 iteration, the batch counts 0).  Thread-safe
   /// given a private workspace.
+  ///
+  /// `a_top` overrides the outer-CG operator (default: the chain's own
+  /// level-0 Laplacian).  This is the stale-chain update tier
+  /// (solver_setup.h): after a small weight perturbation the caller passes
+  /// the *current* Laplacian while the preconditioner recursion keeps using
+  /// the chain built for the old weights — convergence is still measured
+  /// against the true fp64 residual, the stale chain merely preconditions.
+  /// Must have the same dimension as the chain's top level.
   std::vector<IterStats> solve_batch(const MultiVec& b, MultiVec& x,
                                      double tolerance,
                                      std::uint32_t max_iterations,
-                                     Workspace& ws) const;
+                                     Workspace& ws,
+                                     const CsrMatrix* a_top = nullptr) const;
 
-  /// Batched rPCh refinement (solve_rpch over a block).
+  /// Batched rPCh refinement (solve_rpch over a block).  `a_top` as in
+  /// solve_batch: residual refreshes use it, the chain pass stays as built.
   std::vector<IterStats> solve_rpch_batch(const MultiVec& b, MultiVec& x,
                                           double tolerance,
                                           std::uint32_t max_passes,
-                                          Workspace& ws) const;
+                                          Workspace& ws,
+                                          const CsrMatrix* a_top =
+                                              nullptr) const;
 
   /// Number of bottom-level (dense) solves since construction — the
   /// quantity the paper's depth analysis counts ("the total number of times

@@ -2,7 +2,11 @@
 #include "kernels/kernels.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "graph/connectivity.h"
 #include "linalg/cg.h"
@@ -16,13 +20,20 @@ namespace parsdd {
 
 namespace {
 
-// One connected component's RHS-independent state.
+// One connected component's RHS-independent state.  chain/recursive are
+// shared_ptrs because update() shares untouched components — and, on the
+// stale-chain tier, the chain itself — between the old and new setups;
+// both are immutable after construction, so sharing is concurrency-safe.
 struct ComponentSetup {
   std::vector<std::uint32_t> vertices;  // original ids, in local order
   EdgeList local_edges;
   CsrMatrix laplacian;
-  std::unique_ptr<SolverChain> chain;
-  std::unique_ptr<RecursiveSolver> recursive;
+  std::shared_ptr<const SolverChain> chain;
+  std::shared_ptr<RecursiveSolver> recursive;
+  /// The chain was built for earlier weights than `laplacian` (stale-chain
+  /// update tier): the solve keeps preconditioning with it while the outer
+  /// CG measures residuals against the current laplacian.
+  bool chain_stale = false;
 };
 
 }  // namespace
@@ -33,10 +44,38 @@ struct SolverSetup::Impl {
   std::vector<ComponentSetup> components;
   // Gremban state (only for non-Laplacian SDD inputs).
   std::optional<GrembanReduction> gremban;
+  /// Deltas absorbed via update() since the original build.
+  std::uint64_t update_seq = 0;
+  /// Residual-quality monitor (SetupQuality): worst outer iteration count
+  /// of the first recorded solve (the fresh-chain baseline) and of the most
+  /// recent one.  Relaxed atomics — the monitor is a heuristic signal, and
+  /// solves are const/concurrent.
+  mutable std::atomic<std::uint32_t> baseline_iters{0};
+  mutable std::atomic<std::uint32_t> last_iters{0};
 
   void build(std::uint32_t num_vertices, const EdgeList& edges);
   MultiVec solve_batch_laplacian(const MultiVec& b,
                                  BatchSolveReport* report) const;
+  void record_quality(std::uint32_t worst_iters) const {
+    last_iters.store(worst_iters, std::memory_order_relaxed);
+    std::uint32_t expected = 0;
+    baseline_iters.compare_exchange_strong(expected, worst_iters,
+                                           std::memory_order_relaxed);
+  }
+  /// Reassembles the global edge list (original vertex ids) from the
+  /// per-component local lists; the input to full rebuilds.
+  EdgeList assemble_global_edges() const {
+    EdgeList out;
+    std::size_t total = 0;
+    for (const ComponentSetup& cs : components) total += cs.local_edges.size();
+    out.reserve(total);
+    for (const ComponentSetup& cs : components) {
+      for (const Edge& e : cs.local_edges) {
+        out.push_back(Edge{cs.vertices[e.u], cs.vertices[e.v], e.w});
+      }
+    }
+    return out;
+  }
 };
 
 void SolverSetup::Impl::build(std::uint32_t num_vertices,
@@ -76,10 +115,10 @@ void SolverSetup::Impl::build(std::uint32_t num_vertices,
     cs.laplacian = laplacian_from_edges(cn, cs.local_edges);
     if (opts.method == SolveMethod::kChainPcg ||
         opts.method == SolveMethod::kChainRpch) {
-      cs.chain = std::make_unique<SolverChain>(
+      cs.chain = std::make_shared<const SolverChain>(
           build_chain(cn, cs.local_edges, opts.chain));
       cs.recursive =
-          std::make_unique<RecursiveSolver>(*cs.chain, opts.recursion);
+          std::make_shared<RecursiveSolver>(*cs.chain, opts.recursion);
       if (opts.precision == Precision::kF32Refined) {
         cs.recursive->enable_f32();
       }
@@ -98,6 +137,7 @@ MultiVec SolverSetup::Impl::solve_batch_laplacian(
     report->column_stats.assign(k, IterStats{});
     report->components = static_cast<std::uint32_t>(components.size());
   }
+  std::uint32_t worst_iters = 0;  // quality-monitor sample for this solve
   for (const ComponentSetup& cs : components) {
     std::uint32_t cn = static_cast<std::uint32_t>(cs.vertices.size());
     if (cn < 2) continue;
@@ -109,16 +149,24 @@ MultiVec SolverSetup::Impl::solve_batch_laplacian(
     std::uint64_t visits_before =
         cs.recursive ? cs.recursive->bottom_visits() : 0;
     switch (opts.method) {
+      // Both chain drivers take cs.laplacian as the outer operator.  For a
+      // pristine setup it is byte-identical to the chain's own level-0
+      // matrix (both laplacian_from_edges of the same edges), so the
+      // arithmetic — and the bitwise-determinism contract — is unchanged;
+      // after a stale-chain update it is the *current* Laplacian, so
+      // convergence is always measured against the updated system.
       case SolveMethod::kChainPcg: {
         RecursiveSolver::Workspace ws = cs.recursive->make_workspace();
         st = cs.recursive->solve_batch(cb, cx, opts.tolerance,
-                                       opts.max_iterations, ws);
+                                       opts.max_iterations, ws,
+                                       &cs.laplacian);
         break;
       }
       case SolveMethod::kChainRpch: {
         RecursiveSolver::Workspace ws = cs.recursive->make_workspace();
         st = cs.recursive->solve_rpch_batch(cb, cx, opts.tolerance,
-                                            opts.max_iterations, ws);
+                                            opts.max_iterations, ws,
+                                            &cs.laplacian);
         break;
       }
       case SolveMethod::kCg: {
@@ -149,6 +197,9 @@ MultiVec SolverSetup::Impl::solve_batch_laplacian(
     }
     kernels::project_out_constant_cols(cx);
     kernels::scatter_rows(cx, cs.vertices.data(), x);
+    for (const IterStats& cst : st) {
+      worst_iters = std::max(worst_iters, cst.iterations);
+    }
     if (report) {
       for (std::size_t c = 0; c < k; ++c) {
         if (st[c].iterations >= report->column_stats[c].iterations) {
@@ -165,6 +216,7 @@ MultiVec SolverSetup::Impl::solve_batch_laplacian(
       }
     }
   }
+  record_quality(worst_iters);
   return x;
 }
 
@@ -242,6 +294,291 @@ StatusOr<MultiVec> SolverSetup::solve_batch(const MultiVec& b,
   MultiVec lifted = impl_->gremban->lift_rhs_block(b);
   MultiVec y = impl_->solve_batch_laplacian(lifted, report);
   return impl_->gremban->project_solution_block(y);
+}
+
+namespace {
+
+// ---- dynamic updates (ROADMAP item 4) ----
+
+// Canonical undirected key for an edge.
+inline std::pair<std::uint32_t, std::uint32_t> edge_key(std::uint32_t u,
+                                                        std::uint32_t v) {
+  return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+}
+
+// The classified delta batch: the tier, plus per-component local delta
+// streams (order preserved; local vertex ids) for the non-full-rebuild
+// tiers.  `structural[c]` marks components whose chain must rebuild.
+struct DeltaPlan {
+  UpdateTier tier = UpdateTier::kStaleChain;
+  std::vector<std::vector<EdgeDelta>> local;
+  std::vector<std::uint8_t> structural;
+};
+
+// Validates and classifies a delta stream against the current component
+// partition.  Sequential semantics: each delta sees the effect of the ones
+// before it (tracked in live per-component edge sets), so a batch may
+// insert an edge and then re-weight or remove it.
+StatusOr<DeltaPlan> classify_deltas(std::uint32_t n,
+                                    const std::vector<ComponentSetup>& comps,
+                                    const std::vector<EdgeDelta>& deltas) {
+  DeltaPlan plan;
+  std::size_t nc = comps.size();
+  plan.local.resize(nc);
+  plan.structural.assign(nc, 0);
+  std::vector<std::uint32_t> comp_of(n, 0), local_of(n, 0);
+  for (std::size_t c = 0; c < nc; ++c) {
+    const auto& verts = comps[c].vertices;
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      comp_of[verts[i]] = static_cast<std::uint32_t>(c);
+      local_of[verts[i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+  using Key = std::pair<std::uint32_t, std::uint32_t>;
+  // Live per-component edge sets (local ids), built lazily for touched
+  // components only; bridging insertions tracked separately (global ids).
+  std::vector<std::map<Key, std::size_t>> live(nc);
+  std::vector<std::uint8_t> live_built(nc, 0);
+  std::map<Key, std::size_t> bridged;
+  auto ensure_live = [&](std::size_t c) {
+    if (live_built[c]) return;
+    live_built[c] = 1;
+    for (const Edge& e : comps[c].local_edges) ++live[c][edge_key(e.u, e.v)];
+  };
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const EdgeDelta& d = deltas[i];
+    const std::string at = " (delta " + std::to_string(i) + ")";
+    if (d.u >= n || d.v >= n) {
+      return InvalidArgumentError(
+          "update: edge endpoint out of range" + at);
+    }
+    if (d.u == d.v) {
+      return InvalidArgumentError(
+          "update: self loop at vertex " + std::to_string(d.u) + at);
+    }
+    if (!std::isfinite(d.w) || d.w < 0.0) {
+      return InvalidArgumentError(
+          "update: weight must be finite and >= 0" + at);
+    }
+    std::uint32_t cu = comp_of[d.u], cv = comp_of[d.v];
+    if (cu != cv) {
+      // The endpoints live in different components: an insertion bridges
+      // them (the partition changes — full rebuild); a removal can only
+      // target an earlier bridging insertion from this same batch.
+      Key gkey = edge_key(d.u, d.v);
+      bool exists = bridged.find(gkey) != bridged.end();
+      if (d.w == 0.0) {
+        if (!exists) {
+          return InvalidArgumentError(
+              "update: removing nonexistent edge {" + std::to_string(d.u) +
+              "," + std::to_string(d.v) + "}" + at);
+        }
+        bridged.erase(gkey);
+      } else if (!exists) {
+        bridged.emplace(gkey, 1);
+      }
+      plan.tier = UpdateTier::kFullRebuild;
+      continue;
+    }
+    ensure_live(cu);
+    Key key = edge_key(local_of[d.u], local_of[d.v]);
+    auto it = live[cu].find(key);
+    bool exists = it != live[cu].end();
+    if (d.w == 0.0) {
+      if (!exists) {
+        return InvalidArgumentError(
+            "update: removing nonexistent edge {" + std::to_string(d.u) +
+            "," + std::to_string(d.v) + "}" + at);
+      }
+      live[cu].erase(it);
+      // Removal may disconnect the component; only a full re-setup
+      // recomputes the partition.
+      plan.tier = UpdateTier::kFullRebuild;
+    } else if (!exists) {
+      live[cu].emplace(key, 1);
+      plan.structural[cu] = 1;
+      if (plan.tier < UpdateTier::kComponentRebuild) {
+        plan.tier = UpdateTier::kComponentRebuild;
+      }
+    }
+    plan.local[cu].push_back(EdgeDelta{key.first, key.second, d.w});
+  }
+  return plan;
+}
+
+// Sequentially applies a (pre-validated) delta stream to an edge list.
+// Set-weight rewrites the first matching entry and drops parallel
+// duplicates, so the edge's total weight is exactly w afterwards; removal
+// drops every match; insertion appends.  Ids are whatever space `edges`
+// lives in (component-local or global) — the semantics are identical.
+void apply_deltas(EdgeList& edges, const std::vector<EdgeDelta>& deltas,
+                  UpdateReport& rep) {
+  for (const EdgeDelta& d : deltas) {
+    auto key = edge_key(d.u, d.v);
+    std::size_t first = edges.size();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (edge_key(edges[i].u, edges[i].v) == key) {
+        first = i;
+        break;
+      }
+    }
+    if (d.w > 0.0 && first < edges.size()) {
+      edges[first].w = d.w;
+      std::size_t out = first + 1;
+      for (std::size_t i = first + 1; i < edges.size(); ++i) {
+        if (edge_key(edges[i].u, edges[i].v) != key) {
+          edges[out++] = edges[i];
+        }
+      }
+      edges.resize(out);
+      ++rep.weight_updates;
+    } else if (d.w > 0.0) {
+      edges.push_back(Edge{d.u, d.v, d.w});
+      ++rep.edges_added;
+    } else {
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (edge_key(edges[i].u, edges[i].v) != key) {
+          edges[out++] = edges[i];
+        }
+      }
+      edges.resize(out);
+      ++rep.edges_removed;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<UpdateTier> SolverSetup::plan_update(
+    const std::vector<EdgeDelta>& deltas) const {
+  if (impl_->gremban) {
+    return InvalidArgumentError(
+        "SolverSetup::update: not supported for Gremban-lifted SDD setups; "
+        "rebuild from the updated matrix instead");
+  }
+  if (deltas.empty()) {
+    return InvalidArgumentError("SolverSetup::update: empty delta batch");
+  }
+  StatusOr<DeltaPlan> plan =
+      classify_deltas(impl_->n, impl_->components, deltas);
+  if (!plan.ok()) return plan.status();
+  return plan->tier;
+}
+
+StatusOr<SolverSetup> SolverSetup::update(const std::vector<EdgeDelta>& deltas,
+                                          UpdateReport* report) const {
+  if (impl_->gremban) {
+    return InvalidArgumentError(
+        "SolverSetup::update: not supported for Gremban-lifted SDD setups; "
+        "rebuild from the updated matrix instead");
+  }
+  if (deltas.empty()) {
+    return InvalidArgumentError("SolverSetup::update: empty delta batch");
+  }
+  StatusOr<DeltaPlan> plan =
+      classify_deltas(impl_->n, impl_->components, deltas);
+  if (!plan.ok()) return plan.status();
+  UpdateReport rep;
+  rep.tier = plan->tier;
+  SolverSetup out;
+  out.impl_->opts = impl_->opts;
+  out.impl_->update_seq = impl_->update_seq + deltas.size();
+  rep.update_seq = out.impl_->update_seq;
+  if (plan->tier == UpdateTier::kFullRebuild) {
+    // The partition may change: re-run the whole setup on the updated
+    // global edge list.  Fresh chains, fresh quality baseline.
+    EdgeList edges = impl_->assemble_global_edges();
+    apply_deltas(edges, deltas, rep);
+    out.impl_->build(impl_->n, edges);
+    rep.components_rebuilt =
+        static_cast<std::uint32_t>(out.impl_->components.size());
+  } else {
+    out.impl_->n = impl_->n;
+    out.impl_->components.reserve(impl_->components.size());
+    for (std::size_t c = 0; c < impl_->components.size(); ++c) {
+      const ComponentSetup& cs = impl_->components[c];
+      ComponentSetup nc;
+      nc.vertices = cs.vertices;
+      nc.local_edges = cs.local_edges;
+      nc.laplacian = cs.laplacian;
+      nc.chain = cs.chain;          // shared: chains are immutable
+      nc.recursive = cs.recursive;  // shared: stateless across solves
+      nc.chain_stale = cs.chain_stale;
+      if (!plan->local[c].empty()) {
+        std::uint32_t cn = static_cast<std::uint32_t>(nc.vertices.size());
+        apply_deltas(nc.local_edges, plan->local[c], rep);
+        // The outer CG solves against the current weights either way.
+        nc.laplacian = laplacian_from_edges(cn, nc.local_edges);
+        if (plan->structural[c]) {
+          // Component rebuild: a fresh chain for the new structure.
+          nc.chain.reset();
+          nc.recursive.reset();
+          nc.chain_stale = false;
+          if (impl_->opts.method == SolveMethod::kChainPcg ||
+              impl_->opts.method == SolveMethod::kChainRpch) {
+            nc.chain = std::make_shared<const SolverChain>(
+                build_chain(cn, nc.local_edges, impl_->opts.chain));
+            nc.recursive = std::make_shared<RecursiveSolver>(
+                *nc.chain, impl_->opts.recursion);
+            if (impl_->opts.precision == Precision::kF32Refined) {
+              nc.recursive->enable_f32();
+            }
+          }
+          ++rep.components_rebuilt;
+        } else if (nc.chain) {
+          // Stale-chain tier: keep preconditioning with the old chain.
+          nc.chain_stale = true;
+        }
+      } else {
+        ++rep.components_shared;
+      }
+      out.impl_->components.push_back(std::move(nc));
+    }
+    // Drift stays measured against the fresh-chain baseline across
+    // stale-chain and component updates; a full rebuild resets it.
+    out.impl_->baseline_iters.store(
+        impl_->baseline_iters.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    out.impl_->last_iters.store(
+        impl_->last_iters.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  for (const ComponentSetup& cs : out.impl_->components) {
+    if (cs.chain_stale) ++rep.components_stale;
+  }
+  if (report) *report = rep;
+  return out;
+}
+
+SolverSetup SolverSetup::rebuild() const {
+  SolverSetup out;
+  out.impl_->opts = impl_->opts;
+  out.impl_->update_seq = impl_->update_seq;
+  if (impl_->gremban) {
+    out.impl_->gremban = impl_->gremban;
+    out.impl_->build(impl_->n, out.impl_->gremban->edges);
+  } else {
+    out.impl_->build(impl_->n, impl_->assemble_global_edges());
+  }
+  return out;
+}
+
+std::uint64_t SolverSetup::update_seq() const { return impl_->update_seq; }
+
+SetupQuality SolverSetup::quality() const {
+  SetupQuality q;
+  q.baseline_iterations =
+      impl_->baseline_iters.load(std::memory_order_relaxed);
+  q.last_iterations = impl_->last_iters.load(std::memory_order_relaxed);
+  for (const ComponentSetup& cs : impl_->components) {
+    if (cs.chain_stale) ++q.stale_components;
+  }
+  q.drift = q.baseline_iterations > 0
+                ? static_cast<double>(q.last_iterations) /
+                      static_cast<double>(q.baseline_iterations)
+                : 1.0;
+  return q;
 }
 
 namespace {
@@ -342,6 +679,12 @@ void SolverSetup::save_to(serialize::Writer& w) const {
   w.u8(kSetupTag);
   save_options(w, impl_->opts);
   w.u32(impl_->n);
+  // Format v3: the dynamic-update stream position and quality-monitor
+  // counters, so a snapshot taken after updates reloads bitwise — same
+  // update_seq, same drift baseline (see DESIGN.md §10).
+  w.u64(impl_->update_seq);
+  w.u32(impl_->baseline_iters.load(std::memory_order_relaxed));
+  w.u32(impl_->last_iters.load(std::memory_order_relaxed));
   w.boolean(impl_->gremban.has_value());
   if (impl_->gremban) impl_->gremban->save(w);
   w.varint(impl_->components.size());
@@ -350,6 +693,7 @@ void SolverSetup::save_to(serialize::Writer& w) const {
     save_edges(w, cs.local_edges);
     cs.laplacian.save(w);
     w.boolean(cs.chain != nullptr);
+    w.boolean(cs.chain_stale);  // v3: stale-chain tier marker
     if (cs.chain) {
       save_chain(w, *cs.chain);
       // The spectral bounds the recursive solver measured at build time
@@ -373,6 +717,9 @@ StatusOr<SolverSetup> SolverSetup::load_from(serialize::Reader& r) {
   SolverSetup s;
   s.impl_->opts = load_options(r);
   s.impl_->n = r.u32();
+  s.impl_->update_seq = r.u64();
+  s.impl_->baseline_iters.store(r.u32(), std::memory_order_relaxed);
+  s.impl_->last_iters.store(r.u32(), std::memory_order_relaxed);
   if (r.boolean()) {
     s.impl_->gremban = GrembanReduction::load(r);
     if (r.status().ok() &&
@@ -405,8 +752,15 @@ StatusOr<SolverSetup> SolverSetup::load_from(serialize::Reader& r) {
              " indexes out of bounds for the system size");
       break;
     }
-    if (r.boolean()) {
-      cs.chain = std::make_unique<SolverChain>(load_chain(r));
+    bool has_chain = r.boolean();
+    cs.chain_stale = r.boolean();
+    if (r.status().ok() && cs.chain_stale && !has_chain) {
+      r.fail("component " + std::to_string(i) +
+             " marked chain-stale without a chain");
+      break;
+    }
+    if (has_chain) {
+      cs.chain = std::make_shared<const SolverChain>(load_chain(r));
       if (r.status().ok() &&
           (cs.chain->levels.empty() || cs.chain->levels.front().n != cn)) {
         r.fail("component " + std::to_string(i) +
@@ -436,7 +790,7 @@ StatusOr<SolverSetup> SolverSetup::load_from(serialize::Reader& r) {
         r.fail("Chebyshev recursion requires saved spectral bounds");
         break;
       }
-      cs.recursive = std::make_unique<RecursiveSolver>(
+      cs.recursive = std::make_shared<RecursiveSolver>(
           *cs.chain, s.impl_->opts.recursion, std::move(bounds));
       if (s.impl_->opts.precision == Precision::kF32Refined) {
         cs.recursive->enable_f32();

@@ -67,6 +67,65 @@ struct SddSolverOptions {
   RecursiveSolverOptions recursion;
 };
 
+/// One mutation in a dynamic-graph update stream (ROADMAP item 4): "set the
+/// weight of undirected edge {u, v} to w".
+///   * existing edge, w > 0  — weight perturbation (stale-chain tier);
+///   * existing edge, w == 0 — removal (structural: full rebuild, since the
+///                             component partition may change);
+///   * new edge,      w > 0  — insertion (structural: component rebuild
+///                             when both endpoints share a component, full
+///                             rebuild when it bridges two).
+/// Vertices are never added or removed: u and v must be < dimension(), and
+/// u != v.  Deltas in one batch apply sequentially, so a batch may insert
+/// an edge and then re-weight it.
+struct EdgeDelta {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  double w = 0.0;
+};
+
+/// How update() absorbed a delta batch; ordered cheapest to costliest.
+enum class UpdateTier : std::uint8_t {
+  /// Weight-only perturbations: touched components share the old
+  /// preconditioner chain (marked stale); only the Laplacian the outer
+  /// fp64 CG measures residuals against is rebuilt, so the returned x
+  /// still meets `tolerance` against the *updated* matrix — the stale
+  /// chain merely preconditions, possibly costing extra iterations.
+  kStaleChain = 0,
+  /// Structural change confined to existing components: only the touched
+  /// components rebuild their chains; every other component is shared
+  /// with the pre-update setup.
+  kComponentRebuild = 1,
+  /// A removal or component-bridging insertion (the component partition
+  /// itself may change): full re-setup from the updated edge list.
+  kFullRebuild = 2,
+};
+
+/// What update() did, for telemetry and the service's swap bookkeeping.
+struct UpdateReport {
+  UpdateTier tier = UpdateTier::kStaleChain;
+  std::uint32_t weight_updates = 0;
+  std::uint32_t edges_added = 0;
+  std::uint32_t edges_removed = 0;
+  std::uint32_t components_rebuilt = 0;  // chains rebuilt by this update
+  std::uint32_t components_stale = 0;    // total on a stale chain afterwards
+  std::uint32_t components_shared = 0;   // untouched, shared with old setup
+  std::uint64_t update_seq = 0;          // deltas absorbed since first build
+};
+
+/// The residual-based quality estimate behind the stale-chain tier: the
+/// worst outer-CG iteration count of the most recent solve, against the
+/// count recorded for the first solve of the fresh (never-updated) chain.
+/// A stale chain preconditions an updated matrix, so degradation shows up
+/// exactly here — `drift` rising past a threshold is the service's signal
+/// to schedule an async rebuild (ServiceOptions::stale_rebuild_factor).
+struct SetupQuality {
+  std::uint32_t baseline_iterations = 0;  // first recorded fresh-chain solve
+  std::uint32_t last_iterations = 0;      // most recent solve
+  std::uint32_t stale_components = 0;     // components on a stale chain
+  double drift = 1.0;  // last / baseline; 1.0 until both are known
+};
+
 struct SddSolveReport {
   IterStats stats;                // worst component's iteration stats
   std::uint32_t chain_levels = 0; // deepest chain
@@ -120,6 +179,35 @@ class SolverSetup {
   /// RHS.  InvalidArgument when B has zero columns or the wrong row count.
   StatusOr<MultiVec> solve_batch(const MultiVec& b,
                                  BatchSolveReport* report = nullptr) const;
+
+  /// Classifies a delta batch (the tier update() would pick) without
+  /// applying it — the service uses this to decide synchronous apply vs.
+  /// async rebuild.  Same error contract as update().
+  StatusOr<UpdateTier> plan_update(const std::vector<EdgeDelta>& deltas) const;
+
+  /// Applies a delta batch and returns a NEW setup; this one is untouched
+  /// (still const and thread-safe), so a server can keep answering solves
+  /// against it until the result swaps in.  Untouched components — and, on
+  /// the stale-chain tier, their preconditioner chains — are shared between
+  /// the two setups, which is safe because chains are immutable after
+  /// construction.  InvalidArgument for out-of-range endpoints, self
+  /// loops, negative/non-finite weights, removal of a nonexistent edge, or
+  /// a Gremban-lifted SDD setup (rebuild from the updated matrix instead).
+  StatusOr<SolverSetup> update(const std::vector<EdgeDelta>& deltas,
+                               UpdateReport* report = nullptr) const;
+
+  /// Full fresh re-setup from the current (post-update) edge list: every
+  /// chain rebuilt, staleness and the quality baseline cleared, update_seq
+  /// kept.  The escape hatch the quality monitor triggers when stale-chain
+  /// drift crosses the rebuild threshold.
+  SolverSetup rebuild() const;
+
+  /// Deltas absorbed via update() since the original build (0 = pristine).
+  std::uint64_t update_seq() const;
+
+  /// Residual-quality monitor sample; cheap, thread-safe, updated by every
+  /// solve/solve_batch.  See SetupQuality.
+  SetupQuality quality() const;
 
   /// Persists the complete RHS-independent setup state — options, Gremban
   /// lift, per-component graphs, chain levels, elimination records, dense

@@ -46,7 +46,10 @@ inline constexpr std::uint16_t kEndianMark = 0x0102u;
 /// Bumped whenever the payload layout changes; readers refuse any version
 /// they were not built for (see DESIGN.md, "Snapshot format").
 /// v2: SddSolverOptions gained the Precision field (mixed-precision solve).
-inline constexpr std::uint16_t kFormatVersion = 2;
+/// v3: dynamic updates — SolverSetup carries update_seq, the quality-monitor
+///     iteration counters, and a per-component chain_stale marker, so a
+///     snapshot taken after update() calls reloads bitwise.
+inline constexpr std::uint16_t kFormatVersion = 3;
 
 /// 64-bit FNV-1a-style hash over a byte range (the snapshot trailer
 /// checksum; also the mixer behind the service's SetupCache fingerprints).

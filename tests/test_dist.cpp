@@ -526,5 +526,153 @@ TEST(DistCoordinator, WorkerStatsShipGaugesOverTheWire) {
   EXPECT_EQ(ds.workers[0].handles, 1u);
 }
 
+TEST(DistUpdate, UpdateTravelsTheWireAndReplaysOnRespawn) {
+  TempDir dir("update");
+  SolverSetup setup = saved_setup(dir, 10, 10);
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 2));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h =
+      (*c)->register_from_snapshot(dir.path() + "/setup.snap").value();
+  EXPECT_EQ((*c)->info(h).value().update_seq, 0u);
+
+  // Weight-only delta: applied synchronously on the worker, acknowledged
+  // over the wire with the typed tier.
+  std::vector<EdgeDelta> deltas = {{0, 1, 4.0}};
+  StatusOr<UpdateAck> ack = (*c)->update(h, deltas);
+  ASSERT_TRUE(ack.ok()) << ack.status().to_string();
+  EXPECT_EQ(ack->tier, UpdateTier::kStaleChain);
+  EXPECT_FALSE(ack->deferred);
+  EXPECT_EQ(ack->update_seq, 1u);
+  EXPECT_EQ((*c)->info(h).value().update_seq, 1u);
+
+  // The worker's post-update answer is bitwise the in-process one: the
+  // snapshot-loaded state and the delta stream are both deterministic.
+  SolverSetup updated = setup.update(deltas).value();
+  Vec b = random_unit_like(setup.dimension(), 21);
+  Vec expected = updated.solve(b).value();
+  StatusOr<SolveResult> res = (*c)->submit(h, b).get();
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  EXPECT_TRUE(bitwise_equal(res->x, expected));
+
+  // Kill the owning worker: recovery re-registers the (PRE-update)
+  // snapshot and replays the update log, so the respawned shard serves
+  // the updated graph — bitwise — never the stale snapshot.
+  ASSERT_TRUE((*c)->kill_worker((*c)->worker_of(h).value()).ok());
+  StatusOr<SolveResult> after = await_recovery(**c, h, b);
+  ASSERT_TRUE(after.ok()) << after.status().to_string();
+  EXPECT_TRUE(bitwise_equal(after->x, expected));
+  EXPECT_TRUE((*c)->stats().lost_handles.empty());
+
+  // Malformed deltas come back as the worker's typed InvalidArgument.
+  EXPECT_EQ((*c)->update(h, {{0, setup.dimension(), 1.0}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*c)->update(SetupHandle{9999}, deltas).status().code(),
+            StatusCode::kNotFound);
+  // A refused batch never enters the log: the answer is still the updated
+  // one, not a double-applied one.
+  EXPECT_EQ((*c)->info(h).value().update_seq, 1u);
+}
+
+TEST(DistUpdate, StructuralUpdateSwapsInOverTheWire) {
+  TempDir dir("structural");
+  SolverSetup setup = saved_setup(dir, 8, 8);
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 1));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h =
+      (*c)->register_from_snapshot(dir.path() + "/setup.snap").value();
+
+  // Intra-component insertion: the ack reports the scheduled async
+  // rebuild; the shard keeps answering while it runs.
+  std::vector<EdgeDelta> deltas = {{0, 9, 2.0}};
+  StatusOr<UpdateAck> ack = (*c)->update(h, deltas);
+  ASSERT_TRUE(ack.ok()) << ack.status().to_string();
+  EXPECT_EQ(ack->tier, UpdateTier::kComponentRebuild);
+  EXPECT_TRUE(ack->rebuild_scheduled);
+
+  SolverSetup updated = setup.update(deltas).value();
+  Vec b = random_unit_like(setup.dimension(), 22);
+  Vec expected = updated.solve(b).value();
+  // Every in-flight answer is valid (old or new setup); once the rebuild
+  // swaps in, answers match the updated setup bitwise.
+  bool swapped = false;
+  for (int tries = 0; tries < 500 && !swapped; ++tries) {
+    StatusOr<SolveResult> res = (*c)->submit(h, b).get();
+    ASSERT_TRUE(res.ok()) << res.status().to_string();
+    swapped = bitwise_equal(res->x, expected);
+    if (!swapped) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(swapped) << "rebuilt setup never swapped in";
+}
+
+TEST(DistUpdate, UpdateLogReplaysOnRebalance) {
+  TempDir dir("updmove");
+  SolverSetup setup = saved_setup(dir, 8, 8);
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 2));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h =
+      (*c)->register_from_snapshot(dir.path() + "/setup.snap").value();
+  std::vector<EdgeDelta> deltas = {{0, 1, 3.0}, {1, 2, 5.0}};
+  ASSERT_TRUE((*c)->update(h, deltas).ok());
+
+  SolverSetup updated = setup.update(deltas).value();
+  Vec b = random_unit_like(setup.dimension(), 23);
+  Vec expected = updated.solve(b).value();
+
+  // Migrate: the target registers the pre-update snapshot, then the
+  // coordinator replays the log before committing — the moved handle
+  // serves the updated graph from its first answer.
+  std::uint32_t away = 1 - (*c)->worker_of(h).value();
+  ASSERT_TRUE((*c)->rebalance(h, away).ok());
+  EXPECT_EQ((*c)->worker_of(h).value(), away);
+  StatusOr<SolveResult> res = (*c)->submit(h, b).get();
+  ASSERT_TRUE(res.ok()) << res.status().to_string();
+  EXPECT_TRUE(bitwise_equal(res->x, expected));
+}
+
+TEST(DistRecovery, DeletedSnapshotSurfacesTypedLostHandle) {
+  // The respawn-replay gap (DESIGN.md §8): a registration whose snapshot
+  // file was deleted cannot be restored.  The handle must NOT silently
+  // vanish — submits fail Unavailable (never NotFound: the handle is still
+  // registered) and stats() names the handle with the typed reason.
+  TempDir dir("lost");
+  SolverSetup setup = saved_setup(dir, 6, 6);
+  std::string path = dir.path() + "/setup.snap";
+  StatusOr<std::unique_ptr<Coordinator>> c =
+      Coordinator::Start(base_options(dir, 1));
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  SetupHandle h = (*c)->register_from_snapshot(path).value();
+  Vec b = random_unit_like(setup.dimension(), 24);
+  ASSERT_TRUE((*c)->submit(h, b).get().ok());
+
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  ASSERT_TRUE((*c)->kill_worker(0).ok());
+  // Wait for the respawn to complete (the shard reopens; the handle does
+  // not come back with it).
+  for (int tries = 0; tries < 500 && (*c)->stats().respawns == 0; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  DistStats st = (*c)->stats();
+  ASSERT_GE(st.respawns, 1u);
+  ASSERT_EQ(st.lost_handles.size(), 1u);
+  EXPECT_EQ(st.lost_handles[0].first, h.id);
+  EXPECT_FALSE(st.lost_handles[0].second.empty());
+
+  StatusOr<SolveResult> res = (*c)->submit(h, b).get();
+  EXPECT_EQ(res.status().code(), StatusCode::kUnavailable)
+      << res.status().to_string();
+  // Updates against a lost handle are refused the same way.
+  EXPECT_EQ((*c)->update(h, {{0, 1, 2.0}}).status().code(),
+            StatusCode::kUnavailable);
+  // Unregistering clears the lost entry; the id is then genuinely unknown.
+  ASSERT_TRUE((*c)->unregister(h).ok());
+  EXPECT_TRUE((*c)->stats().lost_handles.empty());
+  EXPECT_EQ((*c)->submit(h, b).get().status().code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace parsdd::dist
